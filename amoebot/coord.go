@@ -1,0 +1,250 @@
+// Package amoebot provides the vocabulary types of the geometric amoebot
+// model on the infinite triangular grid G∆: coordinates, directions, axes,
+// amoebot structures, sub-regions, and shortest-path forests.
+//
+// The package is purely geometric/combinatorial; the distributed algorithms
+// of Padalkin & Scheideler (PODC 2024) operate on these types via the
+// top-level spforest package.
+package amoebot
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Coord is a node of the infinite triangular grid in cube coordinates.
+// Valid coordinates satisfy X+Y+Z == 0. Each node has six neighbors, one per
+// Direction.
+//
+// The planar embedding places E at (+X,-Y), with "north" being decreasing Z
+// (directions NE and NW) and "west" being decreasing X (direction W). All
+// amoebots share this compass orientation and chirality, as the paper
+// assumes (its Theorem 1 establishes the assumption in O(log n) rounds
+// w.h.p.; see DESIGN.md §2.4).
+type Coord struct {
+	X, Y, Z int
+}
+
+// XZ constructs the coordinate with the given X and Z cube coordinates
+// (Y is determined by the cube invariant). X selects the position along a
+// row, Z selects the row; this is the natural 2-coordinate addressing for
+// structures built row by row.
+func XZ(x, z int) Coord { return Coord{X: x, Y: -x - z, Z: z} }
+
+// Valid reports whether c satisfies the cube-coordinate invariant.
+func (c Coord) Valid() bool { return c.X+c.Y+c.Z == 0 }
+
+// Add returns the component-wise sum of c and d.
+func (c Coord) Add(d Coord) Coord { return Coord{c.X + d.X, c.Y + d.Y, c.Z + d.Z} }
+
+// Sub returns the component-wise difference of c and d.
+func (c Coord) Sub(d Coord) Coord { return Coord{c.X - d.X, c.Y - d.Y, c.Z - d.Z} }
+
+// Neighbor returns the adjacent node in direction d.
+func (c Coord) Neighbor(d Direction) Coord { return c.Add(d.Delta()) }
+
+// Dist returns the graph distance between c and d on the full triangular
+// grid: (|dx|+|dy|+|dz|)/2.
+func (c Coord) Dist(d Coord) int {
+	v := c.Sub(d)
+	return (abs(v.X) + abs(v.Y) + abs(v.Z)) / 2
+}
+
+// Axial returns the (X, Z) axial pair identifying the coordinate.
+func (c Coord) Axial() (x, z int) { return c.X, c.Z }
+
+func (c Coord) String() string {
+	return "(" + strconv.Itoa(c.X) + "," + strconv.Itoa(c.Z) + ")"
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Direction is one of the six edge directions of the triangular grid, in
+// counterclockwise order starting at east. The counterclockwise order is the
+// shared chirality of all amoebots and fixes the Euler tours of Section 3.
+type Direction uint8
+
+// The six directions in counterclockwise order.
+const (
+	DirE Direction = iota
+	DirNE
+	DirNW
+	DirW
+	DirSW
+	DirSE
+
+	// NumDirections is the degree of the triangular grid.
+	NumDirections = 6
+)
+
+var dirDeltas = [NumDirections]Coord{
+	DirE:  {1, -1, 0},
+	DirNE: {1, 0, -1},
+	DirNW: {0, 1, -1},
+	DirW:  {-1, 1, 0},
+	DirSW: {-1, 0, 1},
+	DirSE: {0, -1, 1},
+}
+
+var dirNames = [NumDirections]string{"E", "NE", "NW", "W", "SW", "SE"}
+
+// Delta returns the coordinate offset of one step in direction d.
+func (d Direction) Delta() Coord { return dirDeltas[d] }
+
+// Opposite returns the reverse direction.
+func (d Direction) Opposite() Direction { return (d + 3) % NumDirections }
+
+// CCW returns the next direction counterclockwise.
+func (d Direction) CCW() Direction { return (d + 1) % NumDirections }
+
+// CW returns the next direction clockwise.
+func (d Direction) CW() Direction { return (d + 5) % NumDirections }
+
+// Axis returns the grid axis the direction is parallel to.
+func (d Direction) Axis() Axis {
+	switch d {
+	case DirE, DirW:
+		return AxisX
+	case DirNE, DirSW:
+		return AxisY
+	default:
+		return AxisZ
+	}
+}
+
+// IsPositive reports whether d is the positive direction of its axis
+// (E, NE and NW respectively).
+func (d Direction) IsPositive() bool { return d < 3 }
+
+func (d Direction) String() string {
+	if d < NumDirections {
+		return dirNames[d]
+	}
+	return fmt.Sprintf("Direction(%d)", uint8(d))
+}
+
+// DirectionBetween returns the direction from a to an adjacent node b.
+// ok is false if a and b are not neighbors.
+func DirectionBetween(a, b Coord) (d Direction, ok bool) {
+	v := b.Sub(a)
+	for i := Direction(0); i < NumDirections; i++ {
+		if dirDeltas[i] == v {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Axis is one of the three line axes of the triangular grid. Portals
+// (Section 2.3 of the paper) are maximal runs of amoebots along an axis.
+type Axis uint8
+
+// The three axes. AxisX runs east-west (rows of constant Z), AxisY runs
+// NE-SW (constant Y), AxisZ runs NW-SE (constant X).
+const (
+	AxisX Axis = iota
+	AxisY
+	AxisZ
+
+	// NumAxes is the number of grid axes.
+	NumAxes = 3
+)
+
+var axisNames = [NumAxes]string{"x", "y", "z"}
+
+func (a Axis) String() string {
+	if a < NumAxes {
+		return axisNames[a]
+	}
+	return fmt.Sprintf("Axis(%d)", uint8(a))
+}
+
+// Positive returns the positive direction along the axis.
+func (a Axis) Positive() Direction {
+	switch a {
+	case AxisX:
+		return DirE
+	case AxisY:
+		return DirNE
+	default:
+		return DirNW
+	}
+}
+
+// Negative returns the negative direction along the axis. The negative-most
+// amoebot of a portal is its canonical representative ("westernmost" for
+// x-portals in the paper).
+func (a Axis) Negative() Direction { return a.Positive().Opposite() }
+
+// Invariant returns the cube coordinate that is constant along the axis:
+// Z for AxisX, Y for AxisY, X for AxisZ.
+func (a Axis) Invariant(c Coord) int {
+	switch a {
+	case AxisX:
+		return c.Z
+	case AxisY:
+		return c.Y
+	default:
+		return c.X
+	}
+}
+
+// Along returns the cube coordinate that strictly increases in the positive
+// direction of the axis; it orders the amoebots of a portal.
+func (a Axis) Along(c Coord) int {
+	switch a {
+	case AxisX:
+		return c.X // E increases X
+	case AxisY:
+		return c.X // NE increases X
+	default:
+		return c.Y // NW increases Y
+	}
+}
+
+// Side identifies one of the two sides of an axis (the two half-planes an
+// infinite line along the axis separates).
+type Side uint8
+
+// The two sides of an axis.
+const (
+	SideA Side = iota // for AxisX: north (decreasing Z)
+	SideB             // for AxisX: south
+
+	// NumSides is two.
+	NumSides = 2
+)
+
+// crossPairs[axis][side] lists the two crossing directions (c, c') of the
+// given side with c' = c + Positive(). The implicit-portal-tree rule of
+// Definition 12 selects, between each pair of adjacent portals, the edge
+// u→u+c with u the negative-most amoebot (no Negative() neighbor), or the
+// edge u→u+c' if u has no c-neighbor. See portal package.
+var crossPairs = [NumAxes][NumSides][2]Direction{
+	AxisX: {{DirNW, DirNE}, {DirSW, DirSE}},
+	AxisY: {{DirW, DirNW}, {DirSE, DirE}},
+	AxisZ: {{DirSW, DirW}, {DirE, DirNE}},
+}
+
+// CrossPair returns the two crossing directions (c, cp) of the side, with
+// cp = c + a.Positive().
+func (a Axis) CrossPair(s Side) (c, cp Direction) {
+	p := crossPairs[a][s]
+	return p[0], p[1]
+}
+
+// SideOf returns which side of axis a the direction d points to, and
+// ok=false if d is parallel to a.
+func (a Axis) SideOf(d Direction) (Side, bool) {
+	for s := Side(0); s < NumSides; s++ {
+		if crossPairs[a][s][0] == d || crossPairs[a][s][1] == d {
+			return s, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,210 @@
+package amoebot
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestCoordInvariant(t *testing.T) {
+	c := XZ(3, -2)
+	if !c.Valid() {
+		t.Fatalf("XZ produced invalid coord %v", c)
+	}
+	if c.X != 3 || c.Z != -2 || c.Y != -1 {
+		t.Fatalf("XZ(3,-2) = %+v", c)
+	}
+}
+
+func TestDirectionDeltasValid(t *testing.T) {
+	for d := Direction(0); d < NumDirections; d++ {
+		if !d.Delta().Valid() {
+			t.Errorf("delta of %v is invalid: %v", d, d.Delta())
+		}
+	}
+}
+
+func TestOppositeDirections(t *testing.T) {
+	for d := Direction(0); d < NumDirections; d++ {
+		sum := d.Delta().Add(d.Opposite().Delta())
+		if sum != (Coord{}) {
+			t.Errorf("%v + opposite %v = %v, want origin", d, d.Opposite(), sum)
+		}
+		if d.Opposite().Opposite() != d {
+			t.Errorf("double opposite of %v is %v", d, d.Opposite().Opposite())
+		}
+	}
+}
+
+func TestCCWOrderIsRotation(t *testing.T) {
+	// Each direction's delta rotated 60° CCW must equal the next direction's
+	// delta. A 60° CCW rotation in cube coordinates maps (x,y,z) to
+	// (-y,-z,-x).
+	for d := Direction(0); d < NumDirections; d++ {
+		v := d.Delta()
+		rot := Coord{-v.Y, -v.Z, -v.X}
+		if rot != d.CCW().Delta() {
+			t.Errorf("rotating %v CCW gives %v, want %v (%v)", d, rot, d.CCW().Delta(), d.CCW())
+		}
+		if d.CCW().CW() != d {
+			t.Errorf("CCW then CW of %v is %v", d, d.CCW().CW())
+		}
+	}
+}
+
+func TestDirectionBetween(t *testing.T) {
+	origin := Coord{}
+	for d := Direction(0); d < NumDirections; d++ {
+		got, ok := DirectionBetween(origin, origin.Neighbor(d))
+		if !ok || got != d {
+			t.Errorf("DirectionBetween(origin, %v-neighbor) = %v, %v", d, got, ok)
+		}
+	}
+	if _, ok := DirectionBetween(origin, XZ(2, 0)); ok {
+		t.Error("DirectionBetween accepted non-adjacent nodes")
+	}
+	if _, ok := DirectionBetween(origin, origin); ok {
+		t.Error("DirectionBetween accepted identical nodes")
+	}
+}
+
+func TestAxisOfDirections(t *testing.T) {
+	cases := map[Direction]Axis{
+		DirE: AxisX, DirW: AxisX,
+		DirNE: AxisY, DirSW: AxisY,
+		DirNW: AxisZ, DirSE: AxisZ,
+	}
+	for d, a := range cases {
+		if d.Axis() != a {
+			t.Errorf("%v.Axis() = %v, want %v", d, d.Axis(), a)
+		}
+	}
+}
+
+func TestAxisInvariantConstantAlongAxis(t *testing.T) {
+	for a := Axis(0); a < NumAxes; a++ {
+		c := XZ(5, -3)
+		along := c.Neighbor(a.Positive())
+		if a.Invariant(c) != a.Invariant(along) {
+			t.Errorf("axis %v: invariant changes along positive direction", a)
+		}
+		if a.Along(along) != a.Along(c)+1 {
+			t.Errorf("axis %v: Along does not increase by 1 in positive direction (%d -> %d)",
+				a, a.Along(c), a.Along(along))
+		}
+	}
+}
+
+func TestCrossPairIdentity(t *testing.T) {
+	// For every axis and side, c' = c + Positive() (see Definition 12
+	// generalization in DESIGN.md).
+	for a := Axis(0); a < NumAxes; a++ {
+		for s := Side(0); s < NumSides; s++ {
+			c, cp := a.CrossPair(s)
+			if c.Delta().Add(a.Positive().Delta()) != cp.Delta() {
+				t.Errorf("axis %v side %d: %v + %v != %v", a, s, c, a.Positive(), cp)
+			}
+			if c.Axis() == a || cp.Axis() == a {
+				t.Errorf("axis %v side %d: cross pair contains axis-parallel direction", a, s)
+			}
+		}
+	}
+}
+
+func TestSideOfPartitionsDirections(t *testing.T) {
+	for a := Axis(0); a < NumAxes; a++ {
+		count := map[Side]int{}
+		for d := Direction(0); d < NumDirections; d++ {
+			s, ok := a.SideOf(d)
+			if d.Axis() == a {
+				if ok {
+					t.Errorf("axis %v: parallel direction %v assigned side", a, d)
+				}
+				continue
+			}
+			if !ok {
+				t.Errorf("axis %v: crossing direction %v has no side", a, d)
+				continue
+			}
+			count[s]++
+		}
+		if count[SideA] != 2 || count[SideB] != 2 {
+			t.Errorf("axis %v: side counts %v, want 2/2", a, count)
+		}
+	}
+}
+
+func TestDistProperties(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 500,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			for i := range vals {
+				vals[i] = reflect.ValueOf(XZ(r.Intn(41)-20, r.Intn(41)-20))
+			}
+		},
+	}
+	// Symmetry and identity.
+	if err := quick.Check(func(a, b Coord) bool {
+		return a.Dist(b) == b.Dist(a) && a.Dist(a) == 0
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+	// Triangle inequality.
+	if err := quick.Check(func(a, b, c Coord) bool {
+		return a.Dist(c) <= a.Dist(b)+b.Dist(c)
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+	// Neighbor step changes distance by exactly 1 or stays... it must be
+	// exactly 1 from a node to its neighbor.
+	if err := quick.Check(func(a Coord) bool {
+		for d := Direction(0); d < NumDirections; d++ {
+			if a.Dist(a.Neighbor(d)) != 1 {
+				return false
+			}
+		}
+		return true
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDistMatchesBFS verifies the closed-form grid distance against BFS on
+// the full grid for a ball of radius 6.
+func TestDistMatchesBFS(t *testing.T) {
+	origin := Coord{}
+	dist := map[Coord]int{origin: 0}
+	queue := []Coord{origin}
+	for len(queue) > 0 {
+		c := queue[0]
+		queue = queue[1:]
+		if dist[c] >= 6 {
+			continue
+		}
+		for d := Direction(0); d < NumDirections; d++ {
+			n := c.Neighbor(d)
+			if _, ok := dist[n]; !ok {
+				dist[n] = dist[c] + 1
+				queue = append(queue, n)
+			}
+		}
+	}
+	if len(dist) != 1+3*6*(6+1) { // hex ball size 1+3r(r+1)
+		t.Fatalf("BFS ball has %d nodes", len(dist))
+	}
+	for c, want := range dist {
+		if got := origin.Dist(c); got != want {
+			t.Errorf("Dist(origin, %v) = %d, want %d", c, got, want)
+		}
+	}
+}
+
+func TestDirectionStrings(t *testing.T) {
+	if DirE.String() != "E" || DirSW.String() != "SW" {
+		t.Error("direction names wrong")
+	}
+	if AxisX.String() != "x" || AxisZ.String() != "z" {
+		t.Error("axis names wrong")
+	}
+}

@@ -1,0 +1,209 @@
+package amoebot
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestStructureTextRoundTrip(t *testing.T) {
+	s := MustStructure([]Coord{XZ(0, 0), XZ(1, 0), XZ(0, 1), XZ(-3, 2)})
+	data, err := s.MarshalText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := ParseStructure(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.N() != s.N() {
+		t.Fatalf("round trip changed size: %d -> %d", s.N(), s2.N())
+	}
+	for i := int32(0); i < int32(s.N()); i++ {
+		if s.Coord(i) != s2.Coord(i) {
+			t.Fatalf("coord %d changed: %v -> %v", i, s.Coord(i), s2.Coord(i))
+		}
+	}
+}
+
+func TestParseStructureCommentsAndErrors(t *testing.T) {
+	s, err := ParseStructure([]byte("# a comment\n0 0\n\n1 0\n"))
+	if err != nil || s.N() != 2 {
+		t.Fatalf("parse with comments: %v, n=%v", err, s)
+	}
+	if _, err := ParseStructure([]byte("0 zero\n")); err == nil {
+		t.Error("garbage line accepted")
+	}
+	if _, err := ParseStructure([]byte("")); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := ParseStructure([]byte("0 0\n0 0\n")); err == nil {
+		t.Error("duplicate accepted")
+	}
+}
+
+func TestParseMap(t *testing.T) {
+	s, marks, err := ParseMap("SooD\n.oo.\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N() != 6 {
+		t.Fatalf("n = %d", s.N())
+	}
+	if len(marks['S']) != 1 || marks['S'][0] != XZ(0, 0) {
+		t.Fatalf("S marks = %v", marks['S'])
+	}
+	if len(marks['D']) != 1 || marks['D'][0] != XZ(3, 0) {
+		t.Fatalf("D marks = %v", marks['D'])
+	}
+	if len(marks['o']) != 4 {
+		t.Fatalf("o marks = %v", marks['o'])
+	}
+	if _, _, err := ParseMap("...\n"); err == nil {
+		t.Error("empty map accepted")
+	}
+}
+
+func TestForestTextRoundTrip(t *testing.T) {
+	s := MustStructure([]Coord{XZ(0, 0), XZ(1, 0), XZ(2, 0), XZ(3, 0)})
+	f := NewForest(s)
+	f.SetRoot(0)
+	f.SetParent(1, 0)
+	f.SetParent(2, 1)
+	data, err := f.MarshalText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := ParseForest(s, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int32(0); i < int32(s.N()); i++ {
+		if f.Member(i) != f2.Member(i) || f.Parent(i) != f2.Parent(i) {
+			t.Fatalf("node %d differs after round trip", i)
+		}
+	}
+}
+
+func TestParseForestRejectsBadInput(t *testing.T) {
+	s := MustStructure([]Coord{XZ(0, 0), XZ(1, 0)})
+	cases := map[string]string{
+		"wrong field count": "0 0 1\n",
+		"unknown coord":     "5 5\n",
+		"cycle":             "0 0 1 0\n1 0 0 0\n",
+		"unknown parent":    "0 0 9 9\n",
+	}
+	for name, in := range cases {
+		if _, err := ParseForest(s, []byte(in)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestRender(t *testing.T) {
+	s := MustStructure([]Coord{XZ(0, 0), XZ(1, 0), XZ(0, 1)})
+	got := s.Render(func(i int32) rune { return 'o' })
+	want := "o o\n o\n"
+	if got != want {
+		t.Fatalf("render = %q, want %q", got, want)
+	}
+}
+
+func TestBoundary(t *testing.T) {
+	// Hexagon of radius 1: center is interior (degree 6), ring is boundary.
+	var cs []Coord
+	cs = append(cs, Coord{})
+	for d := Direction(0); d < NumDirections; d++ {
+		cs = append(cs, Coord{}.Neighbor(d))
+	}
+	s := MustStructure(cs)
+	b := s.Boundary()
+	if len(b) != 6 {
+		t.Fatalf("boundary size %d, want 6", len(b))
+	}
+	center, _ := s.Index(Coord{})
+	for _, i := range b {
+		if i == center {
+			t.Fatal("center in boundary")
+		}
+	}
+}
+
+// TestDiameterMatchesBruteForce validates the boundary-based diameter
+// against all-pairs BFS on random structures.
+func TestDiameterMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(171))
+	for trial := 0; trial < 25; trial++ {
+		s := randomBlobForTest(rng, 10+rng.Intn(120))
+		got := s.Diameter()
+		want := 0
+		for u := int32(0); u < int32(s.N()); u++ {
+			dist := bfsAll(s, u)
+			for _, d := range dist {
+				if d > want {
+					want = d
+				}
+			}
+		}
+		if got != want {
+			t.Fatalf("trial %d: Diameter() = %d, brute force %d", trial, got, want)
+		}
+	}
+}
+
+func bfsAll(s *Structure, src int32) []int {
+	dist := make([]int, s.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int32{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for d := Direction(0); d < NumDirections; d++ {
+			if v := s.Neighbor(u, d); v != None && dist[v] == -1 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// randomBlobForTest is a tiny local blob generator (shapes would be an
+// import cycle: it depends on amoebot).
+func randomBlobForTest(rng *rand.Rand, n int) *Structure {
+	occupied := map[Coord]bool{{}: true}
+	frontier := []Coord{{}}
+	for len(occupied) < n && len(frontier) > 0 {
+		c := frontier[rng.Intn(len(frontier))]
+		var empty []Coord
+		for d := Direction(0); d < NumDirections; d++ {
+			if nb := c.Neighbor(d); !occupied[nb] {
+				empty = append(empty, nb)
+			}
+		}
+		if len(empty) == 0 {
+			continue
+		}
+		pick := empty[rng.Intn(len(empty))]
+		occupied[pick] = true
+		frontier = append(frontier, pick)
+	}
+	var cs []Coord
+	for c := range occupied {
+		cs = append(cs, c)
+	}
+	return MustStructure(cs)
+}
+
+func TestSorted(t *testing.T) {
+	in := []int32{5, 1, 3}
+	out := Sorted(in)
+	if out[0] != 1 || out[1] != 3 || out[2] != 5 {
+		t.Fatalf("sorted = %v", out)
+	}
+	if in[0] != 5 {
+		t.Fatal("input mutated")
+	}
+}

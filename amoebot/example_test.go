@@ -1,0 +1,58 @@
+package amoebot_test
+
+import (
+	"fmt"
+
+	"spforest/amoebot"
+)
+
+// ExampleParseMap builds a structure from an ASCII map and reads back the
+// marked roles.
+func ExampleParseMap() {
+	s, marks, err := amoebot.ParseMap("Soo\n.oD")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("amoebots:", s.N())
+	fmt.Println("source at:", marks['S'][0])
+	fmt.Println("destination at:", marks['D'][0])
+	// Output:
+	// amoebots: 5
+	// source at: (0,0)
+	// destination at: (2,1)
+}
+
+// ExampleStructure_Render draws a small triangle.
+func ExampleStructure_Render() {
+	s := amoebot.MustStructure([]amoebot.Coord{
+		amoebot.XZ(0, 0), amoebot.XZ(1, 0), amoebot.XZ(2, 0),
+		amoebot.XZ(0, 1), amoebot.XZ(1, 1),
+		amoebot.XZ(0, 2),
+	})
+	fmt.Print(s.Render(func(i int32) rune { return 'o' }))
+	// Output:
+	// o o o
+	//  o o
+	//   o
+}
+
+// ExampleCoord_Dist shows the triangular-grid metric.
+func ExampleCoord_Dist() {
+	a := amoebot.XZ(0, 0)
+	fmt.Println(a.Dist(amoebot.XZ(3, 0)))  // straight east
+	fmt.Println(a.Dist(amoebot.XZ(0, 3)))  // straight south-east
+	fmt.Println(a.Dist(amoebot.XZ(3, 3)))  // no diagonal shortcut this way
+	fmt.Println(a.Dist(amoebot.XZ(3, -3))) // NE diagonal: one axis
+	// Output:
+	// 3
+	// 3
+	// 6
+	// 3
+}
+
+// ExampleDirectionBetween identifies the edge direction between neighbors.
+func ExampleDirectionBetween() {
+	d, ok := amoebot.DirectionBetween(amoebot.XZ(0, 0), amoebot.XZ(1, -1))
+	fmt.Println(d, ok)
+	// Output: NE true
+}

@@ -1,0 +1,203 @@
+package amoebot
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Forest is the output representation of the shortest-path-forest problem
+// (paper §1.3): every amoebot that belongs to some tree either is a root
+// (a source) or knows its parent. Amoebots outside every tree are not
+// members.
+//
+// The zero value is unusable; construct with NewForest.
+type Forest struct {
+	s      *Structure
+	member []bool
+	parent []int32 // None for roots and non-members
+}
+
+// NewForest returns an empty forest over s (no members).
+func NewForest(s *Structure) *Forest {
+	f := &Forest{
+		s:      s,
+		member: make([]bool, s.N()),
+		parent: make([]int32, s.N()),
+	}
+	for i := range f.parent {
+		f.parent[i] = None
+	}
+	return f
+}
+
+func init() {
+	// parent slices rely on None being representable; keep the constant in
+	// sync with int32 indices.
+	if None != -1 {
+		panic("amoebot: None must be -1")
+	}
+}
+
+// Structure returns the structure the forest lives on.
+func (f *Forest) Structure() *Structure { return f.s }
+
+// SetRoot makes node i a member with no parent.
+func (f *Forest) SetRoot(i int32) {
+	f.member[i] = true
+	f.parent[i] = None
+}
+
+// SetParent makes node i a member with parent p (which must be adjacent
+// to i in the structure; this is checked by Check, not here).
+func (f *Forest) SetParent(i, p int32) {
+	f.member[i] = true
+	f.parent[i] = p
+}
+
+// Remove drops node i from the forest.
+func (f *Forest) Remove(i int32) {
+	f.member[i] = false
+	f.parent[i] = None
+}
+
+// Member reports whether node i belongs to some tree.
+func (f *Forest) Member(i int32) bool { return f.member[i] }
+
+// Parent returns the parent of node i, or None for roots and non-members.
+func (f *Forest) Parent(i int32) int32 {
+	if !f.member[i] {
+		return None
+	}
+	return f.parent[i]
+}
+
+// Roots returns the member nodes without parents, ascending.
+func (f *Forest) Roots() []int32 {
+	var roots []int32
+	for i := int32(0); i < int32(f.s.N()); i++ {
+		if f.member[i] && f.parent[i] == None {
+			roots = append(roots, i)
+		}
+	}
+	return roots
+}
+
+// Members returns all member nodes, ascending.
+func (f *Forest) Members() []int32 {
+	var m []int32
+	for i := int32(0); i < int32(f.s.N()); i++ {
+		if f.member[i] {
+			m = append(m, i)
+		}
+	}
+	return m
+}
+
+// Size returns the number of member nodes.
+func (f *Forest) Size() int {
+	n := 0
+	for _, m := range f.member {
+		if m {
+			n++
+		}
+	}
+	return n
+}
+
+// Clone returns a deep copy of the forest.
+func (f *Forest) Clone() *Forest {
+	g := NewForest(f.s)
+	copy(g.member, f.member)
+	copy(g.parent, f.parent)
+	return g
+}
+
+// RootOf follows parent pointers from i to its tree root. It returns None
+// if i is not a member or if a cycle or non-member parent is encountered.
+func (f *Forest) RootOf(i int32) int32 {
+	if !f.member[i] {
+		return None
+	}
+	steps := 0
+	for f.parent[i] != None {
+		i = f.parent[i]
+		steps++
+		if !f.member[i] || steps > f.s.N() {
+			return None
+		}
+	}
+	return i
+}
+
+// Depth returns the number of parent hops from i to its root, or -1 if
+// RootOf would fail.
+func (f *Forest) Depth(i int32) int {
+	if !f.member[i] {
+		return -1
+	}
+	d := 0
+	for f.parent[i] != None {
+		i = f.parent[i]
+		d++
+		if !f.member[i] || d > f.s.N() {
+			return -1
+		}
+	}
+	return d
+}
+
+// Children returns, for every node, its member children, as a slice indexed
+// by node.
+func (f *Forest) Children() [][]int32 {
+	ch := make([][]int32, f.s.N())
+	for i := int32(0); i < int32(f.s.N()); i++ {
+		if f.member[i] && f.parent[i] != None {
+			ch[f.parent[i]] = append(ch[f.parent[i]], i)
+		}
+	}
+	return ch
+}
+
+// Check verifies structural sanity: every member's parent chain reaches a
+// root through adjacent member nodes, with no cycles. It does not check
+// shortest-path properties; see the verify package for the full
+// five-property SPF check.
+func (f *Forest) Check() error {
+	state := make([]int8, f.s.N()) // 0 unvisited, 1 in progress, 2 ok
+	var walk func(i int32) error
+	walk = func(i int32) error {
+		switch state[i] {
+		case 2:
+			return nil
+		case 1:
+			return fmt.Errorf("amoebot: forest has a cycle through node %d", i)
+		}
+		state[i] = 1
+		p := f.parent[i]
+		if p != None {
+			if !f.member[p] {
+				return fmt.Errorf("amoebot: node %d has non-member parent %d", i, p)
+			}
+			if _, ok := DirectionBetween(f.s.Coord(i), f.s.Coord(p)); !ok {
+				return fmt.Errorf("amoebot: node %d and parent %d are not adjacent", i, p)
+			}
+			if err := walk(p); err != nil {
+				return err
+			}
+		}
+		state[i] = 2
+		return nil
+	}
+	for i := int32(0); i < int32(f.s.N()); i++ {
+		if !f.member[i] {
+			if f.parent[i] != None {
+				return errors.New("amoebot: non-member with parent set")
+			}
+			continue
+		}
+		if err := walk(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}

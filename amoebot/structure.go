@@ -1,0 +1,279 @@
+package amoebot
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// None marks the absence of a node index (no neighbor, no parent, ...).
+const None int32 = -1
+
+// Structure is a finite connected amoebot structure X ⊆ V∆: a set of
+// occupied grid nodes with precomputed adjacency. Structures are immutable
+// once built; algorithms operate on (sub-)Regions of a Structure.
+type Structure struct {
+	coords []Coord
+	index  map[Coord]int32
+	nbr    [][NumDirections]int32
+}
+
+// NewStructure builds a structure from the given coordinates. Duplicates are
+// rejected. The structure is not required to be connected or hole-free;
+// use Validate to check the paper's preconditions.
+func NewStructure(coords []Coord) (*Structure, error) {
+	if len(coords) == 0 {
+		return nil, errors.New("amoebot: empty structure")
+	}
+	// Copy and canonicalize order (row-major: by Z then X) so structures
+	// compare and render deterministically regardless of input order.
+	cs := make([]Coord, len(coords))
+	copy(cs, coords)
+	sort.Slice(cs, func(i, j int) bool {
+		if cs[i].Z != cs[j].Z {
+			return cs[i].Z < cs[j].Z
+		}
+		return cs[i].X < cs[j].X
+	})
+	s := &Structure{
+		coords: cs,
+		index:  make(map[Coord]int32, len(cs)),
+		nbr:    make([][NumDirections]int32, len(cs)),
+	}
+	for i, c := range cs {
+		if !c.Valid() {
+			return nil, fmt.Errorf("amoebot: invalid coordinate %v (X+Y+Z != 0)", c)
+		}
+		if _, dup := s.index[c]; dup {
+			return nil, fmt.Errorf("amoebot: duplicate coordinate %v", c)
+		}
+		s.index[c] = int32(i)
+	}
+	for i, c := range cs {
+		for d := Direction(0); d < NumDirections; d++ {
+			if j, ok := s.index[c.Neighbor(d)]; ok {
+				s.nbr[i][d] = j
+			} else {
+				s.nbr[i][d] = None
+			}
+		}
+	}
+	return s, nil
+}
+
+// MustStructure is NewStructure that panics on error; for tests and examples.
+func MustStructure(coords []Coord) *Structure {
+	s, err := NewStructure(coords)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// N returns the number of amoebots.
+func (s *Structure) N() int { return len(s.coords) }
+
+// Coord returns the coordinate of node i.
+func (s *Structure) Coord(i int32) Coord { return s.coords[i] }
+
+// Coords returns a copy of all coordinates in canonical (row-major) order.
+func (s *Structure) Coords() []Coord {
+	out := make([]Coord, len(s.coords))
+	copy(out, s.coords)
+	return out
+}
+
+// Index returns the node index of coordinate c, or (None, false) if c is
+// unoccupied.
+func (s *Structure) Index(c Coord) (int32, bool) {
+	i, ok := s.index[c]
+	if !ok {
+		return None, false
+	}
+	return i, true
+}
+
+// Occupied reports whether coordinate c is part of the structure.
+func (s *Structure) Occupied(c Coord) bool { _, ok := s.index[c]; return ok }
+
+// Neighbor returns the index of node i's neighbor in direction d, or None.
+func (s *Structure) Neighbor(i int32, d Direction) int32 { return s.nbr[i][d] }
+
+// Degree returns the number of occupied neighbors of node i.
+func (s *Structure) Degree(i int32) int {
+	deg := 0
+	for d := Direction(0); d < NumDirections; d++ {
+		if s.nbr[i][d] != None {
+			deg++
+		}
+	}
+	return deg
+}
+
+// Neighbors appends the occupied neighbors of i to buf (counterclockwise
+// from east) and returns the extended slice.
+func (s *Structure) Neighbors(i int32, buf []int32) []int32 {
+	for d := Direction(0); d < NumDirections; d++ {
+		if j := s.nbr[i][d]; j != None {
+			buf = append(buf, j)
+		}
+	}
+	return buf
+}
+
+// IsConnected reports whether the induced graph G_X is connected.
+func (s *Structure) IsConnected() bool {
+	return s.componentCount() == 1
+}
+
+func (s *Structure) componentCount() int {
+	seen := make([]bool, s.N())
+	comps := 0
+	stack := make([]int32, 0, s.N())
+	for start := int32(0); start < int32(s.N()); start++ {
+		if seen[start] {
+			continue
+		}
+		comps++
+		seen[start] = true
+		stack = append(stack[:0], start)
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for d := Direction(0); d < NumDirections; d++ {
+				if v := s.nbr[u][d]; v != None && !seen[v] {
+					seen[v] = true
+					stack = append(stack, v)
+				}
+			}
+		}
+	}
+	return comps
+}
+
+// edgeAndTriangleCount returns the number of induced edges and the number of
+// filled unit triangles (three mutually adjacent occupied nodes).
+func (s *Structure) edgeAndTriangleCount() (edges, triangles int) {
+	deg2 := 0
+	corners := 0
+	for i := range s.nbr {
+		for d := Direction(0); d < NumDirections; d++ {
+			if s.nbr[i][d] == None {
+				continue
+			}
+			deg2++
+			// A unit triangle corner at i between directions d and d+1:
+			// the neighbors in two consecutive directions are always
+			// mutually adjacent on the grid, so the triangle is filled iff
+			// both are occupied. Every triangle has exactly 3 corners.
+			if s.nbr[i][d.CCW()] != None {
+				corners++
+			}
+		}
+	}
+	return deg2 / 2, corners / 3
+}
+
+// Holes returns the number of holes of the structure: bounded connected
+// components of the complement graph G_{V∆\X}. It is computed from the Euler
+// characteristic of the induced simplicial complex (nodes, induced edges,
+// filled unit triangles): for a structure with c connected components,
+// holes = c − (V − E + T). This is O(n) regardless of the bounding box.
+func (s *Structure) Holes() int {
+	e, t := s.edgeAndTriangleCount()
+	return s.componentCount() - (s.N() - e + t)
+}
+
+// IsHoleFree reports whether the structure has no holes, i.e. the complement
+// G_{V∆\X} is connected. The paper's algorithms require hole-free structures.
+func (s *Structure) IsHoleFree() bool { return s.Holes() == 0 }
+
+// Validate checks the preconditions of the paper's algorithms: the structure
+// must be connected and hole-free.
+func (s *Structure) Validate() error {
+	if !s.IsConnected() {
+		return errors.New("amoebot: structure is not connected")
+	}
+	if h := s.Holes(); h != 0 {
+		return fmt.Errorf("amoebot: structure has %d hole(s)", h)
+	}
+	return nil
+}
+
+// Bounds returns the inclusive axial bounding box of the structure in
+// (X, Z) coordinates.
+func (s *Structure) Bounds() (minX, maxX, minZ, maxZ int) {
+	minX, maxX = s.coords[0].X, s.coords[0].X
+	minZ, maxZ = s.coords[0].Z, s.coords[0].Z
+	for _, c := range s.coords {
+		if c.X < minX {
+			minX = c.X
+		}
+		if c.X > maxX {
+			maxX = c.X
+		}
+		if c.Z < minZ {
+			minZ = c.Z
+		}
+		if c.Z > maxZ {
+			maxZ = c.Z
+		}
+	}
+	return minX, maxX, minZ, maxZ
+}
+
+// holesByFloodFill is the brute-force hole count used to cross-check Holes
+// in tests: flood-fill the complement inside the padded bounding box from
+// the outer ring; every unreached complement cell belongs to a hole
+// component. Exponentially sized boxes make this unsuitable outside tests.
+func (s *Structure) holesByFloodFill() int {
+	minX, maxX, minZ, maxZ := s.Bounds()
+	minX, maxX, minZ, maxZ = minX-1, maxX+1, minZ-1, maxZ+1
+	w, h := maxX-minX+1, maxZ-minZ+1
+	idx := func(x, z int) int { return (z-minZ)*w + (x - minX) }
+	visited := make([]bool, w*h)
+	inBox := func(c Coord) bool {
+		return c.X >= minX && c.X <= maxX && c.Z >= minZ && c.Z <= maxZ
+	}
+	var stack []Coord
+	push := func(c Coord) {
+		if !inBox(c) || visited[idx(c.X, c.Z)] || s.Occupied(c) {
+			return
+		}
+		visited[idx(c.X, c.Z)] = true
+		stack = append(stack, c)
+	}
+	push(XZ(minX, minZ))
+	for len(stack) > 0 {
+		c := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for d := Direction(0); d < NumDirections; d++ {
+			push(c.Neighbor(d))
+		}
+	}
+	holes := 0
+	hstack := make([]Coord, 0)
+	for z := minZ; z <= maxZ; z++ {
+		for x := minX; x <= maxX; x++ {
+			c := XZ(x, z)
+			if visited[idx(x, z)] || s.Occupied(c) {
+				continue
+			}
+			holes++
+			visited[idx(x, z)] = true
+			hstack = append(hstack[:0], c)
+			for len(hstack) > 0 {
+				u := hstack[len(hstack)-1]
+				hstack = hstack[:len(hstack)-1]
+				for d := Direction(0); d < NumDirections; d++ {
+					v := u.Neighbor(d)
+					if inBox(v) && !visited[idx(v.X, v.Z)] && !s.Occupied(v) {
+						visited[idx(v.X, v.Z)] = true
+						hstack = append(hstack, v)
+					}
+				}
+			}
+		}
+	}
+	return holes
+}

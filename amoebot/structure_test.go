@@ -1,0 +1,167 @@
+package amoebot
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// lineCoords returns n nodes in a row.
+func lineCoords(n int) []Coord {
+	cs := make([]Coord, n)
+	for i := range cs {
+		cs[i] = XZ(i, 0)
+	}
+	return cs
+}
+
+// ringCoords returns the 6 neighbors of the origin (a hexagon with an
+// empty center — the smallest structure with a hole).
+func ringCoords() []Coord {
+	var cs []Coord
+	for d := Direction(0); d < NumDirections; d++ {
+		cs = append(cs, Coord{}.Neighbor(d))
+	}
+	return cs
+}
+
+func TestNewStructureErrors(t *testing.T) {
+	if _, err := NewStructure(nil); err == nil {
+		t.Error("empty structure accepted")
+	}
+	if _, err := NewStructure([]Coord{{X: 1, Y: 1, Z: 1}}); err == nil {
+		t.Error("invalid coordinate accepted")
+	}
+	if _, err := NewStructure([]Coord{XZ(0, 0), XZ(0, 0)}); err == nil {
+		t.Error("duplicate coordinate accepted")
+	}
+}
+
+func TestStructureAdjacency(t *testing.T) {
+	s := MustStructure(lineCoords(3))
+	mid, _ := s.Index(XZ(1, 0))
+	if got := s.Degree(mid); got != 2 {
+		t.Errorf("middle degree = %d, want 2", got)
+	}
+	left, _ := s.Index(XZ(0, 0))
+	if s.Neighbor(left, DirE) != mid {
+		t.Error("east neighbor of left end is not middle")
+	}
+	if s.Neighbor(left, DirW) != None {
+		t.Error("west neighbor of left end should be None")
+	}
+	if got := len(s.Neighbors(mid, nil)); got != 2 {
+		t.Errorf("Neighbors(mid) = %d entries", got)
+	}
+}
+
+func TestStructureIndexRoundTrip(t *testing.T) {
+	s := MustStructure(lineCoords(5))
+	for i := int32(0); i < int32(s.N()); i++ {
+		j, ok := s.Index(s.Coord(i))
+		if !ok || j != i {
+			t.Fatalf("index round trip failed for %d", i)
+		}
+	}
+	if _, ok := s.Index(XZ(100, 100)); ok {
+		t.Error("Index found unoccupied coordinate")
+	}
+	if s.Occupied(XZ(100, 100)) {
+		t.Error("Occupied true for unoccupied coordinate")
+	}
+}
+
+func TestConnectivity(t *testing.T) {
+	if !MustStructure(lineCoords(4)).IsConnected() {
+		t.Error("line not connected")
+	}
+	disc := MustStructure([]Coord{XZ(0, 0), XZ(5, 0)})
+	if disc.IsConnected() {
+		t.Error("disconnected structure reported connected")
+	}
+	if err := disc.Validate(); err == nil {
+		t.Error("Validate accepted disconnected structure")
+	}
+}
+
+func TestHolesRing(t *testing.T) {
+	ring := MustStructure(ringCoords())
+	if got := ring.Holes(); got != 1 {
+		t.Errorf("hex ring Holes() = %d, want 1", got)
+	}
+	if ring.IsHoleFree() {
+		t.Error("hex ring reported hole-free")
+	}
+	if err := ring.Validate(); err == nil {
+		t.Error("Validate accepted structure with a hole")
+	}
+	full := MustStructure(append(ringCoords(), Coord{}))
+	if !full.IsHoleFree() {
+		t.Error("filled hexagon reported a hole")
+	}
+	if err := full.Validate(); err != nil {
+		t.Errorf("Validate rejected filled hexagon: %v", err)
+	}
+}
+
+func TestHolesTwoSeparate(t *testing.T) {
+	// A 5x5 parallelogram with two removed interior cells far apart: 2 holes.
+	var cs []Coord
+	for z := 0; z < 5; z++ {
+		for x := 0; x < 5; x++ {
+			if (x == 1 && z == 2) || (x == 3 && z == 2) {
+				continue
+			}
+			cs = append(cs, XZ(x, z))
+		}
+	}
+	s := MustStructure(cs)
+	if got := s.Holes(); got != 2 {
+		t.Errorf("Holes() = %d, want 2", got)
+	}
+}
+
+func TestHolesMatchFloodFillRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		// Random occupancy on a small box; any hole count must agree
+		// between the Euler-characteristic counter and flood fill.
+		var cs []Coord
+		for z := 0; z < 6; z++ {
+			for x := 0; x < 6; x++ {
+				if rng.Intn(100) < 70 {
+					cs = append(cs, XZ(x, z))
+				}
+			}
+		}
+		if len(cs) == 0 {
+			continue
+		}
+		s := MustStructure(cs)
+		euler, flood := s.Holes(), s.holesByFloodFill()
+		if euler != flood {
+			t.Fatalf("trial %d: Holes()=%d but flood fill says %d (coords %v)",
+				trial, euler, flood, cs)
+		}
+	}
+}
+
+func TestBounds(t *testing.T) {
+	s := MustStructure([]Coord{XZ(-2, 1), XZ(4, -3), XZ(0, 0)})
+	minX, maxX, minZ, maxZ := s.Bounds()
+	if minX != -2 || maxX != 4 || minZ != -3 || maxZ != 1 {
+		t.Errorf("Bounds = %d %d %d %d", minX, maxX, minZ, maxZ)
+	}
+}
+
+func TestCoordsCanonicalOrder(t *testing.T) {
+	s := MustStructure([]Coord{XZ(1, 1), XZ(0, 0), XZ(1, 0)})
+	cs := s.Coords()
+	if cs[0] != XZ(0, 0) || cs[1] != XZ(1, 0) || cs[2] != XZ(1, 1) {
+		t.Errorf("canonical order broken: %v", cs)
+	}
+	// Mutating the copy must not affect the structure.
+	cs[0] = XZ(9, 9)
+	if s.Coord(0) == XZ(9, 9) {
+		t.Error("Coords returned internal slice")
+	}
+}

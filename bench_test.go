@@ -1,0 +1,445 @@
+// Benchmarks: one per experiment of the per-experiment index (DESIGN.md §4,
+// EXPERIMENTS.md). Each benchmark reports, besides wall time, the simulated
+// synchronous round count as the custom metric "rounds" — the quantity the
+// paper's theorems bound. Regenerate every table with
+//
+//	go test -bench=. -benchmem
+//
+// or with the richer sweep driver: go run ./cmd/spfbench.
+package spforest_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"spforest"
+	"spforest/amoebot"
+	"spforest/internal/baseline"
+	"spforest/internal/core"
+	"spforest/internal/ett"
+	"spforest/internal/leader"
+	"spforest/internal/pasc"
+	"spforest/internal/portal"
+	"spforest/internal/shapes"
+	"spforest/internal/sim"
+	"spforest/internal/treeprim"
+)
+
+// reportRounds attaches the simulated round count to the benchmark output.
+func reportRounds(b *testing.B, rounds int64) {
+	b.ReportMetric(float64(rounds), "rounds")
+}
+
+// BenchmarkE1_SPTvsL: Theorem 39, O(log ℓ) rounds for (1,ℓ)-SPF.
+func BenchmarkE1_SPTvsL(b *testing.B) {
+	s := spforest.Hexagon(32)
+	for _, l := range []int{1, 16, 256, 2048} {
+		b.Run(fmt.Sprintf("l=%d", l), func(b *testing.B) {
+			dests := spforest.RandomCoords(int64(l), s, l)
+			var rounds int64
+			for i := 0; i < b.N; i++ {
+				res, err := spforest.ShortestPathTree(s, amoebot.XZ(-32, 0), dests)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds = res.Stats.Rounds
+			}
+			reportRounds(b, rounds)
+		})
+	}
+}
+
+// BenchmarkE2_SPSPvsN: §1.3, O(1) rounds for SPSP regardless of n.
+func BenchmarkE2_SPSPvsN(b *testing.B) {
+	for _, r := range []int{8, 32, 128} {
+		s := spforest.Hexagon(r)
+		b.Run(fmt.Sprintf("n=%d", s.N()), func(b *testing.B) {
+			var rounds int64
+			for i := 0; i < b.N; i++ {
+				res, err := spforest.SPSP(s, amoebot.XZ(-r, 0), amoebot.XZ(r, 0))
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds = res.Stats.Rounds
+			}
+			reportRounds(b, rounds)
+		})
+	}
+}
+
+// BenchmarkE3_SSSPvsN: §1.3, O(log n) rounds for SSSP.
+func BenchmarkE3_SSSPvsN(b *testing.B) {
+	for _, r := range []int{8, 32, 128} {
+		s := spforest.Hexagon(r)
+		b.Run(fmt.Sprintf("n=%d", s.N()), func(b *testing.B) {
+			var rounds int64
+			for i := 0; i < b.N; i++ {
+				res, err := spforest.SSSP(s, amoebot.XZ(-r, 0))
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds = res.Stats.Rounds
+			}
+			reportRounds(b, rounds)
+		})
+	}
+}
+
+// BenchmarkE4_ForestVsK: Theorem 56, O(log n log² k) rounds.
+func BenchmarkE4_ForestVsK(b *testing.B) {
+	s := spforest.RandomBlob(5, 4000)
+	for _, k := range []int{2, 8, 32, 128} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			sources := spforest.RandomCoords(int64(k), s, k)
+			var rounds int64
+			for i := 0; i < b.N; i++ {
+				res, err := spforest.ShortestPathForest(s, sources, s.Coords(),
+					&spforest.Options{Leader: &sources[0]})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds = res.Stats.Rounds
+			}
+			reportRounds(b, rounds)
+		})
+	}
+}
+
+// BenchmarkE5_ForestVsN: Theorem 56 at fixed k.
+func BenchmarkE5_ForestVsN(b *testing.B) {
+	for _, n := range []int{1000, 4000, 16000} {
+		s := spforest.RandomBlob(int64(n), n)
+		b.Run(fmt.Sprintf("n=%d", s.N()), func(b *testing.B) {
+			sources := spforest.RandomCoords(7, s, 16)
+			var rounds int64
+			for i := 0; i < b.N; i++ {
+				res, err := spforest.ShortestPathForest(s, sources, s.Coords(),
+					&spforest.Options{Leader: &sources[0]})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds = res.Stats.Rounds
+			}
+			reportRounds(b, rounds)
+		})
+	}
+}
+
+// BenchmarkE6_Primitives: Lemmas 20/21/23/31 on abstract trees.
+func BenchmarkE6_Primitives(b *testing.B) {
+	const n = 4096
+	rng := rand.New(rand.NewSource(17))
+	nbrs := make([][]int32, n)
+	for i := 1; i < n; i++ {
+		p := rng.Intn(i)
+		nbrs[p] = append(nbrs[p], int32(i))
+		nbrs[i] = append(nbrs[i], int32(p))
+	}
+	tree := ett.MustTree(nbrs)
+	inQ := make([]bool, n)
+	for _, i := range rng.Perm(n)[:64] {
+		inQ[i] = true
+	}
+	b.Run("rootprune/q=64", func(b *testing.B) {
+		var rounds int64
+		for i := 0; i < b.N; i++ {
+			var clock sim.Clock
+			treeprim.RootAndPrune(&clock, tree, 0, inQ)
+			rounds = clock.Rounds()
+		}
+		reportRounds(b, rounds)
+	})
+	b.Run("election/q=64", func(b *testing.B) {
+		var rounds int64
+		for i := 0; i < b.N; i++ {
+			var clock sim.Clock
+			treeprim.Elect(&clock, tree, 0, inQ)
+			rounds = clock.Rounds()
+		}
+		reportRounds(b, rounds)
+	})
+	b.Run("centroid/q=64", func(b *testing.B) {
+		var rounds int64
+		for i := 0; i < b.N; i++ {
+			var clock sim.Clock
+			treeprim.Centroids(&clock, tree, 0, inQ)
+			rounds = clock.Rounds()
+		}
+		reportRounds(b, rounds)
+	})
+	b.Run("decomposition/q=64", func(b *testing.B) {
+		var c0 sim.Clock
+		rp := treeprim.RootAndPrune(&c0, tree, 0, inQ)
+		aq := treeprim.Augmentation(rp)
+		qp := make([]bool, n)
+		for i := range qp {
+			qp[i] = inQ[i] || aq[i]
+		}
+		var rounds int64
+		for i := 0; i < b.N; i++ {
+			var clock sim.Clock
+			treeprim.Decompose(&clock, tree, 0, qp)
+			rounds = clock.Rounds()
+		}
+		reportRounds(b, rounds)
+	})
+}
+
+// BenchmarkE7_PortalPrimitives: Lemmas 33/35/36/37 on implicit portal trees.
+func BenchmarkE7_PortalPrimitives(b *testing.B) {
+	s := spforest.RandomBlob(23, 4000)
+	ports := portal.Compute(amoebot.WholeRegion(s), amoebot.AxisX)
+	view := ports.WholeView()
+	rng := rand.New(rand.NewSource(29))
+	inQ := make([]bool, ports.Len())
+	q := 32
+	if q > ports.Len() {
+		q = ports.Len()
+	}
+	for _, i := range rng.Perm(ports.Len())[:q] {
+		inQ[i] = true
+	}
+	b.Run("rootprune", func(b *testing.B) {
+		var rounds int64
+		for i := 0; i < b.N; i++ {
+			var clock sim.Clock
+			portal.RootPrune(&clock, view, 0, inQ)
+			rounds = clock.Rounds()
+		}
+		reportRounds(b, rounds)
+	})
+	b.Run("election", func(b *testing.B) {
+		var rounds int64
+		for i := 0; i < b.N; i++ {
+			var clock sim.Clock
+			portal.ElectPortal(&clock, view, 0, inQ)
+			rounds = clock.Rounds()
+		}
+		reportRounds(b, rounds)
+	})
+	b.Run("centroid", func(b *testing.B) {
+		var rounds int64
+		for i := 0; i < b.N; i++ {
+			var clock sim.Clock
+			portal.Centroids(&clock, view, 0, inQ)
+			rounds = clock.Rounds()
+		}
+		reportRounds(b, rounds)
+	})
+	b.Run("decomposition", func(b *testing.B) {
+		var c0 sim.Clock
+		rp := portal.RootPrune(&c0, view, 0, inQ)
+		aq := portal.Augment(&c0, view, rp)
+		qp := make([]bool, ports.Len())
+		for i := range qp {
+			qp[i] = inQ[i] || aq[i]
+		}
+		var rounds int64
+		for i := 0; i < b.N; i++ {
+			var clock sim.Clock
+			portal.Decompose(&clock, view, 0, qp)
+			rounds = clock.Rounds()
+		}
+		reportRounds(b, rounds)
+	})
+}
+
+// BenchmarkE8_Subroutines: Lemmas 40/42/50.
+func BenchmarkE8_Subroutines(b *testing.B) {
+	const n = 4096
+	b.Run("line", func(b *testing.B) {
+		s := shapes.Line(n)
+		chain := make([]int32, n)
+		for i := range chain {
+			chain[i] = int32(i)
+		}
+		var rounds int64
+		for i := 0; i < b.N; i++ {
+			var clock sim.Clock
+			core.LineForest(&clock, s, chain, []int32{0, n - 1})
+			rounds = clock.Rounds()
+		}
+		reportRounds(b, rounds)
+	})
+	b.Run("merge", func(b *testing.B) {
+		s := shapes.Parallelogram(64, 64)
+		r := amoebot.WholeRegion(s)
+		var build sim.Clock
+		a, _ := s.Index(amoebot.XZ(0, 0))
+		c, _ := s.Index(amoebot.XZ(63, 63))
+		f1 := core.SPT(&build, r, a, r.Nodes())
+		f2 := core.SPT(&build, r, c, r.Nodes())
+		var rounds int64
+		for i := 0; i < b.N; i++ {
+			var clock sim.Clock
+			core.Merge(&clock, f1, f2)
+			rounds = clock.Rounds()
+		}
+		reportRounds(b, rounds)
+	})
+	b.Run("propagate", func(b *testing.B) {
+		s := shapes.Parallelogram(64, 64)
+		r := amoebot.WholeRegion(s)
+		ports := portal.Compute(r, amoebot.AxisX)
+		mid := ports.NodesOf[32]
+		var apNodes []int32
+		for i := int32(0); i < int32(s.N()); i++ {
+			if s.Coord(i).Z <= 32 {
+				apNodes = append(apNodes, i)
+			}
+		}
+		ap := amoebot.NewRegion(s, apNodes)
+		var bc sim.Clock
+		a, _ := s.Index(amoebot.XZ(0, 0))
+		f := baseline.BFSForest(&bc, ap, []int32{a})
+		var rounds int64
+		for i := 0; i < b.N; i++ {
+			var clock sim.Clock
+			core.Propagate(&clock, r, mid, f, amoebot.SideB)
+			rounds = clock.Rounds()
+		}
+		reportRounds(b, rounds)
+	})
+}
+
+// BenchmarkE9_Baselines: the crossover instruments — BFS wavefront on a
+// long comb vs the SPT, and the sequential merge vs divide & conquer.
+func BenchmarkE9_Baselines(b *testing.B) {
+	comb := spforest.Comb(16, 400)
+	src, _ := comb.Index(amoebot.XZ(0, 400))
+	dst, _ := comb.Index(amoebot.XZ(30, 400))
+	b.Run("comb/spt", func(b *testing.B) {
+		var rounds int64
+		for i := 0; i < b.N; i++ {
+			var clock sim.Clock
+			core.SPT(&clock, amoebot.WholeRegion(comb), src, []int32{dst})
+			rounds = clock.Rounds()
+		}
+		reportRounds(b, rounds)
+	})
+	b.Run("comb/bfs", func(b *testing.B) {
+		var rounds int64
+		for i := 0; i < b.N; i++ {
+			var clock sim.Clock
+			baseline.BFSForest(&clock, amoebot.WholeRegion(comb), []int32{src})
+			rounds = clock.Rounds()
+		}
+		reportRounds(b, rounds)
+	})
+	blob := spforest.RandomBlob(5, 4000)
+	sources := spforest.RandomCoords(32, blob, 32)
+	b.Run("k32/dnc", func(b *testing.B) {
+		var rounds int64
+		for i := 0; i < b.N; i++ {
+			res, err := spforest.ShortestPathForest(blob, sources, blob.Coords(),
+				&spforest.Options{Leader: &sources[0]})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rounds = res.Stats.Rounds
+		}
+		reportRounds(b, rounds)
+	})
+	b.Run("k32/sequential", func(b *testing.B) {
+		var rounds int64
+		for i := 0; i < b.N; i++ {
+			res, err := spforest.SequentialForest(blob, sources, blob.Coords())
+			if err != nil {
+				b.Fatal(err)
+			}
+			rounds = res.Stats.Rounds
+		}
+		reportRounds(b, rounds)
+	})
+}
+
+// BenchmarkE10_PortalStructure: Lemma 9/11 machinery (portal computation
+// over all three axes).
+func BenchmarkE10_PortalStructure(b *testing.B) {
+	s := spforest.RandomBlob(31, 8000)
+	r := amoebot.WholeRegion(s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for axis := amoebot.Axis(0); axis < amoebot.NumAxes; axis++ {
+			p := portal.Compute(r, axis)
+			if !p.IsPortalGraphTree() {
+				b.Fatal("portal graph not a tree")
+			}
+		}
+	}
+}
+
+// BenchmarkE11_Leader: Theorem 2, Θ(log n) w.h.p.
+func BenchmarkE11_Leader(b *testing.B) {
+	for _, r := range []int{8, 32, 128} {
+		s := spforest.Hexagon(r)
+		region := amoebot.WholeRegion(s)
+		b.Run(fmt.Sprintf("n=%d", s.N()), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			var rounds int64
+			for i := 0; i < b.N; i++ {
+				var clock sim.Clock
+				leader.Elect(&clock, region, rng)
+				rounds += clock.Rounds()
+			}
+			reportRounds(b, rounds/int64(b.N))
+		})
+	}
+}
+
+// BenchmarkE12_PASC: Lemma 4 (2 rounds/iteration) and Corollary 6.
+func BenchmarkE12_PASC(b *testing.B) {
+	for _, m := range []int{1024, 65536} {
+		b.Run(fmt.Sprintf("chain/m=%d", m), func(b *testing.B) {
+			var rounds int64
+			for i := 0; i < b.N; i++ {
+				var clock sim.Clock
+				pasc.Collect(&clock, pasc.NewChainDistance(m))
+				rounds = clock.Rounds()
+			}
+			reportRounds(b, rounds)
+		})
+	}
+	b.Run("prefix/m=65536/W=16", func(b *testing.B) {
+		weights := make([]bool, 65536)
+		for i := 0; i < 16; i++ {
+			weights[i*4096] = true
+		}
+		var rounds int64
+		for i := 0; i < b.N; i++ {
+			var clock sim.Clock
+			pasc.Collect(&clock, pasc.NewPrefixSum(weights))
+			rounds = clock.Rounds()
+		}
+		reportRounds(b, rounds)
+	})
+}
+
+// BenchmarkE13_Ablation: the merge schedule ablation — the paper's
+// centroid-decomposition schedule (O(log k) levels) against a plain
+// bottom-up portal-tree walk (Θ(k) levels) on a path-like portal tree.
+func BenchmarkE13_Ablation(b *testing.B) {
+	s := shapes.Staircase(32, 6, 3)
+	region := amoebot.WholeRegion(s)
+	sources := shapes.RandomSubset(rand.New(rand.NewSource(32)), s, 32)
+	b.Run("centroid", func(b *testing.B) {
+		var rounds int64
+		for i := 0; i < b.N; i++ {
+			var clock sim.Clock
+			core.Forest(&clock, region, sources, region.Nodes(), sources[0])
+			rounds = clock.Rounds()
+		}
+		reportRounds(b, rounds)
+	})
+	b.Run("bottom-up", func(b *testing.B) {
+		var rounds int64
+		for i := 0; i < b.N; i++ {
+			var clock sim.Clock
+			core.ForestWithSchedule(&clock, region, sources, region.Nodes(),
+				sources[0], core.ScheduleTreeDepth)
+			rounds = clock.Rounds()
+		}
+		reportRounds(b, rounds)
+	})
+}

@@ -1,0 +1,163 @@
+// Command spf runs one shortest-path-forest computation on a generated
+// structure and reports the simulated cost and verification result.
+//
+//	spf -shape blob -n 2000 -seed 7 -k 8 -l 50 -algo forest
+//	spf -shape hexagon -n 32 -k 1 -l 1 -algo spt
+//	spf -shape comb -w 16 -h 200 -k 4 -algo all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"spforest"
+	"spforest/amoebot"
+)
+
+var (
+	shape = flag.String("shape", "blob", "hexagon|parallelogram|triangle|comb|line|blob")
+	n     = flag.Int("n", 500, "size parameter (radius / length / blob target)")
+	w     = flag.Int("w", 10, "width / teeth")
+	h     = flag.Int("h", 5, "height / tooth length")
+	seed  = flag.Int64("seed", 1, "random seed")
+	k     = flag.Int("k", 4, "number of sources")
+	l     = flag.Int("l", 0, "number of destinations (0 = every amoebot)")
+	algo  = flag.String("algo", "forest", "forest|spt|seq|bfs|all")
+	load  = flag.String("load", "", "load the structure from a file (MarshalText format) instead of generating one")
+	save  = flag.String("save", "", "save the generated structure to a file")
+	out   = flag.String("out", "", "save the computed forest to a file (single-algorithm runs)")
+)
+
+func main() {
+	flag.Parse()
+	var s *amoebot.Structure
+	if *load != "" {
+		data, err := os.ReadFile(*load)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		s, err = amoebot.ParseStructure(data)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	} else {
+		s = buildShape()
+	}
+	if err := s.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *save != "" {
+		data, _ := s.MarshalText()
+		if err := os.WriteFile(*save, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	kk := *k
+	if kk > s.N() {
+		kk = s.N()
+	}
+	sources := spforest.RandomCoords(*seed, s, kk)
+	dests := s.Coords()
+	if *l > 0 && *l <= s.N() {
+		dests = spforest.RandomCoords(*seed+1, s, *l)
+	}
+	label := *shape
+	if *load != "" {
+		label = *load
+	}
+	fmt.Printf("structure: %s, n=%d, k=%d, ℓ=%d\n", label, s.N(), len(sources), len(dests))
+
+	type row struct {
+		name string
+		res  *spforest.Result
+		err  error
+	}
+	var rows []row
+	want := func(name string) bool { return *algo == name || *algo == "all" }
+	if want("forest") {
+		r, err := spforest.ShortestPathForest(s, sources, dests, &spforest.Options{Seed: *seed})
+		rows = append(rows, row{"forest (Thm 56)", r, err})
+	}
+	if want("spt") {
+		r, err := spforest.ShortestPathTree(s, sources[0], dests)
+		rows = append(rows, row{"spt (Thm 39, k=1)", r, err})
+	}
+	if want("seq") {
+		r, err := spforest.SequentialForest(s, sources, dests)
+		rows = append(rows, row{"sequential (§5)", r, err})
+	}
+	if want("bfs") {
+		r, err := spforest.BFSForest(s, sources)
+		rows = append(rows, row{"bfs wavefront", r, err})
+	}
+	if len(rows) == 0 {
+		fmt.Fprintln(os.Stderr, "unknown -algo", *algo)
+		os.Exit(2)
+	}
+	if *out != "" && len(rows) == 1 && rows[0].err == nil {
+		data, err := rows[0].res.Forest.MarshalText()
+		if err == nil {
+			err = os.WriteFile(*out, data, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	for _, r := range rows {
+		if r.err != nil {
+			fmt.Printf("%-20s error: %v\n", r.name, r.err)
+			continue
+		}
+		verdict := "verified"
+		vs, vd := sources, dests
+		if r.name == "spt (Thm 39, k=1)" {
+			vs = sources[:1]
+		}
+		if r.name == "bfs wavefront" {
+			vd = s.Coords()
+		}
+		if err := spforest.Verify(s, vs, vd, r.res.Forest); err != nil {
+			verdict = "INVALID: " + err.Error()
+		}
+		fmt.Printf("%-20s rounds=%-8d beeps=%-10d tree nodes=%-7d %s\n",
+			r.name, r.res.Stats.Rounds, r.res.Stats.Beeps, r.res.Forest.Size(), verdict)
+		if len(r.res.Stats.Phases) > 1 {
+			names := make([]string, 0, len(r.res.Stats.Phases))
+			for ph := range r.res.Stats.Phases {
+				names = append(names, ph)
+			}
+			sort.Strings(names)
+			for _, ph := range names {
+				fmt.Printf("    %-16s %d rounds\n", ph, r.res.Stats.Phases[ph])
+			}
+		}
+	}
+}
+
+func buildShape() *amoebot.Structure {
+	switch *shape {
+	case "hexagon":
+		return spforest.Hexagon(*n)
+	case "parallelogram":
+		return spforest.Parallelogram(*w, *h)
+	case "triangle":
+		return spforest.Triangle(*n)
+	case "comb":
+		return spforest.Comb(*w, *h)
+	case "line":
+		return spforest.Line(*n)
+	case "blob":
+		return spforest.RandomBlob(*seed, *n)
+	default:
+		fmt.Fprintln(os.Stderr, "unknown shape", *shape)
+		os.Exit(2)
+		return nil
+	}
+}

@@ -1,0 +1,454 @@
+// Command spfbench regenerates every experiment table of EXPERIMENTS.md:
+// one table per quantitative claim of the paper (see DESIGN.md §4 for the
+// per-experiment index E1–E13). Usage:
+//
+//	spfbench              # run everything
+//	spfbench -run E4      # run tables whose id contains "E4"
+//	spfbench -quick       # smaller sweeps
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/bits"
+	"math/rand"
+	"os"
+	"strings"
+
+	"spforest"
+	"spforest/amoebot"
+	"spforest/internal/baseline"
+	"spforest/internal/core"
+	"spforest/internal/ett"
+	"spforest/internal/leader"
+	"spforest/internal/pasc"
+	"spforest/internal/portal"
+	"spforest/internal/shapes"
+	"spforest/internal/sim"
+	"spforest/internal/treeprim"
+	"spforest/internal/verify"
+)
+
+var (
+	runFilter = flag.String("run", "", "only run experiments whose id contains this substring")
+	quick     = flag.Bool("quick", false, "smaller parameter sweeps")
+)
+
+func main() {
+	flag.Parse()
+	experiments := []struct {
+		id, title string
+		fn        func()
+	}{
+		{"E1", "SPT rounds vs ℓ (Theorem 39: O(log ℓ))", e1},
+		{"E2", "SPSP rounds vs n (§1.3: O(1))", e2},
+		{"E3", "SSSP rounds vs n (§1.3: O(log n))", e3},
+		{"E4", "forest rounds vs k (Theorem 56: O(log n log² k)) + sequential baseline", e4},
+		{"E5", "forest rounds vs n at fixed k (Theorem 56)", e5},
+		{"E6", "tree primitives vs |Q| (Lemmas 20/21/23/31)", e6},
+		{"E7", "portal primitives vs |Q| (Lemmas 33/35/36/37)", e7},
+		{"E8", "line / merging / propagation vs n (Lemmas 40/42/50)", e8},
+		{"E9", "baseline crossovers: BFS wavefront and sequential merge", e9},
+		{"E10", "portal-graph structure (Lemmas 9/11): property counts", e10},
+		{"E11", "leader election rounds vs n (Theorem 2: Θ(log n) w.h.p.)", e11},
+		{"E12", "PASC iterations (Lemma 4, Corollaries 5/6)", e12},
+		{"E13", "ablation: centroid-decomposition merge schedule vs plain bottom-up", e13},
+	}
+	for _, e := range experiments {
+		if *runFilter != "" && !strings.Contains(e.id, *runFilter) {
+			continue
+		}
+		fmt.Printf("== %s: %s\n", e.id, e.title)
+		e.fn()
+		fmt.Println()
+	}
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spfbench:", err)
+		os.Exit(1)
+	}
+}
+
+func hexRadii() []int {
+	if *quick {
+		return []int{8, 16, 32}
+	}
+	return []int{8, 16, 32, 64, 128}
+}
+
+func e1() {
+	r := 64
+	if *quick {
+		r = 32
+	}
+	s := spforest.Hexagon(r)
+	fmt.Printf("hexagon n=%d fixed; random destination sets\n", s.N())
+	fmt.Println("      ℓ   rounds   log2(ℓ+1)")
+	sweep := []int{1, 4, 16, 64, 256, 1024, 4096}
+	for _, l := range sweep {
+		if l > s.N() {
+			break
+		}
+		dests := spforest.RandomCoords(int64(l), s, l)
+		res, err := spforest.ShortestPathTree(s, amoebot.XZ(-r, 0), dests)
+		die(err)
+		fmt.Printf("%7d %8d %11.1f\n", l, res.Stats.Rounds, math.Log2(float64(l+1)))
+	}
+}
+
+func e2() {
+	fmt.Println("     n     diam   rounds")
+	for _, r := range hexRadii() {
+		s := spforest.Hexagon(r)
+		res, err := spforest.SPSP(s, amoebot.XZ(-r, 0), amoebot.XZ(r, 0))
+		die(err)
+		fmt.Printf("%6d %8d %8d\n", s.N(), 2*r, res.Stats.Rounds)
+	}
+}
+
+func e3() {
+	fmt.Println("     n   rounds   log2(n)")
+	for _, r := range hexRadii() {
+		s := spforest.Hexagon(r)
+		res, err := spforest.SSSP(s, amoebot.XZ(-r, 0))
+		die(err)
+		fmt.Printf("%6d %8d %9.1f\n", s.N(), res.Stats.Rounds, math.Log2(float64(s.N())))
+	}
+}
+
+func forestOn(s *amoebot.Structure, k int, seed int64) (dnc, seq int64) {
+	sources := spforest.RandomCoords(seed, s, k)
+	res, err := spforest.ShortestPathForest(s, sources, s.Coords(),
+		&spforest.Options{Leader: &sources[0]})
+	die(err)
+	sq, err := spforest.SequentialForest(s, sources, s.Coords())
+	die(err)
+	return res.Stats.Rounds, sq.Stats.Rounds
+}
+
+func e4() {
+	n := 8000
+	if *quick {
+		n = 2000
+	}
+	s := spforest.RandomBlob(5, n)
+	fmt.Printf("random blob n=%d fixed; ℓ=n\n", s.N())
+	fmt.Println("     k   D&C rounds   sequential   log n·log²k")
+	ks := []int{2, 4, 8, 16, 32, 64, 128, 256}
+	if *quick {
+		ks = []int{2, 4, 8, 16, 32}
+	}
+	logn := math.Log2(float64(s.N()))
+	for _, k := range ks {
+		dnc, seq := forestOn(s, k, int64(k))
+		lk := math.Log2(float64(k))
+		fmt.Printf("%6d %12d %12d %13.0f\n", k, dnc, seq, logn*lk*lk)
+	}
+}
+
+func e5() {
+	fmt.Println("      n   D&C rounds (k=16)   log n·log²k")
+	ns := []int{500, 1000, 2000, 4000, 8000, 16000, 32000}
+	if *quick {
+		ns = []int{500, 1000, 2000, 4000}
+	}
+	for _, n := range ns {
+		s := shapes.RandomBlob(rand.New(rand.NewSource(int64(n))), n)
+		dnc, _ := forestOnNoSeq(s, 16, 7)
+		fmt.Printf("%7d %19d %13.0f\n", s.N(), dnc, math.Log2(float64(s.N()))*16)
+	}
+}
+
+func forestOnNoSeq(s *amoebot.Structure, k int, seed int64) (int64, error) {
+	sources := spforest.RandomCoords(seed, s, k)
+	res, err := spforest.ShortestPathForest(s, sources, s.Coords(),
+		&spforest.Options{Leader: &sources[0]})
+	die(err)
+	return res.Stats.Rounds, nil
+}
+
+func e6() {
+	n := 4096
+	if *quick {
+		n = 1024
+	}
+	rng := rand.New(rand.NewSource(17))
+	nbrs := make([][]int32, n)
+	for i := 1; i < n; i++ {
+		p := rng.Intn(i)
+		nbrs[p] = append(nbrs[p], int32(i))
+		nbrs[i] = append(nbrs[i], int32(p))
+	}
+	tree := ett.MustTree(nbrs)
+	fmt.Printf("random tree n=%d\n", n)
+	fmt.Println("    |Q|   root&prune   election   centroid   decomposition   2(⌊log|Q|⌋+1)")
+	for _, q := range []int{1, 4, 16, 64, 256, 1024} {
+		inQ := make([]bool, n)
+		for _, i := range rng.Perm(n)[:q] {
+			inQ[i] = true
+		}
+		var c1, c2, c3, c4 sim.Clock
+		rp := treeprim.RootAndPrune(&c1, tree, 0, inQ)
+		treeprim.Elect(&c2, tree, 0, inQ)
+		treeprim.Centroids(&c3, tree, 0, inQ)
+		aq := treeprim.Augmentation(rp)
+		qp := make([]bool, n)
+		for i := range qp {
+			qp[i] = inQ[i] || aq[i]
+		}
+		treeprim.Decompose(&c4, tree, 0, qp)
+		fmt.Printf("%7d %12d %10d %10d %15d %15d\n",
+			q, c1.Rounds(), c2.Rounds(), c3.Rounds(), c4.Rounds(), 2*bits.Len(uint(q)))
+	}
+}
+
+func e7() {
+	n := 4000
+	if *quick {
+		n = 1000
+	}
+	s := shapes.RandomBlob(rand.New(rand.NewSource(23)), n)
+	ports := portal.Compute(amoebot.WholeRegion(s), amoebot.AxisX)
+	view := ports.WholeView()
+	rng := rand.New(rand.NewSource(29))
+	fmt.Printf("random blob n=%d, %d x-portals\n", s.N(), ports.Len())
+	fmt.Println("    |Q|   root&prune   election   centroid   decomposition")
+	for _, q := range []int{1, 4, 16, 64, 256} {
+		if q > ports.Len() {
+			break
+		}
+		inQ := make([]bool, ports.Len())
+		for _, i := range rng.Perm(ports.Len())[:q] {
+			inQ[i] = true
+		}
+		var c1, c2, c3, c4 sim.Clock
+		rp := portal.RootPrune(&c1, view, 0, inQ)
+		portal.ElectPortal(&c2, view, 0, inQ)
+		portal.Centroids(&c3, view, 0, inQ)
+		aq := portal.Augment(&c1, view, rp)
+		qp := make([]bool, ports.Len())
+		for i := range qp {
+			qp[i] = inQ[i] || aq[i]
+		}
+		portal.Decompose(&c4, view, 0, qp)
+		fmt.Printf("%7d %12d %10d %10d %15d\n", q, c1.Rounds(), c2.Rounds(), c3.Rounds(), c4.Rounds())
+	}
+}
+
+func e8() {
+	fmt.Println("      n   line(k=2)   merge   propagate   2(⌊log n⌋+1)")
+	ns := []int{256, 1024, 4096, 16384}
+	if *quick {
+		ns = []int{256, 1024}
+	}
+	for _, n := range ns {
+		// Line algorithm on a chain with two sources at the ends.
+		s := shapes.Line(n)
+		chain := make([]int32, n)
+		for i := range chain {
+			chain[i] = int32(i)
+		}
+		var cl sim.Clock
+		core.LineForest(&cl, s, chain, []int32{0, int32(n - 1)})
+
+		// Merge of two SSSP trees on a square parallelogram.
+		side := int(math.Sqrt(float64(n)))
+		ps := shapes.Parallelogram(side, side)
+		r := amoebot.WholeRegion(ps)
+		var build sim.Clock
+		a, _ := ps.Index(amoebot.XZ(0, 0))
+		b, _ := ps.Index(amoebot.XZ(side-1, side-1))
+		f1 := core.SPT(&build, r, a, r.Nodes())
+		f2 := core.SPT(&build, r, b, r.Nodes())
+		var cm sim.Clock
+		core.Merge(&cm, f1, f2)
+
+		// Propagation from the middle portal of the parallelogram.
+		ports := portal.Compute(r, amoebot.AxisX)
+		mid := ports.NodesOf[int32(side/2)]
+		inP := map[int32]bool{}
+		for _, p := range mid {
+			inP[p] = true
+		}
+		var apNodes []int32
+		for i := int32(0); i < int32(ps.N()); i++ {
+			if ps.Coord(i).Z <= side/2 {
+				apNodes = append(apNodes, i)
+			}
+		}
+		ap := amoebot.NewRegion(ps, apNodes)
+		var bb sim.Clock
+		fp := baseline.BFSForest(&bb, ap, []int32{a})
+		var cp sim.Clock
+		core.Propagate(&cp, r, mid, fp, amoebot.SideB)
+
+		fmt.Printf("%7d %11d %7d %11d %14d\n",
+			n, cl.Rounds(), cm.Rounds(), cp.Rounds(), 2*bits.Len(uint(n)))
+	}
+}
+
+func e9() {
+	fmt.Println("(a) SPSP vs BFS on combs of growing diameter (teeth=16)")
+	fmt.Println("  tooth len       n    diam≈   SPT rounds   BFS rounds   winner")
+	tls := []int{25, 50, 100, 200, 400, 800}
+	if *quick {
+		tls = []int{25, 100, 400}
+	}
+	for _, tl := range tls {
+		s := spforest.Comb(16, tl)
+		src, _ := s.Index(amoebot.XZ(0, tl))
+		dst, _ := s.Index(amoebot.XZ(30, tl))
+		var c1 sim.Clock
+		f := core.SPT(&c1, amoebot.WholeRegion(s), src, []int32{dst})
+		die(verify.Forest(s, []int32{src}, []int32{dst}, f))
+		var c2 sim.Clock
+		baseline.BFSForest(&c2, amoebot.WholeRegion(s), []int32{src})
+		winner := "SPT"
+		if c2.Rounds() < c1.Rounds() {
+			winner = "BFS"
+		}
+		fmt.Printf("%11d %7d %8d %12d %12d   %s\n",
+			tl, s.N(), 2*tl+30, c1.Rounds(), c2.Rounds(), winner)
+	}
+	fmt.Println("(b) divide & conquer vs sequential merge: see table E4")
+}
+
+func e10() {
+	trials := 50
+	if *quick {
+		trials = 15
+	}
+	rng := rand.New(rand.NewSource(31))
+	structures, treesOK, idOK, pairs := 0, 0, 0, 0
+	for i := 0; i < trials; i++ {
+		s := shapes.RandomBlob(rng, 50+rng.Intn(400))
+		r := amoebot.WholeRegion(s)
+		structures++
+		var ps [amoebot.NumAxes]*portal.Portals
+		ok := true
+		for axis := amoebot.Axis(0); axis < amoebot.NumAxes; axis++ {
+			ps[axis] = portal.Compute(r, axis)
+			if !ps[axis].IsPortalGraphTree() {
+				ok = false
+			}
+		}
+		if ok {
+			treesOK++
+		}
+		// Check the distance identity on sampled pairs.
+		identity := true
+		for probe := 0; probe < 20; probe++ {
+			u := int32(rng.Intn(s.N()))
+			v := int32(rng.Intn(s.N()))
+			d, _ := baseline.Exact(r, []int32{u})
+			sum := 0
+			for axis := amoebot.Axis(0); axis < amoebot.NumAxes; axis++ {
+				pd := portalDist(ps[axis], ps[axis].ID[u], ps[axis].ID[v])
+				sum += pd
+			}
+			pairs++
+			if 2*int(d[v]) != sum {
+				identity = false
+			}
+		}
+		if identity {
+			idOK++
+		}
+	}
+	fmt.Printf("structures tested: %d\n", structures)
+	fmt.Printf("all three portal graphs trees (Lemma 9):   %d/%d\n", treesOK, structures)
+	fmt.Printf("distance identity holds (Lemma 11):        %d/%d structures (%d pairs)\n",
+		idOK, structures, pairs)
+}
+
+func portalDist(p *portal.Portals, a, b int32) int {
+	dist := map[int32]int{a: 0}
+	queue := []int32{a}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		if u == b {
+			return dist[u]
+		}
+		for _, v := range p.Nbr[u] {
+			if _, ok := dist[v]; !ok {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist[b]
+}
+
+func e11() {
+	runs := 50
+	if *quick {
+		runs = 15
+	}
+	fmt.Println("     n   avg rounds   log2(n)")
+	for _, r := range hexRadii() {
+		s := spforest.Hexagon(r)
+		region := amoebot.WholeRegion(s)
+		rng := rand.New(rand.NewSource(int64(r)))
+		var total int64
+		for i := 0; i < runs; i++ {
+			var clock sim.Clock
+			leader.Elect(&clock, region, rng)
+			total += clock.Rounds()
+		}
+		fmt.Printf("%6d %12.1f %9.1f\n", s.N(), float64(total)/float64(runs),
+			math.Log2(float64(s.N())))
+	}
+}
+
+func e13() {
+	// Path-like portal trees (staircases) are the worst case for the naive
+	// bottom-up schedule: Θ(k) sequential merge levels instead of the
+	// centroid decomposition's O(log k).
+	fmt.Println("staircase structures, sources spread over the steps")
+	fmt.Println("     k   centroid schedule   bottom-up ablation")
+	ks := []int{4, 8, 16, 32, 64}
+	if *quick {
+		ks = []int{4, 8, 16}
+	}
+	for _, k := range ks {
+		s := shapes.Staircase(k, 6, 3)
+		region := amoebot.WholeRegion(s)
+		rng := rand.New(rand.NewSource(int64(k)))
+		sources := shapes.RandomSubset(rng, s, k)
+		var c1, c2 sim.Clock
+		f1 := core.Forest(&c1, region, sources, region.Nodes(), sources[0])
+		die(verify.Forest(s, sources, region.Nodes(), f1))
+		f2 := core.ForestWithSchedule(&c2, region, sources, region.Nodes(), sources[0], core.ScheduleTreeDepth)
+		die(verify.Forest(s, sources, region.Nodes(), f2))
+		fmt.Printf("%6d %19d %20d\n", k, c1.Rounds(), c2.Rounds())
+	}
+}
+
+func e12() {
+	fmt.Println("chain distance (Lemma 3/4):")
+	fmt.Println("       m   iterations   rounds   ⌊log2(m-1)⌋+1")
+	for _, m := range []int{4, 16, 256, 4096, 65536} {
+		var clock sim.Clock
+		run := pasc.NewChainDistance(m)
+		pasc.Collect(&clock, run)
+		fmt.Printf("%8d %12d %8d %15d\n", m, run.Iterations(), clock.Rounds(),
+			bits.Len(uint(m-1)))
+	}
+	fmt.Println("prefix sums (Corollary 6): iterations depend on W, not m")
+	fmt.Println("       m      W   iterations   rounds")
+	m := 65536
+	for _, w := range []int{1, 16, 256, 4096} {
+		weights := make([]bool, m)
+		for i := 0; i < w; i++ {
+			weights[i*(m/w)] = true
+		}
+		var clock sim.Clock
+		run := pasc.NewPrefixSum(weights)
+		pasc.Collect(&clock, run)
+		fmt.Printf("%8d %6d %12d %8d\n", m, w, run.Iterations(), clock.Rounds())
+	}
+}

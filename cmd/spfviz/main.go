@@ -1,0 +1,196 @@
+// Command spfviz renders amoebot structures, portal decompositions and
+// shortest-path forests as ASCII art — the textual analogue of the paper's
+// illustrative figures (Fig. 2: portals, Fig. 5: SPT stages, Fig. 6: line
+// algorithm, Fig. 15: regions).
+//
+//	spfviz -shape hexagon -size 4 -mode structure
+//	spfviz -shape blob -size 120 -seed 3 -mode portals -axis y
+//	spfviz -shape parallelogram -w 14 -h 7 -mode spt
+//	spfviz -shape comb -w 5 -h 6 -mode forest -k 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"spforest"
+	"spforest/amoebot"
+	"spforest/internal/core"
+	"spforest/internal/portal"
+)
+
+var (
+	shape = flag.String("shape", "hexagon", "hexagon|parallelogram|triangle|comb|line|blob")
+	size  = flag.Int("size", 4, "radius / side / length (hexagon, triangle, line, blob target)")
+	w     = flag.Int("w", 10, "width / teeth")
+	h     = flag.Int("h", 5, "height / tooth length")
+	seed  = flag.Int64("seed", 1, "random seed (blob, sources)")
+	mode  = flag.String("mode", "structure", "structure|portals|spt|forest|regions")
+	axis  = flag.String("axis", "x", "portal axis: x|y|z")
+	k     = flag.Int("k", 3, "sources (forest mode)")
+	l     = flag.Int("l", 5, "destinations (spt mode)")
+)
+
+func main() {
+	flag.Parse()
+	s := buildShape()
+	switch *mode {
+	case "structure":
+		fmt.Print(s.Render(func(i int32) rune { return 'o' }))
+	case "portals":
+		renderPortals(s)
+	case "spt":
+		renderSPT(s)
+	case "forest":
+		renderForest(s)
+	case "regions":
+		renderRegions(s)
+	default:
+		fmt.Fprintln(os.Stderr, "unknown mode", *mode)
+		os.Exit(2)
+	}
+}
+
+func buildShape() *amoebot.Structure {
+	switch *shape {
+	case "hexagon":
+		return spforest.Hexagon(*size)
+	case "parallelogram":
+		return spforest.Parallelogram(*w, *h)
+	case "triangle":
+		return spforest.Triangle(*size)
+	case "comb":
+		return spforest.Comb(*w, *h)
+	case "line":
+		return spforest.Line(*size)
+	case "blob":
+		return spforest.RandomBlob(*seed, *size)
+	default:
+		fmt.Fprintln(os.Stderr, "unknown shape", *shape)
+		os.Exit(2)
+		return nil
+	}
+}
+
+func renderPortals(s *amoebot.Structure) {
+	var ax amoebot.Axis
+	switch *axis {
+	case "x":
+		ax = amoebot.AxisX
+	case "y":
+		ax = amoebot.AxisY
+	case "z":
+		ax = amoebot.AxisZ
+	default:
+		fmt.Fprintln(os.Stderr, "unknown axis", *axis)
+		os.Exit(2)
+	}
+	ports := portal.Compute(amoebot.WholeRegion(s), ax)
+	fmt.Printf("%d %s-portals; portal graph is a tree: %v\n",
+		ports.Len(), ax, ports.IsPortalGraphTree())
+	fmt.Print(s.Render(func(i int32) rune {
+		return rune('a' + ports.ID[i]%26)
+	}))
+}
+
+func renderSPT(s *amoebot.Structure) {
+	src := s.Coord(0)
+	dests := spforest.RandomCoords(*seed, s, min(*l, s.N()))
+	res, err := spforest.ShortestPathTree(s, src, dests)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("SPT from %v to %d destinations: %d rounds\n", src, len(dests), res.Stats.Rounds)
+	isDest := map[int32]bool{}
+	for _, d := range dests {
+		i, _ := s.Index(d)
+		isDest[i] = true
+	}
+	srcIdx, _ := s.Index(src)
+	fmt.Print(s.Render(func(i int32) rune {
+		switch {
+		case i == srcIdx:
+			return 'S'
+		case isDest[i]:
+			return 'D'
+		case res.Forest.Member(i):
+			return '*'
+		default:
+			return '.'
+		}
+	}))
+}
+
+func renderForest(s *amoebot.Structure) {
+	sources := spforest.RandomCoords(*seed, s, min(*k, s.N()))
+	res, err := spforest.ShortestPathForest(s, sources, s.Coords(),
+		&spforest.Options{Leader: &sources[0]})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("forest with %d sources: %d rounds\n", len(sources), res.Stats.Rounds)
+	// Each amoebot shows the tree it belongs to (letter per source).
+	rootGlyph := map[int32]rune{}
+	for i, src := range sources {
+		idx, _ := s.Index(src)
+		rootGlyph[idx] = rune('a' + i%26)
+	}
+	fmt.Print(s.Render(func(i int32) rune {
+		root := res.Forest.RootOf(i)
+		if root == amoebot.None {
+			return '.'
+		}
+		g := rootGlyph[root]
+		if i == root {
+			return g - 'a' + 'A'
+		}
+		return g
+	}))
+}
+
+// renderRegions shows the §5.4.1 base-region decomposition (paper Fig. 15):
+// digits identify regions (amoebots in several regions show '+'), and Q'
+// portal amoebots that are still marked show '!'.
+func renderRegions(s *amoebot.Structure) {
+	sources := spforest.RandomCoords(*seed, s, min(*k, s.N()))
+	srcIdx := make([]int32, len(sources))
+	for i, c := range sources {
+		srcIdx[i], _ = s.Index(c)
+	}
+	info := core.SplitRegions(amoebot.WholeRegion(s), srcIdx, srcIdx[0])
+	fmt.Printf("%d sources -> %d base regions\n", len(sources), len(info.Regions))
+	count := make([]int, s.N())
+	label := make([]rune, s.N())
+	for ri, reg := range info.Regions {
+		for _, u := range reg.Nodes() {
+			count[u]++
+			label[u] = rune('0' + ri%10)
+		}
+	}
+	marked := map[int32]bool{}
+	for _, m := range info.Marks {
+		marked[m] = true
+	}
+	fmt.Print(s.Render(func(i int32) rune {
+		switch {
+		case marked[i]:
+			return '!'
+		case count[i] > 1:
+			return '+'
+		case count[i] == 1:
+			return label[i]
+		default:
+			return '?'
+		}
+	}))
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,51 @@
+package spforest_test
+
+import (
+	"fmt"
+
+	"spforest"
+	"spforest/amoebot"
+)
+
+// ExampleShortestPathForest computes a two-source forest on a parallelogram
+// and reports which source serves each corner.
+func ExampleShortestPathForest() {
+	s := spforest.Parallelogram(9, 5)
+	west := amoebot.XZ(0, 2)
+	east := amoebot.XZ(8, 2)
+	res, err := spforest.ShortestPathForest(s, []amoebot.Coord{west, east}, s.Coords(),
+		&spforest.Options{Leader: &west})
+	if err != nil {
+		panic(err)
+	}
+	for _, corner := range []amoebot.Coord{amoebot.XZ(0, 0), amoebot.XZ(8, 4)} {
+		i, _ := s.Index(corner)
+		root := res.Forest.RootOf(i)
+		fmt.Printf("%v served by %v at distance %d\n",
+			corner, s.Coord(root), res.Forest.Depth(i))
+	}
+	// Output:
+	// (0,0) served by (0,2) at distance 2
+	// (8,4) served by (8,2) at distance 2
+}
+
+// ExampleVerify shows the checker rejecting a corrupted forest.
+func ExampleVerify() {
+	s := spforest.Line(5)
+	res, _ := spforest.SSSP(s, amoebot.XZ(0, 0))
+	fmt.Println("valid:", spforest.Verify(s, []amoebot.Coord{amoebot.XZ(0, 0)}, s.Coords(), res.Forest) == nil)
+	res.Forest.Remove(3) // corrupt it
+	fmt.Println("after corruption:", spforest.Verify(s, []amoebot.Coord{amoebot.XZ(0, 0)}, s.Coords(), res.Forest) == nil)
+	// Output:
+	// valid: true
+	// after corruption: false
+}
+
+// ExampleDistances computes nearest-source distances with the centralized
+// reference solver.
+func ExampleDistances() {
+	s := spforest.Line(6)
+	d, _ := spforest.Distances(s, []amoebot.Coord{amoebot.XZ(0, 0), amoebot.XZ(5, 0)})
+	fmt.Println(d)
+	// Output: [0 1 2 2 1 0]
+}

@@ -1,0 +1,47 @@
+// Quickstart: build a structure, compute a single-source shortest path
+// tree, and inspect the simulated round cost.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"spforest"
+	"spforest/amoebot"
+)
+
+func main() {
+	// A hexagonal amoebot structure with 1 + 3·8·9 = 217 amoebots.
+	s := spforest.Hexagon(8)
+	fmt.Printf("structure: %d amoebots, hole-free: %v\n", s.N(), s.IsHoleFree())
+
+	// Shortest path tree from the west corner to three destinations.
+	source := amoebot.XZ(-8, 0)
+	dests := []amoebot.Coord{amoebot.XZ(8, 0), amoebot.XZ(0, 8), amoebot.XZ(4, -8)}
+	res, err := spforest.ShortestPathTree(s, source, dests)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("shortest path tree: %d amoebots in the tree, %d simulated rounds, %d beeps\n",
+		res.Forest.Size(), res.Stats.Rounds, res.Stats.Beeps)
+	for _, d := range dests {
+		i, _ := s.Index(d)
+		fmt.Printf("  dist(%v -> %v) = %d\n", source, d, res.Forest.Depth(i))
+	}
+
+	// The independent checker confirms all five shortest-path-forest
+	// properties against a centralized reference.
+	if err := spforest.Verify(s, []amoebot.Coord{source}, dests, res.Forest); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("verified: the tree is a correct ({s},D)-shortest path forest")
+
+	// Compare with the plain-model BFS wavefront: Θ(diam) rounds instead
+	// of O(log ℓ).
+	bfs, err := spforest.BFSForest(s, []amoebot.Coord{source})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("BFS wavefront baseline: %d rounds (circuit algorithm: %d)\n",
+		bfs.Stats.Rounds, res.Stats.Rounds)
+}

@@ -1,0 +1,121 @@
+// Package baseline provides the comparison algorithms of the evaluation:
+//
+//   - Exact: a centralized multi-source BFS used as ground truth by the
+//     verifier (not round-accounted; this is the reference solver, not a
+//     distributed algorithm).
+//   - BFSForest: the distributed breadth-first wavefront in the plain
+//     amoebot model, the Θ(diam)-round approach the paper's related work
+//     discusses (Kostitsyna et al. compute shortest path trees in O(diam)
+//     rounds for hole-free structures): each round the frontier beeps to
+//     its neighbors, joining amoebots adopt a beeping neighbor as parent.
+//
+// The third baseline of the paper — the naive sequential merge in
+// O(k log n) rounds (§5 introduction) — is built from the paper's own
+// subroutines and lives in the core package (ForestSequential).
+package baseline
+
+import (
+	"spforest/amoebot"
+	"spforest/internal/sim"
+)
+
+// Exact computes, for every node of the region, the graph distance to the
+// nearest source and one nearest source (the smallest node index among
+// equidistant sources, for determinism). Unreachable or non-region nodes get
+// distance -1. Sources outside the region are ignored.
+func Exact(region *amoebot.Region, sources []int32) (dist []int32, nearest []int32) {
+	s := region.Structure()
+	dist = make([]int32, s.N())
+	nearest = make([]int32, s.N())
+	for i := range dist {
+		dist[i] = -1
+		nearest[i] = amoebot.None
+	}
+	queue := make([]int32, 0, region.Len())
+	for _, src := range sources {
+		if region.Contains(src) && dist[src] == -1 {
+			dist[src] = 0
+			nearest[src] = src
+			queue = append(queue, src)
+		}
+	}
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		for d := amoebot.Direction(0); d < amoebot.NumDirections; d++ {
+			v := region.Neighbor(u, d)
+			if v == amoebot.None {
+				continue
+			}
+			switch {
+			case dist[v] == -1:
+				dist[v] = dist[u] + 1
+				nearest[v] = nearest[u]
+				queue = append(queue, v)
+			case dist[v] == dist[u]+1 && nearest[u] < nearest[v]:
+				// Keep the smallest nearest-source index deterministic.
+				nearest[v] = nearest[u]
+			}
+		}
+	}
+	return dist, nearest
+}
+
+// BFSForest computes an S-shortest-path forest for the region with the
+// plain-model BFS wavefront, charging one round per distance layer
+// (Θ(eccentricity(S)) = Θ(diam) rounds). Each joining amoebot adopts its
+// smallest-direction beeping neighbor as parent.
+func BFSForest(clock *sim.Clock, region *amoebot.Region, sources []int32) *amoebot.Forest {
+	s := region.Structure()
+	f := amoebot.NewForest(s)
+	depth := make([]int32, s.N())
+	for i := range depth {
+		depth[i] = -1
+	}
+	frontier := make([]int32, 0, len(sources))
+	for _, src := range sources {
+		if region.Contains(src) && depth[src] == -1 {
+			depth[src] = 0
+			f.SetRoot(src)
+			frontier = append(frontier, src)
+		}
+	}
+	for layer := int32(1); len(frontier) > 0; layer++ {
+		clock.Tick(1)
+		clock.AddBeeps(int64(len(frontier)))
+		var next []int32
+		for _, u := range frontier {
+			for d := amoebot.Direction(0); d < amoebot.NumDirections; d++ {
+				if v := region.Neighbor(u, d); v != amoebot.None && depth[v] == -1 {
+					depth[v] = layer
+					next = append(next, v)
+				}
+			}
+		}
+		for _, v := range next {
+			// v picks the smallest direction whose neighbor beeped (was at
+			// the previous layer).
+			for d := amoebot.Direction(0); d < amoebot.NumDirections; d++ {
+				u := region.Neighbor(v, d)
+				if u != amoebot.None && depth[u] == layer-1 {
+					f.SetParent(v, u)
+					break
+				}
+			}
+		}
+		frontier = next
+	}
+	return f
+}
+
+// Eccentricity returns max_u dist(S, u) within the region (the BFS round
+// count lower bound).
+func Eccentricity(region *amoebot.Region, sources []int32) int {
+	dist, _ := Exact(region, sources)
+	max := 0
+	for _, u := range region.Nodes() {
+		if int(dist[u]) > max {
+			max = int(dist[u])
+		}
+	}
+	return max
+}

@@ -1,0 +1,180 @@
+// Package bitstream implements the O(1)-state streaming arithmetic that
+// constant-memory amoebots use to process PASC output.
+//
+// The PASC algorithm (paper §2.2) delivers numbers bit by bit, least
+// significant bit first, one bit per iteration. Amoebots cannot store the
+// full Θ(log n)-bit values (Remark 16), so every arithmetic operation the
+// algorithms need — subtraction, comparison against zero, comparison of two
+// streams, comparison against half of a stream — is realized as a finite
+// state machine consuming one bit (or one pair of bits) per iteration and
+// holding a constant number of state bits.
+//
+// All machines assume both streams have the same length (pad the shorter
+// stream with zero bits), which PASC guarantees since every instance of an
+// execution runs for the same number of iterations.
+package bitstream
+
+// Ordering is the result of a streamed comparison.
+type Ordering int8
+
+// Comparison results.
+const (
+	Less    Ordering = -1
+	Equal   Ordering = 0
+	Greater Ordering = 1
+)
+
+func (o Ordering) String() string {
+	switch o {
+	case Less:
+		return "<"
+	case Greater:
+		return ">"
+	default:
+		return "="
+	}
+}
+
+// Comparator compares two equal-length LSB-first bit streams a and b.
+// State: the relation decided by the bits seen so far (the most recent
+// differing bit dominates). The zero value compares empty streams as Equal.
+type Comparator struct {
+	rel Ordering
+}
+
+// Feed consumes one bit from each stream.
+func (c *Comparator) Feed(a, b uint8) {
+	switch {
+	case a > b:
+		c.rel = Greater
+	case a < b:
+		c.rel = Less
+	}
+}
+
+// Result returns the ordering of the streams consumed so far.
+func (c *Comparator) Result() Ordering { return c.rel }
+
+// Subtractor computes a − b for two equal-length LSB-first streams with a
+// single borrow bit of state, emitting the difference bits of a − b modulo
+// 2^len. After the streams end, Negative reports whether a < b and NonZero
+// whether a ≠ b.
+type Subtractor struct {
+	borrow  uint8
+	nonZero bool
+}
+
+// Feed consumes one bit from each stream and returns the next difference
+// bit (of the two's-complement difference).
+func (s *Subtractor) Feed(a, b uint8) uint8 {
+	d := a - b - s.borrow // values in {-2,-1,0,1} as unsigned wraparound
+	var bit uint8
+	switch int8(d) {
+	case 0:
+		bit, s.borrow = 0, 0
+	case 1:
+		bit, s.borrow = 1, 0
+	case -1:
+		bit, s.borrow = 1, 1
+	default: // -2
+		bit, s.borrow = 0, 1
+	}
+	if bit != 0 {
+		s.nonZero = true
+	}
+	return bit
+}
+
+// Negative reports whether the consumed prefix of a is smaller than that
+// of b (i.e. the final borrow is pending).
+func (s *Subtractor) Negative() bool { return s.borrow != 0 }
+
+// NonZero reports whether any difference bit was nonzero (a ≠ b as long as
+// Negative is also consulted for sign).
+func (s *Subtractor) NonZero() bool { return s.nonZero || s.borrow != 0 }
+
+// Sign returns the ordering of a vs b over the consumed prefix.
+func (s *Subtractor) Sign() Ordering {
+	switch {
+	case s.borrow != 0:
+		return Less
+	case s.nonZero:
+		return Greater
+	default:
+		return Equal
+	}
+}
+
+// Adder computes a + b with a single carry bit of state.
+type Adder struct {
+	carry uint8
+}
+
+// Feed consumes one bit from each stream and returns the next sum bit.
+func (ad *Adder) Feed(a, b uint8) uint8 {
+	s := a + b + ad.carry
+	ad.carry = s >> 1
+	return s & 1
+}
+
+// Finish returns the final carry bit (the bit one past the stream length).
+func (ad *Adder) Finish() uint8 { return ad.carry }
+
+// HalfComparator compares a stream a against ⌊c/2⌋ for a second stream c,
+// deciding a ≤ ⌊c/2⌋ as required by the centroid primitive (Lemma 23:
+// size_u(v) ≤ |Q|/2). Dividing by two shifts c right by one bit, which in a
+// streaming setting means delaying c by one iteration: bit i of ⌊c/2⌋ is
+// bit i+1 of c. State: one buffered bit of a and a Comparator.
+type HalfComparator struct {
+	cmp   Comparator
+	prevA uint8
+	first bool
+	init  bool
+}
+
+// Feed consumes bit i of a and bit i of c.
+func (h *HalfComparator) Feed(a, c uint8) {
+	if !h.init {
+		h.init, h.first = true, true
+	}
+	if h.first {
+		h.first = false
+	} else {
+		h.cmp.Feed(h.prevA, c)
+	}
+	h.prevA = a
+}
+
+// Result returns the ordering of a vs ⌊c/2⌋ after both streams ended
+// (a's final buffered bit is compared against an implicit zero of c/2's
+// stream extension).
+func (h *HalfComparator) Result() Ordering {
+	cmp := h.cmp // copy; Result must be idempotent
+	if h.init {
+		cmp.Feed(h.prevA, 0)
+	}
+	return cmp.Result()
+}
+
+// Accumulator collects an LSB-first stream into an integer. It exists for
+// the simulator/verification layer only: real amoebots never hold the full
+// value. Algorithms must not base control flow on Value beyond debugging
+// assertions.
+type Accumulator struct {
+	value uint64
+	shift uint
+}
+
+// Feed consumes one bit.
+func (a *Accumulator) Feed(bit uint8) {
+	if bit != 0 {
+		a.value |= 1 << a.shift
+	}
+	a.shift++
+}
+
+// Value returns the integer assembled so far.
+func (a *Accumulator) Value() uint64 { return a.value }
+
+// Bits returns how many bits were consumed.
+func (a *Accumulator) Bits() uint { return a.shift }

@@ -1,0 +1,135 @@
+package bitstream
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// feedAll streams the first n bits of a and b (LSB first) into fn.
+func feedAll(a, b uint64, n uint, fn func(x, y uint8)) {
+	for i := uint(0); i < n; i++ {
+		fn(uint8(a>>i&1), uint8(b>>i&1))
+	}
+}
+
+func TestComparatorExhaustiveSmall(t *testing.T) {
+	for a := uint64(0); a < 64; a++ {
+		for b := uint64(0); b < 64; b++ {
+			var c Comparator
+			feedAll(a, b, 6, c.Feed)
+			want := Equal
+			if a < b {
+				want = Less
+			} else if a > b {
+				want = Greater
+			}
+			if c.Result() != want {
+				t.Fatalf("compare(%d,%d) = %v, want %v", a, b, c.Result(), want)
+			}
+		}
+	}
+}
+
+func TestSubtractorExhaustiveSmall(t *testing.T) {
+	for a := uint64(0); a < 64; a++ {
+		for b := uint64(0); b < 64; b++ {
+			var s Subtractor
+			var acc Accumulator
+			feedAll(a, b, 6, func(x, y uint8) { acc.Feed(s.Feed(x, y)) })
+			wantBits := (a - b) & 63 // mod 2^6
+			if acc.Value() != wantBits {
+				t.Fatalf("sub(%d,%d) bits = %d, want %d", a, b, acc.Value(), wantBits)
+			}
+			if got, want := s.Negative(), a < b; got != want {
+				t.Fatalf("sub(%d,%d) negative = %v", a, b, got)
+			}
+			if got, want := s.NonZero(), a != b; got != want {
+				t.Fatalf("sub(%d,%d) nonzero = %v", a, b, got)
+			}
+			wantSign := Equal
+			if a < b {
+				wantSign = Less
+			} else if a > b {
+				wantSign = Greater
+			}
+			if s.Sign() != wantSign {
+				t.Fatalf("sub(%d,%d) sign = %v, want %v", a, b, s.Sign(), wantSign)
+			}
+		}
+	}
+}
+
+func TestAdderRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 2000; trial++ {
+		a := rng.Uint64() >> 2 // keep headroom for the carry
+		b := rng.Uint64() >> 2
+		var ad Adder
+		var acc Accumulator
+		feedAll(a, b, 62, func(x, y uint8) { acc.Feed(ad.Feed(x, y)) })
+		got := acc.Value() | uint64(ad.Finish())<<62
+		if got != a+b {
+			t.Fatalf("add(%d,%d) = %d", a, b, got)
+		}
+	}
+}
+
+func TestHalfComparatorExhaustive(t *testing.T) {
+	for a := uint64(0); a < 128; a++ {
+		for c := uint64(0); c < 128; c++ {
+			var h HalfComparator
+			feedAll(a, c, 7, h.Feed)
+			half := c / 2
+			want := Equal
+			if a < half {
+				want = Less
+			} else if a > half {
+				want = Greater
+			}
+			if h.Result() != want {
+				t.Fatalf("halfcmp(%d, %d/2=%d) = %v, want %v", a, c, half, h.Result(), want)
+			}
+		}
+	}
+}
+
+func TestHalfComparatorResultIdempotent(t *testing.T) {
+	var h HalfComparator
+	feedAll(5, 11, 4, h.Feed)
+	r1 := h.Result()
+	r2 := h.Result()
+	if r1 != r2 {
+		t.Fatalf("Result not idempotent: %v then %v", r1, r2)
+	}
+}
+
+func TestZeroValuesUsable(t *testing.T) {
+	var c Comparator
+	if c.Result() != Equal {
+		t.Error("zero comparator not Equal")
+	}
+	var s Subtractor
+	if s.NonZero() || s.Negative() || s.Sign() != Equal {
+		t.Error("zero subtractor not zero/equal")
+	}
+	var h HalfComparator
+	if h.Result() != Equal {
+		t.Error("zero half comparator not Equal")
+	}
+}
+
+func TestOrderingString(t *testing.T) {
+	if Less.String() != "<" || Equal.String() != "=" || Greater.String() != ">" {
+		t.Error("ordering strings wrong")
+	}
+}
+
+func TestAccumulator(t *testing.T) {
+	var a Accumulator
+	for _, bit := range []uint8{1, 0, 1, 1} { // 1101₂ LSB-first = 13
+		a.Feed(bit)
+	}
+	if a.Value() != 13 || a.Bits() != 4 {
+		t.Fatalf("accumulator = %d (%d bits)", a.Value(), a.Bits())
+	}
+}

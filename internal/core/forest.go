@@ -1,0 +1,525 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"spforest/amoebot"
+	"spforest/internal/counter"
+	"spforest/internal/portal"
+	"spforest/internal/sim"
+)
+
+// Forest computes an (S,D)-shortest path forest of the region with the
+// divide-and-conquer algorithm of §5.4 (Theorem 56, Corollary 57) in
+// O(log n log² k) rounds:
+//
+//  1. Q = x-portals holding sources, Q' = Q ∪ A_Q (Lemma 51),
+//  2. split the structure at the Q' portals and at the marked connector
+//     amoebots into base regions meeting ≤ 2 portals of Q' (Lemma 52),
+//  3. per base region: line algorithm on its Q' portal segment(s),
+//     propagation into the region, merging (Lemma 54),
+//  4. merge regions level by level along the Q'-centroid decomposition of
+//     the x-portal tree, deepest centroids first (Lemmas 37/55),
+//  5. final root-and-prune of every tree with (s, D) (Corollary 57).
+//
+// leader is the unique pre-elected amoebot (§2.1); its portal roots the
+// portal tree. Use the leader package (or any source) to obtain one.
+func Forest(clock *sim.Clock, region *amoebot.Region, sources, dests []int32, leader int32) *amoebot.Forest {
+	return ForestWithSchedule(clock, region, sources, dests, leader, ScheduleCentroid)
+}
+
+// Schedule selects the order in which the merge phase processes the Q'
+// portals.
+type Schedule int
+
+const (
+	// ScheduleCentroid is the paper's schedule: portals are processed level
+	// by level along the Q'-centroid decomposition tree, deepest first —
+	// O(log k) parallel levels (§5.4.4).
+	ScheduleCentroid Schedule = iota
+	// ScheduleTreeDepth is the ablation: portals are processed one at a
+	// time, bottom-up in the plain portal tree — Θ(k) sequential merge
+	// steps. It demonstrates why the centroid decomposition is the
+	// load-bearing ingredient of Theorem 56.
+	ScheduleTreeDepth
+)
+
+// ForestWithSchedule is Forest with an explicit merge schedule (see
+// Schedule; ScheduleTreeDepth exists for the ablation study).
+func ForestWithSchedule(clock *sim.Clock, region *amoebot.Region, sources, dests []int32, leader int32, sched Schedule) *amoebot.Forest {
+	if len(sources) == 0 {
+		panic("core: no sources")
+	}
+	if len(sources) == 1 {
+		return SPT(clock, region, sources[0], dests)
+	}
+	s := region.Structure()
+
+	// ---- §5.4.1: Q, Q', marks, base regions.
+	ports := portal.Compute(region, amoebot.AxisX)
+	view := ports.WholeView()
+	inQ := make([]bool, ports.Len())
+	for _, src := range sources {
+		inQ[ports.ID[src]] = true
+	}
+	clock.Tick(1) // sources beep on their portal circuits (computes Q)
+	clock.AddBeeps(int64(len(sources)))
+	leaderPortal := ports.ID[leader]
+	rpQ := portal.RootPrune(clock, view, leaderPortal, inQ)
+	aq := portal.Augment(clock, view, rpQ)
+	inQP := make([]bool, ports.Len())
+	qpCount := 0
+	for id := range inQP {
+		inQP[id] = inQ[id] || aq[id]
+		if inQP[id] {
+			qpCount++
+		}
+	}
+	sp := buildSplit(region, ports, inQP, rpQ)
+	clock.Tick(1) // unmark the westernmost marked amoebot per portal (Lemma 52)
+
+	// ---- §5.4.2 preprocessing: elect R' and root the portal tree at it.
+	rPrime := portal.ElectPortal(clock, view, leaderPortal, inQP)
+	if rPrime < 0 {
+		panic("core: no Q' portal despite sources")
+	}
+	rpQP := portal.RootPrune(clock, view, rPrime, inQP)
+
+	// ---- Base case per region, in parallel (Lemma 54). The regions are
+	// disjoint computations over read-only shared data, so the simulator
+	// runs them on worker goroutines (matching the model's parallelism);
+	// the round accounting stays the max over regions either way.
+	states := make([]*regionState, len(sp.regions))
+	branches := make([]*sim.Clock, len(sp.regions))
+	runParallel(len(sp.regions), func(i int) {
+		branches[i] = clock.Fork()
+		states[i] = baseCase(branches[i], s, sp, sp.regions[i], rPrime, rpQP, sources)
+	})
+	clock.JoinMax(branches...)
+
+	// ---- §5.4.3/5.4.4: merge level by level, deepest first. With the
+	// paper's schedule the levels follow the Q'-centroid decomposition,
+	// which the constant-memory amoebots recompute every iteration while a
+	// distributed binary counter of [26] tracks the level; both costs are
+	// charged per level. The ablation schedule instead walks the plain
+	// portal tree bottom-up, one portal per step.
+	var levels [][]int32
+	var perLevelOverhead int64
+	switch sched {
+	case ScheduleCentroid:
+		var decClock sim.Clock
+		dec := portal.Decompose(&decClock, view, rPrime, inQP)
+		maxDepth := 0
+		for _, d := range dec.Depth {
+			if d > maxDepth {
+				maxDepth = d
+			}
+		}
+		levels = make([][]int32, maxDepth+1)
+		for id := int32(0); id < int32(ports.Len()); id++ {
+			if d := dec.Depth[id]; d >= 0 {
+				levels[maxDepth-d] = append(levels[maxDepth-d], id)
+			}
+		}
+		perLevelOverhead = decClock.Rounds()
+	case ScheduleTreeDepth:
+		// Bottom-up in the rooted portal tree, strictly one portal per
+		// level; identifying the current portal costs a PASC depth
+		// comparison against the level counter.
+		depthOf := func(id int32) int {
+			d := 0
+			for p := id; rpQP.Parent[p] >= 0; p = rpQP.Parent[p] {
+				d++
+			}
+			return d
+		}
+		type pd struct {
+			id int32
+			d  int
+		}
+		var all []pd
+		for id := int32(0); id < int32(ports.Len()); id++ {
+			if inQP[id] {
+				all = append(all, pd{id, depthOf(id)})
+			}
+		}
+		sort.Slice(all, func(i, j int) bool {
+			if all[i].d != all[j].d {
+				return all[i].d > all[j].d
+			}
+			return all[i].id < all[j].id
+		})
+		for _, e := range all {
+			levels = append(levels, []int32{e.id})
+		}
+		perLevelOverhead = int64(2*bits.Len(uint(qpCount))) + 2
+	}
+	levelCounter := counter.New(bits.Len(uint(len(levels) + 1)))
+	for _, level := range levels {
+		clock.Tick(perLevelOverhead) // recompute / re-identify the level's portals
+		levelCounter.Increment(clock)
+		lb := make([]*sim.Clock, 0, len(level))
+		for _, p := range level {
+			branch := clock.Fork()
+			lb = append(lb, branch)
+			states = mergeAlongPortal(branch, s, sp, p, states)
+		}
+		clock.JoinMax(lb...)
+	}
+	if levelCounter.Value() != uint64(len(levels)) {
+		panic("core: level counter out of sync")
+	}
+	if len(states) != 1 {
+		panic(fmt.Sprintf("core: %d regions left after the merge phase", len(states)))
+	}
+	full := states[0].forest
+	for _, src := range sources {
+		if !full.Member(src) {
+			panic("core: merged forest misses a source")
+		}
+	}
+	// ---- Corollary 57: prune every tree to its destinations.
+	return pruneToDestinations(clock, full, sources, dests)
+}
+
+// regionState is one current region with its (S∩region)-forest.
+type regionState struct {
+	region *amoebot.Region
+	forest *amoebot.Forest
+}
+
+// baseCase computes the (S∩Y)-forest of one base region (Lemma 54): the
+// line algorithm on the region's LCA portal segment, propagation into the
+// region; if the region meets a second Q' portal, the same from there and a
+// merge.
+func baseCase(clock *sim.Clock, s *amoebot.Structure, sp *splitRegions, br *baseRegion, rPrime int32, rpQP *portal.RootPruneResult, sources []int32) *regionState {
+	isSource := make(map[int32]bool, len(sources))
+	for _, src := range sources {
+		isSource[src] = true
+	}
+	// Identify the LCA portal among the region's Q' portals (Lemma 53):
+	// it is R' or its parent portal does not intersect the region.
+	inRegionPortal := map[int32]bool{}
+	for _, u := range br.nodes.Nodes() {
+		inRegionPortal[sp.ports.ID[u]] = true
+	}
+	ordered := make([]int32, 0, 2)
+	var lca int32 = -1
+	for _, id := range br.qpPortals {
+		if id == rPrime || !inRegionPortal[rpQP.Parent[id]] {
+			lca = id
+			break
+		}
+	}
+	if lca < 0 {
+		// Defensive: fall back to the first portal.
+		lca = br.qpPortals[0]
+	}
+	ordered = append(ordered, lca)
+	for _, id := range br.qpPortals {
+		if id != lca {
+			ordered = append(ordered, id)
+		}
+	}
+	clock.Tick(1) // the descendant portal (if any) beeps on the region circuit
+
+	var acc *amoebot.Forest
+	for i, id := range ordered {
+		pnodes := sp.portalNodesIn(br, id)
+		var segSources []int32
+		for _, u := range pnodes {
+			if isSource[u] {
+				segSources = append(segSources, u)
+			}
+		}
+		f := LineForest(clock, s, pnodes, segSources)
+		f = propagateBothSides(clock, br.nodes, pnodes, f)
+		if i == 0 {
+			acc = f
+		} else {
+			acc = Merge(clock, acc, f)
+		}
+	}
+	return &regionState{region: br.nodes, forest: acc}
+}
+
+// propagateBothSides extends a forest living on the portal run pnodes to
+// the sides of the run present in the region.
+func propagateBothSides(clock *sim.Clock, region *amoebot.Region, pnodes []int32, f *amoebot.Forest) *amoebot.Forest {
+	inP := make(map[int32]bool, len(pnodes))
+	for _, p := range pnodes {
+		inP[p] = true
+	}
+	for side := amoebot.Side(0); side < amoebot.NumSides; side++ {
+		if len(sideNodes(region, pnodes, inP, side)) > 0 {
+			f = Propagate(clock, region, pnodes, f, side)
+		}
+	}
+	return f
+}
+
+// mergeAlongPortal merges all current regions intersecting portal p into
+// one (Lemma 55): phase 1 pairs the regions of each side across the marked
+// amoebots (one PASC-parity iteration per round of pairings), merging each
+// pair through its separating cut amoebot (SPT propagation + merging);
+// phase 2 joins the two sides with two propagations and a merge.
+func mergeAlongPortal(clock *sim.Clock, s *amoebot.Structure, sp *splitRegions, p int32, states []*regionState) []*regionState {
+	pnodes := sp.ports.NodesOf[p]
+	inP := make(map[int32]bool, len(pnodes))
+	for _, u := range pnodes {
+		inP[u] = true
+	}
+	var touching []*regionState
+	var rest []*regionState
+	for _, st := range states {
+		if st.region.ContainsAny(pnodes) {
+			touching = append(touching, st)
+		} else {
+			rest = append(rest, st)
+		}
+	}
+	if len(touching) == 0 {
+		return states // nothing at this portal (already absorbed)
+	}
+	if len(touching) == 1 {
+		return states // single region already spans the portal
+	}
+	// Classify each touching region to a side of p: the side of its
+	// non-portal body adjacent to p.
+	bySide := map[amoebot.Side][]*regionState{}
+	for _, st := range touching {
+		side, ok := regionSideOf(st.region, pnodes, inP)
+		if !ok {
+			// A pure-segment region (no body): park it on the side with
+			// fewer regions; it only contributes its portal nodes.
+			side = amoebot.SideA
+			if len(bySide[amoebot.SideA]) > len(bySide[amoebot.SideB]) {
+				side = amoebot.SideB
+			}
+		}
+		bySide[side] = append(bySide[side], st)
+	}
+
+	// Phase 1: per side, merge across the marked amoebots by PASC parity.
+	marks := sp.marksOf[p]
+	for side := amoebot.Side(0); side < amoebot.NumSides; side++ {
+		regions := bySide[side]
+		if len(regions) <= 1 {
+			continue
+		}
+		active := append([]int32(nil), marks...)
+		for len(active) > 0 && len(regions) > 1 {
+			clock.Tick(3) // termination beep + one PASC-parity iteration (§5.4.3)
+			var odd, even []int32
+			for i, m := range active {
+				if i%2 == 0 {
+					odd = append(odd, m)
+				} else {
+					even = append(even, m)
+				}
+			}
+			branches := make([]*sim.Clock, 0, len(odd))
+			for _, m := range odd {
+				var a, b *regionState
+				for _, st := range regions {
+					if st.region.Contains(m) {
+						if a == nil {
+							a = st
+						} else if st != a {
+							b = st
+						}
+					}
+				}
+				if a == nil || b == nil {
+					continue // the mark no longer separates two regions here
+				}
+				branch := clock.Fork()
+				branches = append(branches, branch)
+				merged := mergePairAtCut(branch, s, a, b, m)
+				var next []*regionState
+				for _, st := range regions {
+					if st != a && st != b {
+						next = append(next, st)
+					}
+				}
+				regions = append(next, merged)
+			}
+			clock.JoinMax(branches...)
+			active = even
+		}
+		bySide[side] = regions
+	}
+
+	// Phase 2: join the (at most one per side) remaining regions across p.
+	north := collapseSame(bySide[amoebot.SideA])
+	south := collapseSame(bySide[amoebot.SideB])
+	var out *regionState
+	switch {
+	case north == nil && south == nil:
+		panic("core: portal with no adjacent regions")
+	case south == nil:
+		out = north
+	case north == nil:
+		out = south
+	case north == south:
+		out = north
+	default:
+		whole := north.region.Union(south.region).Union(amoebot.NewRegion(s, pnodes))
+		fN := extendAlongPortal(clock, s, north.forest, pnodes)
+		fS := extendAlongPortal(clock, s, south.forest, pnodes)
+		f1 := Propagate(clock, whole, pnodes, fN, amoebot.SideB)
+		f2 := Propagate(clock, whole, pnodes, fS, amoebot.SideA)
+		out = &regionState{region: whole, forest: Merge(clock, f1, f2)}
+	}
+	return append(rest, out)
+}
+
+// collapseSame reduces a side's region list to a single state (they must
+// all be the same region by the end of phase 1).
+func collapseSame(regions []*regionState) *regionState {
+	if len(regions) == 0 {
+		return nil
+	}
+	if len(regions) > 1 {
+		panic(fmt.Sprintf("core: %d regions remain on one side after phase 1", len(regions)))
+	}
+	return regions[0]
+}
+
+// regionSideOf classifies a region to the side of the portal its body lies
+// on. ok=false when the region consists of portal nodes only.
+func regionSideOf(r *amoebot.Region, pnodes []int32, inP map[int32]bool) (amoebot.Side, bool) {
+	for _, u := range pnodes {
+		if !r.Contains(u) {
+			continue
+		}
+		for d := amoebot.Direction(0); d < amoebot.NumDirections; d++ {
+			if d.Axis() == amoebot.AxisX {
+				continue
+			}
+			v := r.Neighbor(u, d)
+			if v == amoebot.None || inP[v] {
+				continue
+			}
+			side, _ := amoebot.AxisX.SideOf(d)
+			return side, true
+		}
+	}
+	return 0, false
+}
+
+// mergePairAtCut merges two regions sharing exactly the cut amoebot m
+// (§5.4.3, phase 1, third step): every shortest path between the regions
+// passes m, so each side's forest extends into the other side by an SPT
+// rooted at m, and the merging algorithm combines the two extensions.
+func mergePairAtCut(clock *sim.Clock, s *amoebot.Structure, a, b *regionState, m int32) *regionState {
+	union := a.region.Union(b.region)
+	extend := func(own *regionState, other *amoebot.Region) *amoebot.Forest {
+		if own.forest.Size() == 0 {
+			return own.forest.Clone()
+		}
+		out := own.forest.Clone()
+		if other.Len() > 1 {
+			sub := SPT(clock, other, m, other.Nodes())
+			for _, u := range other.Nodes() {
+				if u == m || out.Member(u) {
+					continue // the pair overlaps only on m
+				}
+				if p := sub.Parent(u); p != amoebot.None {
+					out.SetParent(u, p)
+				}
+			}
+		}
+		return out
+	}
+	fA := extend(a, b.region)
+	fB := extend(b, a.region)
+	return &regionState{region: union, forest: Merge(clock, fA, fB)}
+}
+
+// extendAlongPortal completes a forest over the portal run: uncovered
+// portal amoebots (segments whose only bodies lie on the opposite side)
+// adopt the parent towards the nearest covered portal amoebot, weighting it
+// by its tree depth. A PASC sweep along the portal delivers the distances
+// (charged logarithmically); the shortest paths involved run along the
+// portal itself, so correctness follows from the grid metric.
+func extendAlongPortal(clock *sim.Clock, s *amoebot.Structure, f *amoebot.Forest, pnodes []int32) *amoebot.Forest {
+	if f.Size() == 0 {
+		return f.Clone()
+	}
+	covered := 0
+	for _, u := range pnodes {
+		if f.Member(u) {
+			covered++
+		}
+	}
+	if covered == len(pnodes) {
+		return f
+	}
+	out := f.Clone()
+	// best[i]: minimal depth(w) + |i - pos(w)| over covered w, tracked in
+	// two sweeps (west-to-east and east-to-west), the distributed analogue
+	// being the weighted line PASC of §5.1.
+	n := len(pnodes)
+	const inf = int(^uint(0) >> 2)
+	bestW := make([]int, n)
+	bestE := make([]int, n)
+	run := inf
+	for i := 0; i < n; i++ {
+		run++
+		if f.Member(pnodes[i]) {
+			if d := f.Depth(pnodes[i]); d < run {
+				run = d
+			}
+		}
+		bestW[i] = run
+	}
+	run = inf
+	for i := n - 1; i >= 0; i-- {
+		run++
+		if f.Member(pnodes[i]) {
+			if d := f.Depth(pnodes[i]); d < run {
+				run = d
+			}
+		}
+		bestE[i] = run
+	}
+	maxVal := 1
+	for i := 0; i < n; i++ {
+		if f.Member(pnodes[i]) {
+			continue
+		}
+		if bestW[i] <= bestE[i] {
+			out.SetParent(pnodes[i], pnodes[i-1])
+			if bestW[i] < inf/2 && bestW[i] > maxVal {
+				maxVal = bestW[i]
+			}
+		} else {
+			out.SetParent(pnodes[i], pnodes[i+1])
+			if bestE[i] < inf/2 && bestE[i] > maxVal {
+				maxVal = bestE[i]
+			}
+		}
+	}
+	clock.Tick(int64(2 * bits.Len(uint(maxVal)))) // weighted line PASC
+	return out
+}
+
+// ForestSequential is the naive multi-source approach the paper describes
+// as the O(k log n) baseline (§5 introduction): one SPT per source, merged
+// sequentially, then the final prune to the destinations.
+func ForestSequential(clock *sim.Clock, region *amoebot.Region, sources, dests []int32) *amoebot.Forest {
+	if len(sources) == 0 {
+		panic("core: no sources")
+	}
+	ordered := append([]int32(nil), sources...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
+	acc := SPT(clock, region, ordered[0], region.Nodes())
+	for _, src := range ordered[1:] {
+		next := SPT(clock, region, src, region.Nodes())
+		acc = Merge(clock, acc, next)
+	}
+	return pruneToDestinations(clock, acc, sources, dests)
+}

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"spforest/amoebot"
+	"spforest/internal/shapes"
+	"spforest/internal/sim"
+	"spforest/internal/verify"
+)
+
+func TestForestTwoSourcesParallelogram(t *testing.T) {
+	s := shapes.Parallelogram(10, 6)
+	r := amoebot.WholeRegion(s)
+	a, _ := s.Index(amoebot.XZ(0, 0))
+	b, _ := s.Index(amoebot.XZ(9, 5))
+	var clock sim.Clock
+	f := Forest(&clock, r, []int32{a, b}, allNodes(s), a)
+	if err := verify.Forest(s, []int32{a, b}, allNodes(s), f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForestSourcesOnOneRow(t *testing.T) {
+	// All sources on a single portal: one Q' portal, line algorithm does
+	// the heavy lifting.
+	s := shapes.Parallelogram(12, 5)
+	r := amoebot.WholeRegion(s)
+	var sources []int32
+	for _, x := range []int{0, 5, 11} {
+		u, _ := s.Index(amoebot.XZ(x, 2))
+		sources = append(sources, u)
+	}
+	var clock sim.Clock
+	f := Forest(&clock, r, sources, allNodes(s), sources[0])
+	if err := verify.Forest(s, sources, allNodes(s), f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForestOnLineStructure(t *testing.T) {
+	s := shapes.Line(20)
+	r := amoebot.WholeRegion(s)
+	sources := []int32{2, 9, 17}
+	var clock sim.Clock
+	f := Forest(&clock, r, sources, allNodes(s), sources[0])
+	if err := verify.Forest(s, sources, allNodes(s), f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForestHexagonManySources(t *testing.T) {
+	s := shapes.Hexagon(6)
+	r := amoebot.WholeRegion(s)
+	rng := rand.New(rand.NewSource(151))
+	sources := shapes.RandomSubset(rng, s, 8)
+	var clock sim.Clock
+	f := Forest(&clock, r, sources, allNodes(s), sources[0])
+	if err := verify.Forest(s, sources, allNodes(s), f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForestRandomBlobsRandomSources(t *testing.T) {
+	rng := rand.New(rand.NewSource(153))
+	for trial := 0; trial < 30; trial++ {
+		s := shapes.RandomBlob(rng, 30+rng.Intn(250))
+		r := amoebot.WholeRegion(s)
+		k := 2 + rng.Intn(7)
+		if k > s.N() {
+			k = s.N()
+		}
+		sources := shapes.RandomSubset(rng, s, k)
+		var clock sim.Clock
+		f := Forest(&clock, r, sources, allNodes(s), sources[0])
+		if err := verify.Forest(s, sources, allNodes(s), f); err != nil {
+			t.Fatalf("trial %d (n=%d, k=%d, sources=%v): %v", trial, s.N(), k, sources, err)
+		}
+	}
+}
+
+func TestForestWithDestinationsPrunes(t *testing.T) {
+	s := shapes.Parallelogram(12, 8)
+	r := amoebot.WholeRegion(s)
+	rng := rand.New(rand.NewSource(157))
+	sources := shapes.RandomSubset(rng, s, 4)
+	dests := shapes.RandomSubset(rng, s, 3)
+	var clock sim.Clock
+	f := Forest(&clock, r, sources, dests, sources[0])
+	if err := verify.Forest(s, sources, dests, f); err != nil {
+		t.Fatal(err)
+	}
+	if f.Size() >= s.N() {
+		t.Fatalf("forest with 3 destinations spans all %d nodes", s.N())
+	}
+}
+
+func TestForestCombTeethSources(t *testing.T) {
+	// Sources at the teeth tips: many portals, deep propagation.
+	s := shapes.Comb(5, 8)
+	r := amoebot.WholeRegion(s)
+	var sources []int32
+	for tooth := 0; tooth < 5; tooth++ {
+		u, _ := s.Index(amoebot.XZ(2*tooth, 8))
+		sources = append(sources, u)
+	}
+	var clock sim.Clock
+	f := Forest(&clock, r, sources, allNodes(s), sources[0])
+	if err := verify.Forest(s, sources, allNodes(s), f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForestSequentialBaseline(t *testing.T) {
+	rng := rand.New(rand.NewSource(163))
+	for trial := 0; trial < 10; trial++ {
+		s := shapes.RandomBlob(rng, 30+rng.Intn(120))
+		r := amoebot.WholeRegion(s)
+		k := 2 + rng.Intn(4)
+		if k > s.N() {
+			k = s.N()
+		}
+		sources := shapes.RandomSubset(rng, s, k)
+		var clock sim.Clock
+		f := ForestSequential(&clock, r, sources, allNodes(s))
+		if err := verify.Forest(s, sources, allNodes(s), f); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestForestMatchesSequentialDistances(t *testing.T) {
+	// Both algorithms must produce forests with identical depths (the
+	// trees may differ, distances may not).
+	rng := rand.New(rand.NewSource(167))
+	s := shapes.RandomBlob(rng, 150)
+	r := amoebot.WholeRegion(s)
+	sources := shapes.RandomSubset(rng, s, 5)
+	var c1, c2 sim.Clock
+	f1 := Forest(&c1, r, sources, allNodes(s), sources[0])
+	f2 := ForestSequential(&c2, r, sources, allNodes(s))
+	for i := int32(0); i < int32(s.N()); i++ {
+		if f1.Depth(i) != f2.Depth(i) {
+			t.Fatalf("node %d: D&C depth %d, sequential depth %d", i, f1.Depth(i), f2.Depth(i))
+		}
+	}
+}
+
+func TestForestSingleSourceDelegatesToSPT(t *testing.T) {
+	s := shapes.Hexagon(3)
+	r := amoebot.WholeRegion(s)
+	var clock sim.Clock
+	f := Forest(&clock, r, []int32{5}, allNodes(s), 5)
+	if err := verify.Forest(s, []int32{5}, allNodes(s), f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForestAdjacentSourceRows(t *testing.T) {
+	// Two stacked source rows: portal-pair regions with no blobs.
+	s := shapes.Parallelogram(8, 2)
+	r := amoebot.WholeRegion(s)
+	a, _ := s.Index(amoebot.XZ(1, 0))
+	b, _ := s.Index(amoebot.XZ(6, 1))
+	var clock sim.Clock
+	f := Forest(&clock, r, []int32{a, b}, allNodes(s), a)
+	if err := verify.Forest(s, []int32{a, b}, allNodes(s), f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForestManySourcesSameRegion(t *testing.T) {
+	// Sources clustered on neighboring rows exercise mark-based pairing.
+	s := shapes.Parallelogram(16, 10)
+	r := amoebot.WholeRegion(s)
+	var sources []int32
+	for _, xz := range [][2]int{{0, 4}, {5, 4}, {10, 4}, {15, 4}, {3, 7}, {12, 7}} {
+		u, _ := s.Index(amoebot.XZ(xz[0], xz[1]))
+		sources = append(sources, u)
+	}
+	var clock sim.Clock
+	f := Forest(&clock, r, sources, allNodes(s), sources[0])
+	if err := verify.Forest(s, sources, allNodes(s), f); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,214 @@
+// Package core implements the two algorithms of Padalkin & Scheideler
+// (PODC 2024) and their subroutines:
+//
+//   - SPT: the shortest path tree algorithm for a single source
+//     (§4, Theorem 39; O(log ℓ) rounds),
+//   - LineForest: the line algorithm (§5.1, Lemma 40),
+//   - Merge: the forest merging algorithm (§5.2, Lemma 42),
+//   - Propagate: the propagation algorithm across a portal (§5.3, Lemma 50),
+//   - Forest: the divide-and-conquer shortest path forest algorithm
+//     (§5.4, Theorem 56 / Corollary 57; O(log n log² k) rounds),
+//   - ForestSequential: the naive sequential-merge approach the paper
+//     mentions as the O(k log n) baseline (§5 introduction).
+//
+// All algorithms operate on a Region (sub-structure) and account their
+// synchronous rounds on a sim.Clock exactly as the paper's lemmas do.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"spforest/amoebot"
+	"spforest/internal/ett"
+	"spforest/internal/pasc"
+	"spforest/internal/sim"
+	"spforest/internal/treeprim"
+)
+
+// runParallel executes fn(0..n-1) on a bounded pool of worker goroutines
+// and waits for all of them. The call sites guarantee that distinct indices
+// touch disjoint mutable data (the simulated model's own parallelism).
+func runParallel(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// forestComponent returns the members of f reachable from start via
+// parent/child links, or nil if start is not a member.
+func forestComponent(f *amoebot.Forest, start int32) []int32 {
+	if !f.Member(start) {
+		return nil
+	}
+	children := f.Children()
+	seen := map[int32]bool{start: true}
+	stack := []int32{start}
+	var nodes []int32
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nodes = append(nodes, u)
+		if p := f.Parent(u); p != amoebot.None && !seen[p] {
+			seen[p] = true
+			stack = append(stack, p)
+		}
+		for _, c := range children[u] {
+			if !seen[c] {
+				seen[c] = true
+				stack = append(stack, c)
+			}
+		}
+	}
+	return nodes
+}
+
+// forestTree builds an ett.Tree over the given forest members (which must
+// form one tree component), with neighbor order following the grid's
+// counterclockwise direction order. Returns the tree and the local index of
+// each global node.
+func forestTree(f *amoebot.Forest, members []int32) (*ett.Tree, map[int32]int32) {
+	s := f.Structure()
+	toLocal := make(map[int32]int32, len(members))
+	for li, g := range members {
+		toLocal[g] = int32(li)
+	}
+	isLink := func(u, v int32) bool {
+		return f.Parent(u) == v || f.Parent(v) == u
+	}
+	nbrs := make([][]int32, len(members))
+	for li, g := range members {
+		for d := amoebot.Direction(0); d < amoebot.NumDirections; d++ {
+			v := s.Neighbor(g, d)
+			if v == amoebot.None {
+				continue
+			}
+			lv, ok := toLocal[v]
+			if !ok || !isLink(g, v) {
+				continue
+			}
+			nbrs[li] = append(nbrs[li], lv)
+		}
+	}
+	return ett.MustTree(nbrs), toLocal
+}
+
+// forestPASC builds a multi-root tree-distance PASC over all members of f:
+// slot i corresponds to members[i]; roots are the forest roots. Each
+// member's streamed value is its tree depth = dist(S, ·).
+func forestPASC(f *amoebot.Forest, members []int32) (*pasc.Run, map[int32]int32) {
+	toLocal := make(map[int32]int32, len(members))
+	for li, g := range members {
+		toLocal[g] = int32(li)
+	}
+	parent := make([]int32, len(members))
+	for li, g := range members {
+		if p := f.Parent(g); p != amoebot.None {
+			lp, ok := toLocal[p]
+			if !ok {
+				panic(fmt.Sprintf("core: member %d has parent outside member set", g))
+			}
+			parent[li] = lp
+		} else {
+			parent[li] = -1
+		}
+	}
+	return pasc.NewTreeDistance(parent), toLocal
+}
+
+// pruneToDestinations applies the final root-and-prune of §4/§5.4.4: every
+// tree of f is pruned to the subtrees containing destinations (sources
+// always stay as roots). Connected components of chosen-parent graphs that
+// contain no source receive no signal and prune themselves entirely.
+// Rounds: the primitive runs on all trees in parallel.
+func pruneToDestinations(clock *sim.Clock, f *amoebot.Forest, sources, dests []int32) *amoebot.Forest {
+	s := f.Structure()
+	isDest := make([]bool, s.N())
+	for _, d := range dests {
+		isDest[d] = true
+	}
+	isSource := make([]bool, s.N())
+	for _, src := range sources {
+		isSource[src] = true
+	}
+	out := amoebot.NewForest(s)
+	branches := make([]*sim.Clock, len(sources))
+	// The trees are vertex-disjoint, so the per-tree prunes run on worker
+	// goroutines (each writes only its own tree's entries of out).
+	runParallel(len(sources), func(si int) {
+		src := sources[si]
+		if !f.Member(src) {
+			out.SetRoot(src)
+			return
+		}
+		members := forestComponent(f, src)
+		branch := clock.Fork()
+		branches[si] = branch
+		tree, toLocal := forestTree(f, members)
+		inQ := make([]bool, len(members))
+		for li, g := range members {
+			inQ[li] = isDest[g]
+		}
+		rp := treeprim.RootAndPrune(branch, tree, toLocal[src], inQ)
+		for li, g := range members {
+			if rp.InVQ[li] {
+				if g == src {
+					out.SetRoot(g)
+				} else {
+					out.SetParent(g, f.Parent(g))
+				}
+			}
+		}
+		out.SetRoot(src) // sources always remain roots of (possibly empty) trees
+	})
+	live := branches[:0]
+	for _, b := range branches {
+		if b != nil {
+			live = append(live, b)
+		}
+	}
+	clock.JoinMax(live...)
+	// One synchronization round: components without a source hear silence
+	// and drop out.
+	clock.Tick(1)
+	return out
+}
+
+// discoverChildren charges the round in which every amoebot that chose a
+// parent beeps on the shared edge so parents learn their children (needed
+// before any tree-structured circuit can be built on a chosen-parent
+// forest).
+func discoverChildren(clock *sim.Clock, f *amoebot.Forest) {
+	clock.Tick(1)
+	n := int64(0)
+	for i := int32(0); i < int32(f.Structure().N()); i++ {
+		if f.Member(i) && f.Parent(i) != amoebot.None {
+			n++
+		}
+	}
+	clock.AddBeeps(n)
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"spforest/amoebot"
+	"spforest/internal/portal"
+	"spforest/internal/sim"
+)
+
+// SplitInfo exposes the §5.4.1 decomposition for inspection and
+// visualization (the textual analogue of the paper's Figure 15).
+type SplitInfo struct {
+	// Regions are the base regions (overlapping on portal segments).
+	Regions []*amoebot.Region
+	// QPPortals lists, per region, its one or two Q' portal ids.
+	QPPortals [][]int32
+	// Marks are the still-marked connector amoebots.
+	Marks []int32
+	// QPrimeNodes are the amoebots of the Q' portals.
+	QPrimeNodes []int32
+}
+
+// SplitRegions computes the base-region decomposition the forest algorithm
+// would use for the given sources (with the leader's portal as the root).
+// It is a read-only inspection hook; the returned round cost is discarded.
+func SplitRegions(region *amoebot.Region, sources []int32, leader int32) *SplitInfo {
+	ports := portal.Compute(region, amoebot.AxisX)
+	view := ports.WholeView()
+	inQ := make([]bool, ports.Len())
+	for _, src := range sources {
+		inQ[ports.ID[src]] = true
+	}
+	var clock sim.Clock
+	rpQ := portal.RootPrune(&clock, view, ports.ID[leader], inQ)
+	aq := portal.Augment(&clock, view, rpQ)
+	inQP := make([]bool, ports.Len())
+	for id := range inQP {
+		inQP[id] = inQ[id] || aq[id]
+	}
+	sp := buildSplit(region, ports, inQP, rpQ)
+	info := &SplitInfo{}
+	for _, br := range sp.regions {
+		info.Regions = append(info.Regions, br.nodes)
+		info.QPPortals = append(info.QPPortals, br.qpPortals)
+	}
+	for id, marks := range sp.marksOf {
+		_ = id
+		info.Marks = append(info.Marks, marks...)
+	}
+	for id := int32(0); id < int32(ports.Len()); id++ {
+		if inQP[id] {
+			info.QPrimeNodes = append(info.QPrimeNodes, ports.NodesOf[id]...)
+		}
+	}
+	return info
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"spforest/amoebot"
+	"spforest/internal/bitstream"
+	"spforest/internal/pasc"
+	"spforest/internal/sim"
+)
+
+// LineForest computes an S-shortest path forest for a chain of amoebots
+// (§5.1, Lemma 40): the PASC algorithm runs from every source into both
+// directions up to the next source (two joint PASC executions, one per
+// direction, 4 links per edge); every amoebot compares its two streamed
+// distances with an O(1)-state comparator and adopts the neighbor towards
+// the nearer source (ties towards the negative end).
+//
+// chain lists the amoebot node ids in chain order; sources must be a subset
+// of the chain. Runs in O(log n) rounds.
+func LineForest(clock *sim.Clock, s *amoebot.Structure, chain []int32, sources []int32) *amoebot.Forest {
+	n := len(chain)
+	f := amoebot.NewForest(s)
+	if n == 0 {
+		return f
+	}
+	isSource := make([]bool, n)
+	pos := make(map[int32]int, n)
+	for i, g := range chain {
+		pos[g] = i
+	}
+	for _, src := range sources {
+		i, ok := pos[src]
+		if !ok {
+			panic("core: line source outside chain")
+		}
+		isSource[i] = true
+	}
+	if len(sources) == 0 {
+		return f
+	}
+
+	// One beep round per direction on the chain circuit cut at sources:
+	// every amoebot learns whether a source exists on its west/east side.
+	hasWest := make([]bool, n)
+	hasEast := make([]bool, n)
+	{
+		seen := false
+		for i := 0; i < n; i++ {
+			hasWest[i] = seen
+			if isSource[i] {
+				seen = true
+			}
+		}
+		seen = false
+		for i := n - 1; i >= 0; i-- {
+			hasEast[i] = seen
+			if isSource[i] {
+				seen = true
+			}
+		}
+		clock.Tick(2)
+		clock.AddBeeps(2 * int64(len(sources)))
+	}
+
+	// Eastward run: every source is a root; slot i's value is the distance
+	// to the nearest source on its west. Westward run symmetric.
+	parentE := make([]int32, n)
+	parentW := make([]int32, n)
+	for i := 0; i < n; i++ {
+		if isSource[i] {
+			parentE[i], parentW[i] = -1, -1
+			continue
+		}
+		parentE[i] = int32(i) - 1 // may be -1 at the chain start: acts as a dummy root
+		parentW[i] = int32(i) + 1
+		if parentW[i] == int32(n) {
+			parentW[i] = -1
+		}
+	}
+	east := pasc.New(parentE, participants(n))
+	west := pasc.New(parentW, participants(n))
+	cmps := make([]bitstream.Comparator, n)
+	for !pasc.AllDone(east, west) {
+		bits := pasc.StepRound(clock, east, west)
+		for i := 0; i < n; i++ {
+			switch {
+			case !hasWest[i] && !hasEast[i]:
+				continue
+			case !hasWest[i]:
+				cmps[i].Feed(1, 0) // west side invalid: force the east side
+			case !hasEast[i]:
+				cmps[i].Feed(0, 1) // east side invalid: force the west side
+			default:
+				cmps[i].Feed(bits[0][i], bits[1][i])
+			}
+		}
+	}
+	for i, g := range chain {
+		if isSource[i] {
+			f.SetRoot(g)
+			continue
+		}
+		switch {
+		case !hasWest[i] && !hasEast[i]:
+			continue // no source on the chain at all (empty S was rejected above)
+		case hasWest[i] && (!hasEast[i] || cmps[i].Result() != bitstream.Greater):
+			f.SetParent(g, chain[i-1]) // west distance ≤ east distance
+		default:
+			f.SetParent(g, chain[i+1])
+		}
+	}
+	return f
+}
+
+func participants(n int) []bool {
+	p := make([]bool, n)
+	for i := range p {
+		p[i] = true
+	}
+	return p
+}

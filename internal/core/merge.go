@@ -1,0 +1,67 @@
+package core
+
+import (
+	"spforest/amoebot"
+	"spforest/internal/bitstream"
+	"spforest/internal/pasc"
+	"spforest/internal/sim"
+)
+
+// Merge merges an S1-shortest path forest and an S2-shortest path forest
+// into an (S1∪S2)-shortest path forest (§5.2, Lemma 42): tree-PASC
+// executions on both forests stream every amoebot's dist(S1,·) and
+// dist(S2,·); each amoebot compares them with an O(1)-state comparator and
+// keeps the parent of the nearer side (Lemma 41; ties towards f1).
+//
+// Amoebots covered by only one forest keep that forest's parent; the merge
+// is meaningful when every relevant amoebot is covered by at least one
+// side. Runs in O(log n) rounds; 4 links per edge (2 per forest).
+func Merge(clock *sim.Clock, f1, f2 *amoebot.Forest) *amoebot.Forest {
+	s := f1.Structure()
+	if f2.Structure() != s {
+		panic("core: merging forests of different structures")
+	}
+	m1, m2 := f1.Members(), f2.Members()
+	if len(m1) == 0 {
+		return f2.Clone()
+	}
+	if len(m2) == 0 {
+		return f1.Clone()
+	}
+	run1, local1 := forestPASC(f1, m1)
+	run2, local2 := forestPASC(f2, m2)
+	cmps := make(map[int32]*bitstream.Comparator)
+	for _, g := range m1 {
+		if f2.Member(g) {
+			cmps[g] = &bitstream.Comparator{}
+		}
+	}
+	for !pasc.AllDone(run1, run2) {
+		bits := pasc.StepRound(clock, run1, run2)
+		for g, c := range cmps {
+			c.Feed(bits[0][local1[g]], bits[1][local2[g]])
+		}
+	}
+	out := amoebot.NewForest(s)
+	for _, g := range m1 {
+		if c, both := cmps[g]; both && c.Result() == bitstream.Greater {
+			continue // f2 strictly nearer: handled below
+		}
+		if p := f1.Parent(g); p != amoebot.None {
+			out.SetParent(g, p)
+		} else {
+			out.SetRoot(g)
+		}
+	}
+	for _, g := range m2 {
+		if c, both := cmps[g]; both && c.Result() != bitstream.Greater {
+			continue // f1 at most as far: already placed
+		}
+		if p := f2.Parent(g); p != amoebot.None {
+			out.SetParent(g, p)
+		} else {
+			out.SetRoot(g)
+		}
+	}
+	return out
+}

@@ -1,0 +1,261 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"spforest/amoebot"
+	"spforest/internal/bitstream"
+	"spforest/internal/pasc"
+	"spforest/internal/portal"
+	"spforest/internal/sim"
+)
+
+// Propagate extends an S-shortest path forest f covering A ∪ P to the whole
+// region A ∪ P ∪ B (§5.3, Lemma 50). P is an x-portal of the region given
+// by its nodes; B is the union of the region's components on the given side
+// of P (SideA = north). S ⊆ A ∪ P must hold, which is the case whenever f
+// is an (S∩(A∪P))-forest of A∪P.
+//
+// Phase 1 handles the visibility region B' = B ∩ vis(P): amoebots visible
+// along exactly one of the y/z-portals through P adopt the neighbor towards
+// their projection (Lemma 47); amoebots visible along both compare
+// dist(S, proj_y) against dist(S, proj_z), streamed by a tree-PASC on f and
+// forwarded along the portal circuits (Lemma 46). Phase 2 roots every
+// invisible component Z at the amoebot s_Z closest to P and runs the
+// shortest path tree algorithm inside Z (Lemmas 48/49).
+//
+// Runs in O(log n) rounds. An empty forest propagates to an empty forest.
+func Propagate(clock *sim.Clock, region *amoebot.Region, pnodes []int32, f *amoebot.Forest, into amoebot.Side) *amoebot.Forest {
+	s := region.Structure()
+	if len(pnodes) == 0 {
+		panic("core: empty portal")
+	}
+	if f.Size() == 0 {
+		return f.Clone()
+	}
+	zP := s.Coord(pnodes[0]).Z
+	inP := make(map[int32]bool, len(pnodes))
+	for _, p := range pnodes {
+		if s.Coord(p).Z != zP {
+			panic("core: portal nodes not on one row")
+		}
+		inP[p] = true
+	}
+
+	// B = components of region \ P on the requested side.
+	bNodes := sideNodes(region, pnodes, inP, into)
+	if len(bNodes) == 0 {
+		return f.Clone()
+	}
+	out := f.Clone()
+
+	// Directions from B towards P along the y- and z-axes.
+	var towardY, towardZ amoebot.Direction
+	if into == amoebot.SideA { // B north of P: move south
+		towardY, towardZ = amoebot.DirSW, amoebot.DirSE
+	} else {
+		towardY, towardZ = amoebot.DirNE, amoebot.DirNW
+	}
+
+	// Phase 1: visibility via the y-/z-portals of P ∪ B (one beep round).
+	pb := amoebot.NewRegion(s, append(append([]int32{}, pnodes...), bNodes...))
+	portsY := portal.Compute(pb, amoebot.AxisY)
+	portsZ := portal.Compute(pb, amoebot.AxisZ)
+	containsP := func(ports *portal.Portals) []bool {
+		mask := make([]bool, ports.Len())
+		for _, p := range pnodes {
+			mask[ports.ID[p]] = true
+		}
+		return mask
+	}
+	visYPortal := containsP(portsY)
+	visZPortal := containsP(portsZ)
+	clock.Tick(1)
+	clock.AddBeeps(2 * int64(len(pnodes)))
+
+	var bothVisible []int32
+	visible := make(map[int32]bool, len(bNodes))
+	for _, u := range bNodes {
+		vy := visYPortal[portsY.ID[u]]
+		vz := visZPortal[portsZ.ID[u]]
+		switch {
+		case vy && vz:
+			visible[u] = true
+			bothVisible = append(bothVisible, u)
+		case vy:
+			visible[u] = true
+			out.SetParent(u, mustNeighbor(region, u, towardY))
+		case vz:
+			visible[u] = true
+			out.SetParent(u, mustNeighbor(region, u, towardZ))
+		}
+	}
+
+	// Both-visible amoebots compare the streamed distances of their two
+	// projections onto P (tree-PASC on f; the P-amoebots forward their bits
+	// on the portal circuits in the same cadence).
+	if len(bothVisible) > 0 {
+		members := f.Members()
+		run, toLocal := forestPASC(f, members)
+		type probe struct {
+			u            int32
+			projY, projZ int32
+			cmp          bitstream.Comparator
+		}
+		probes := make([]probe, 0, len(bothVisible))
+		for _, u := range bothVisible {
+			cu := s.Coord(u)
+			py, okY := s.Index(amoebot.Coord{X: -cu.Y - zP, Y: cu.Y, Z: zP})
+			pz, okZ := s.Index(amoebot.XZ(cu.X, zP))
+			if !okY || !okZ || !inP[py] || !inP[pz] {
+				panic("core: projection of a visible amoebot missed the portal")
+			}
+			probes = append(probes, probe{u: u, projY: py, projZ: pz})
+		}
+		for !run.Done() {
+			bits := pasc.StepRound(clock, run)[0]
+			for i := range probes {
+				pr := &probes[i]
+				pr.cmp.Feed(bits[toLocal[pr.projY]], bits[toLocal[pr.projZ]])
+			}
+		}
+		for i := range probes {
+			pr := &probes[i]
+			// n_y if dist(S, proj_y) ≤ dist(S, proj_z), else n_z (Lemma 46).
+			if pr.cmp.Result() != bitstream.Greater {
+				out.SetParent(pr.u, mustNeighbor(region, pr.u, towardY))
+			} else {
+				out.SetParent(pr.u, mustNeighbor(region, pr.u, towardZ))
+			}
+		}
+	}
+
+	// Phase 2: invisible components. Each component Z elects s_Z (the
+	// amoebot adjacent to B' closest to P), adopts a nearest-P neighbor in
+	// B' as its parent and runs the SPT algorithm inside Z (in parallel
+	// over all components; two rounds for the component circuits/election).
+	var invisible []int32
+	for _, u := range bNodes {
+		if !visible[u] {
+			invisible = append(invisible, u)
+		}
+	}
+	if len(invisible) > 0 {
+		clock.Tick(2)
+		comps := amoebot.NewRegion(s, invisible).Components()
+		branches := make([]*sim.Clock, 0, len(comps))
+		for _, z := range comps {
+			branch := clock.Fork()
+			branches = append(branches, branch)
+			sz, parent := electComponentRoot(region, z, visible, zP)
+			out.SetParent(sz, parent)
+			if z.Len() > 1 {
+				sub := SPT(branch, z, sz, z.Nodes())
+				for _, u := range z.Nodes() {
+					if u == sz {
+						continue
+					}
+					if p := sub.Parent(u); p != amoebot.None {
+						out.SetParent(u, p)
+					} else {
+						panic(fmt.Sprintf("core: phase-2 SPT left node %d unparented", u))
+					}
+				}
+			}
+		}
+		clock.JoinMax(branches...)
+	}
+	return out
+}
+
+// sideNodes returns the nodes of region \ P lying on the given side of the
+// x-portal P. Every component of region \ P touches P from exactly one side
+// (the portal graph is a tree); a component touching from the wrong side
+// belongs to A.
+func sideNodes(region *amoebot.Region, pnodes []int32, inP map[int32]bool, side amoebot.Side) []int32 {
+	s := region.Structure()
+	rest := region.Filter(func(i int32) bool { return !inP[i] })
+	var out []int32
+	for _, comp := range amoebot.NewRegion(s, rest).Components() {
+		compSide, found := amoebot.Side(0), false
+		for _, p := range pnodes {
+			for d := amoebot.Direction(0); d < amoebot.NumDirections; d++ {
+				if d.Axis() == amoebot.AxisX {
+					continue
+				}
+				v := region.Neighbor(p, d)
+				if v == amoebot.None || !comp.Contains(v) {
+					continue
+				}
+				ds, _ := amoebot.AxisX.SideOf(d)
+				if found && ds != compSide {
+					panic("core: component touches the portal from both sides")
+				}
+				compSide, found = ds, true
+			}
+		}
+		if !found {
+			panic("core: component not adjacent to the portal")
+		}
+		if compSide == side {
+			out = append(out, comp.Nodes()...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func mustNeighbor(region *amoebot.Region, u int32, d amoebot.Direction) int32 {
+	v := region.Neighbor(u, d)
+	if v == amoebot.None {
+		panic(fmt.Sprintf("core: expected neighbor of %d in direction %v", u, d))
+	}
+	return v
+}
+
+// electComponentRoot picks s_Z — the component node adjacent to B' closest
+// to P's row (ties towards smaller X) — and its parent: the adjacent
+// B'-node closest to P's row.
+func electComponentRoot(region *amoebot.Region, z *amoebot.Region, visible map[int32]bool, zP int) (sz, parent int32) {
+	s := region.Structure()
+	absDelta := func(u int32) int {
+		d := s.Coord(u).Z - zP
+		if d < 0 {
+			return -d
+		}
+		return d
+	}
+	sz = amoebot.None
+	for _, u := range z.Nodes() {
+		adjacent := false
+		for d := amoebot.Direction(0); d < amoebot.NumDirections; d++ {
+			if v := region.Neighbor(u, d); v != amoebot.None && visible[v] {
+				adjacent = true
+				break
+			}
+		}
+		if !adjacent {
+			continue
+		}
+		if sz == amoebot.None || absDelta(u) < absDelta(sz) ||
+			(absDelta(u) == absDelta(sz) && s.Coord(u).X < s.Coord(sz).X) {
+			sz = u
+		}
+	}
+	if sz == amoebot.None {
+		panic("core: invisible component not adjacent to the visibility region")
+	}
+	parent = amoebot.None
+	for d := amoebot.Direction(0); d < amoebot.NumDirections; d++ {
+		v := region.Neighbor(sz, d)
+		if v == amoebot.None || !visible[v] {
+			continue
+		}
+		if parent == amoebot.None || absDelta(v) < absDelta(parent) ||
+			(absDelta(v) == absDelta(parent) && s.Coord(v).X < s.Coord(parent).X) {
+			parent = v
+		}
+	}
+	return sz, parent
+}

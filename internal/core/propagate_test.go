@@ -1,0 +1,145 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"spforest/amoebot"
+	"spforest/internal/baseline"
+	"spforest/internal/portal"
+	"spforest/internal/shapes"
+	"spforest/internal/sim"
+	"spforest/internal/verify"
+)
+
+// propagateSetup picks an x-portal P of the structure, builds a valid
+// S-forest of A∪P (sources in A∪P) with the BFS reference, and returns
+// everything needed to call Propagate towards `into`.
+func propagateSetup(t *testing.T, rng *rand.Rand, s *amoebot.Structure, portalIdx int, k int, into amoebot.Side) (region *amoebot.Region, pnodes, sources []int32, f *amoebot.Forest, ok bool) {
+	t.Helper()
+	region = amoebot.WholeRegion(s)
+	ports := portal.Compute(region, amoebot.AxisX)
+	if portalIdx >= ports.Len() {
+		return nil, nil, nil, nil, false
+	}
+	pnodes = ports.NodesOf[int32(portalIdx)]
+	inP := make(map[int32]bool)
+	for _, p := range pnodes {
+		inP[p] = true
+	}
+	// A∪P = region minus the components on the `into` side (the exact set
+	// Propagate will extend into).
+	b := sideNodes(region, pnodes, inP, into)
+	if len(b) == 0 {
+		return nil, nil, nil, nil, false // nothing to propagate into
+	}
+	inB := make(map[int32]bool, len(b))
+	for _, u := range b {
+		inB[u] = true
+	}
+	var apNodes []int32
+	for i := int32(0); i < int32(s.N()); i++ {
+		if !inB[i] {
+			apNodes = append(apNodes, i)
+		}
+	}
+	ap := amoebot.NewRegion(s, apNodes)
+	if !ap.IsConnected() {
+		return nil, nil, nil, nil, false
+	}
+	// Pick k sources within A∪P.
+	nodes := ap.Nodes()
+	perm := rng.Perm(len(nodes))
+	for i := 0; i < k && i < len(nodes); i++ {
+		sources = append(sources, nodes[perm[i]])
+	}
+	var clock sim.Clock
+	f = baseline.BFSForest(&clock, ap, sources)
+	return region, pnodes, sources, f, true
+}
+
+func TestPropagateParallelogramSouth(t *testing.T) {
+	s := shapes.Parallelogram(8, 6)
+	rng := rand.New(rand.NewSource(131))
+	region, pnodes, sources, f, ok := propagateSetup(t, rng, s, 2, 2, amoebot.SideB)
+	if !ok {
+		t.Fatal("setup failed")
+	}
+	var clock sim.Clock
+	out := Propagate(&clock, region, pnodes, f, amoebot.SideB)
+	if err := verify.Forest(s, sources, allNodes(s), out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropagateBothSides(t *testing.T) {
+	s := shapes.Hexagon(5)
+	rng := rand.New(rand.NewSource(133))
+	for _, into := range []amoebot.Side{amoebot.SideA, amoebot.SideB} {
+		region, pnodes, sources, f, ok := propagateSetup(t, rng, s, 5, 3, into)
+		if !ok {
+			t.Fatalf("setup failed for side %d", into)
+		}
+		var clock sim.Clock
+		out := Propagate(&clock, region, pnodes, f, into)
+		if err := verify.Forest(s, sources, allNodes(s), out); err != nil {
+			t.Fatalf("side %d: %v", into, err)
+		}
+	}
+}
+
+func TestPropagateCombNeedsPhase2(t *testing.T) {
+	// Sources on the comb spine, propagate south into the teeth: each tooth
+	// is a separate component of B, most of it invisible from the spine.
+	s := shapes.Comb(6, 10)
+	region := amoebot.WholeRegion(s)
+	ports := portal.Compute(region, amoebot.AxisX)
+	// The spine is the longest portal.
+	spine := int32(0)
+	for id := int32(0); id < int32(ports.Len()); id++ {
+		if len(ports.NodesOf[id]) > len(ports.NodesOf[spine]) {
+			spine = id
+		}
+	}
+	pnodes := ports.NodesOf[spine]
+	sources := []int32{pnodes[0], pnodes[len(pnodes)-1]}
+	var clock sim.Clock
+	f := baseline.BFSForest(&clock, amoebot.NewRegion(s, pnodes), sources)
+	out := Propagate(&clock, region, pnodes, f, amoebot.SideB)
+	if err := verify.Forest(s, sources, allNodes(s), out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropagateRandomBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(137))
+	trials := 0
+	for trials < 30 {
+		s := shapes.RandomBlob(rng, 40+rng.Intn(200))
+		side := amoebot.Side(rng.Intn(2))
+		region, pnodes, sources, f, ok := propagateSetup(
+			t, rng, s, rng.Intn(12), 1+rng.Intn(3), side)
+		if !ok {
+			continue
+		}
+		trials++
+		var clock sim.Clock
+		out := Propagate(&clock, region, pnodes, f, side)
+		if err := verify.Forest(s, sources, allNodes(s), out); err != nil {
+			t.Fatalf("trial %d (n=%d, |P|=%d, side=%d): %v",
+				trials, s.N(), len(pnodes), side, err)
+		}
+	}
+}
+
+func TestPropagateEmptyForest(t *testing.T) {
+	s := shapes.Parallelogram(5, 4)
+	region := amoebot.WholeRegion(s)
+	ports := portal.Compute(region, amoebot.AxisX)
+	empty := amoebot.NewForest(s)
+	var clock sim.Clock
+	out := Propagate(&clock, region, ports.NodesOf[0], empty, amoebot.SideB)
+	if out.Size() != 0 {
+		t.Fatal("empty forest propagated to a non-empty forest")
+	}
+}

@@ -1,0 +1,351 @@
+package core
+
+import (
+	"sort"
+
+	"spforest/amoebot"
+	"spforest/internal/portal"
+)
+
+// splitRegions is the outcome of the §5.4.1 decomposition of the structure
+// along the portals of Q' = Q ∪ A_Q.
+type splitRegions struct {
+	ports *portal.Portals
+	inQP  []bool // per portal: member of Q'
+
+	// marksOf lists, per Q' portal, its still-marked amoebots (connectors
+	// towards V_Q neighbors minus the westernmost), in ascending x order.
+	marksOf map[int32][]int32
+
+	// segmentsOf lists, per Q' portal, its node runs split at the marked
+	// amoebots; marks belong to both adjacent segments. Segments are in
+	// ascending x order.
+	segmentsOf map[int32][][]int32
+
+	// regions are the base regions: each intersects one or two portals of
+	// Q' (Lemma 52) and overlaps its neighbors on portal segments.
+	regions []*baseRegion
+}
+
+type baseRegion struct {
+	nodes *amoebot.Region
+	// qpPortals lists the region's Q' portals (1 or 2).
+	qpPortals []int32
+	// segs lists the region's segment copies as (portal, segment index).
+	segs [][2]int32
+}
+
+// segCopy identifies one side copy of one segment of one Q' portal in the
+// region-construction graph H.
+type segCopy struct {
+	portal int32
+	seg    int32
+	side   amoebot.Side
+}
+
+// buildSplit computes marks, segments and base regions. It mirrors the
+// paper's construction: split the structure at every Q' portal (the portal
+// joining both sides), then split further at the marked amoebots, so that
+// every region meets at most two portals of Q' (Lemma 52).
+func buildSplit(region *amoebot.Region, ports *portal.Portals, inQP []bool, rp *portal.RootPruneResult) *splitRegions {
+	s := region.Structure()
+	sp := &splitRegions{
+		ports:      ports,
+		inQP:       inQP,
+		marksOf:    make(map[int32][]int32),
+		segmentsOf: make(map[int32][][]int32),
+	}
+	// Marks: every Q' portal marks its connector towards each V_Q neighbor,
+	// then unmarks the westernmost mark.
+	for id := int32(0); id < int32(ports.Len()); id++ {
+		if !inQP[id] {
+			continue
+		}
+		markSet := map[int32]bool{}
+		for _, nb := range ports.Nbr[id] {
+			// The edge to nb survives pruning iff nb is the parent (id is
+			// in V_Q as a Q' member) or nb is a surviving child.
+			if nb == rp.Parent[id] || (rp.Parent[nb] == id && rp.InVQ[nb]) {
+				markSet[ports.Connector(id, nb)] = true
+			}
+		}
+		marks := make([]int32, 0, len(markSet))
+		for m := range markSet {
+			marks = append(marks, m)
+		}
+		sort.Slice(marks, func(a, b int) bool {
+			return s.Coord(marks[a]).X < s.Coord(marks[b]).X
+		})
+		if len(marks) > 0 {
+			marks = marks[1:] // unmark the westernmost
+		}
+		sp.marksOf[id] = marks
+		// Segments: the portal's node run split at the marks, marks
+		// belonging to both sides.
+		run := ports.NodesOf[id]
+		markPos := map[int32]bool{}
+		for _, m := range marks {
+			markPos[m] = true
+		}
+		var segs [][]int32
+		cur := []int32{}
+		for _, u := range run {
+			cur = append(cur, u)
+			if markPos[u] {
+				segs = append(segs, cur)
+				cur = []int32{u}
+			}
+		}
+		segs = append(segs, cur)
+		sp.segmentsOf[id] = segs
+	}
+
+	// H-graph: vertices are the blobs (components of region minus Q'
+	// portal nodes) and the side copies of the segments; edges follow the
+	// crossing edges incident to Q' portal nodes. Base regions are the
+	// connected components of H.
+	qpNode := make(map[int32][2]int32) // node -> (portal, segment index); marks map to the western segment
+	for id, segs := range sp.segmentsOf {
+		for si, seg := range segs {
+			for _, u := range seg {
+				qpNode[u] = [2]int32{id, int32(si)}
+			}
+		}
+	}
+	// Marks belong to two segments; qpNode keeps the eastern one (later
+	// overwrite). Fix: record both via explicit lookup.
+	segOf := func(id int32, u int32) []int32 {
+		var out []int32
+		for si, seg := range sp.segmentsOf[id] {
+			for _, v := range seg {
+				if v == u {
+					out = append(out, int32(si))
+					break
+				}
+			}
+		}
+		return out
+	}
+
+	rest := region.Filter(func(i int32) bool { _, qp := qpNode[i]; return !qp })
+	blobs := amoebot.NewRegion(s, rest).Components()
+	blobOf := make(map[int32]int, len(rest))
+	for bi, b := range blobs {
+		for _, u := range b.Nodes() {
+			blobOf[u] = bi
+		}
+	}
+
+	// Union-find over H vertices: blobs first, then segment copies.
+	copyIdx := make(map[segCopy]int)
+	var copies []segCopy
+	idxOf := func(c segCopy) int {
+		if i, ok := copyIdx[c]; ok {
+			return i
+		}
+		i := len(blobs) + len(copies)
+		copyIdx[c] = i
+		copies = append(copies, c)
+		return i
+	}
+	parent := make([]int, len(blobs), len(blobs)+16)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for x >= len(parent) {
+			parent = append(parent, len(parent))
+		}
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	union := func(a, b int) {
+		find(a)
+		find(b)
+		parent[find(a)] = find(b)
+	}
+
+	for u, ps := range qpNode {
+		id := ps[0]
+		for d := amoebot.Direction(0); d < amoebot.NumDirections; d++ {
+			if d.Axis() == amoebot.AxisX {
+				continue
+			}
+			v := region.Neighbor(u, d)
+			if v == amoebot.None {
+				continue
+			}
+			side, _ := amoebot.AxisX.SideOf(d)
+			for _, si := range segOf(id, u) {
+				from := idxOf(segCopy{portal: id, seg: si, side: side})
+				if bi, isBlob := blobOf[v]; isBlob {
+					union(from, bi)
+				} else {
+					// v belongs to another Q' portal: connect the two
+					// segment copies (their facing sides).
+					vp := qpNode[v]
+					oside, _ := amoebot.AxisX.SideOf(d.Opposite())
+					for _, vsi := range segOf(vp[0], v) {
+						union(from, idxOf(segCopy{portal: vp[0], seg: vsi, side: oside}))
+					}
+				}
+			}
+		}
+	}
+	// Make sure both side copies of every segment exist, so no amoebot is
+	// left uncovered.
+	for id, segs := range sp.segmentsOf {
+		for si := range segs {
+			idxOf(segCopy{portal: id, seg: int32(si), side: amoebot.SideA})
+			idxOf(segCopy{portal: id, seg: int32(si), side: amoebot.SideB})
+		}
+	}
+
+	// A "solo" component consists of the copies of a single segment with no
+	// blobs or pairs attached. If both side copies of a segment are solo
+	// (e.g. a pure-line structure), they fuse into one segment region; a
+	// solo copy whose sibling is attached somewhere is dropped — the
+	// segment is already covered by the sibling's region.
+	group := make(map[int][]int)
+	regroup := func() {
+		group = make(map[int][]int)
+		for i := 0; i < len(blobs); i++ {
+			group[find(i)] = append(group[find(i)], i)
+		}
+		for _, i := range copyIdx {
+			group[find(i)] = append(group[find(i)], i)
+		}
+	}
+	regroup()
+	isSolo := func(root int) bool {
+		members := group[root]
+		for _, m := range members {
+			if m < len(blobs) {
+				return false
+			}
+			c := copies[m-len(blobs)]
+			c0 := copies[members[0]-len(blobs)]
+			if c.portal != c0.portal || c.seg != c0.seg {
+				return false
+			}
+		}
+		return true
+	}
+	dropped := map[int]bool{}
+	for root := range group {
+		if !isSolo(root) {
+			continue
+		}
+		c := copies[group[root][0]-len(blobs)]
+		other := amoebot.SideA
+		if c.side == amoebot.SideA {
+			other = amoebot.SideB
+		}
+		sibling := find(idxOf(segCopy{portal: c.portal, seg: c.seg, side: other}))
+		if sibling == root {
+			continue // both copies already together: a valid segment region
+		}
+		if isSolo(sibling) {
+			union(root, sibling)
+		} else {
+			dropped[root] = true
+		}
+	}
+	regroup()
+	for root := range dropped {
+		if find(root) == root {
+			delete(group, root)
+		}
+	}
+
+	roots := make([]int, 0, len(group))
+	for root := range group {
+		roots = append(roots, root)
+	}
+	sort.Ints(roots)
+	for _, root := range roots {
+		members := group[root]
+		nodeSet := map[int32]bool{}
+		qpSet := map[int32]bool{}
+		var segs [][2]int32
+		for _, m := range members {
+			if m < len(blobs) {
+				for _, u := range blobs[m].Nodes() {
+					nodeSet[u] = true
+				}
+				continue
+			}
+			c := copies[m-len(blobs)]
+			qpSet[c.portal] = true
+			segs = append(segs, [2]int32{c.portal, c.seg})
+			for _, u := range sp.segmentsOf[c.portal][c.seg] {
+				nodeSet[u] = true
+			}
+		}
+		if len(nodeSet) == 0 {
+			continue
+		}
+		nodes := make([]int32, 0, len(nodeSet))
+		for u := range nodeSet {
+			nodes = append(nodes, u)
+		}
+		var qps []int32
+		for id := range qpSet {
+			qps = append(qps, id)
+		}
+		sort.Slice(qps, func(a, b int) bool { return qps[a] < qps[b] })
+		sp.regions = append(sp.regions, &baseRegion{
+			nodes:     amoebot.NewRegion(s, nodes),
+			qpPortals: qps,
+			segs:      dedupeSegs(segs),
+		})
+	}
+	return sp
+}
+
+func dedupeSegs(segs [][2]int32) [][2]int32 {
+	seen := map[[2]int32]bool{}
+	var out [][2]int32
+	for _, sg := range segs {
+		if !seen[sg] {
+			seen[sg] = true
+			out = append(out, sg)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a][0] != out[b][0] {
+			return out[a][0] < out[b][0]
+		}
+		return out[a][1] < out[b][1]
+	})
+	return out
+}
+
+// portalNodesIn returns the contiguous run of the given portal's nodes that
+// belong to the region (its segments within the region), ascending in x.
+func (sp *splitRegions) portalNodesIn(br *baseRegion, id int32) []int32 {
+	var out []int32
+	seen := map[int32]bool{}
+	for _, sg := range br.segs {
+		if sg[0] != id {
+			continue
+		}
+		for _, u := range sp.segmentsOf[id][sg[1]] {
+			if !seen[u] {
+				seen[u] = true
+				out = append(out, u)
+			}
+		}
+	}
+	s := sp.ports.Region.Structure()
+	sort.Slice(out, func(a, b int) bool { return s.Coord(out[a]).X < s.Coord(out[b]).X })
+	for i := 1; i < len(out); i++ {
+		if s.Coord(out[i]).X != s.Coord(out[i-1]).X+1 {
+			panic("core: region's portal segments are not contiguous")
+		}
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"spforest/amoebot"
+	"spforest/internal/portal"
+	"spforest/internal/sim"
+)
+
+// SPT computes an ({s}, D)-shortest path forest of the region: a single
+// tree rooted at the source, containing a shortest path (within the region)
+// to every destination, pruned so that every leaf is a destination
+// (Theorem 39). It runs in O(log ℓ) rounds: three portal root-and-prune
+// executions (one per axis) plus a final root-and-prune over the
+// chosen-parent forest.
+//
+// The region must be connected and hole-free, the source and destinations
+// must lie inside it.
+func SPT(clock *sim.Clock, region *amoebot.Region, source int32, dests []int32) *amoebot.Forest {
+	s := region.Structure()
+	if !region.Contains(source) {
+		panic("core: source outside region")
+	}
+	if len(dests) == 0 {
+		panic("core: no destinations")
+	}
+	isDest := make([]bool, s.N())
+	for _, d := range dests {
+		if !region.Contains(d) {
+			panic("core: destination outside region")
+		}
+		isDest[d] = true
+	}
+
+	// Per axis: root the portal tree at portal_d(s) and prune subtrees
+	// without destination portals. The three executions run sequentially
+	// (each needs its own implicit-tree circuits).
+	type axisInfo struct {
+		ports *portal.Portals
+		rp    *portal.RootPruneResult
+	}
+	var axes [amoebot.NumAxes]axisInfo
+	for axis := amoebot.Axis(0); axis < amoebot.NumAxes; axis++ {
+		ports := portal.Compute(region, axis)
+		inQ := make([]bool, ports.Len())
+		for _, d := range dests {
+			inQ[ports.ID[d]] = true
+		}
+		// Destinations announce themselves on their portal circuits so the
+		// portals know whether they are in Q (one round).
+		clock.Tick(1)
+		clock.AddBeeps(int64(len(dests)))
+		rp := portal.RootPrune(clock, ports.WholeView(), ports.ID[source], inQ)
+		axes[axis] = axisInfo{ports: ports, rp: rp}
+	}
+
+	// Parent choice (Lemma 38 / Equation 1): v is a feasible parent of u
+	// iff for both axes not parallel to the edge (u,v), v's portal is the
+	// parent of u's portal. Every amoebot picks its first feasible neighbor
+	// in counterclockwise order; this is a purely local decision.
+	chosen := amoebot.NewForest(s)
+	chosen.SetRoot(source)
+	for _, u := range region.Nodes() {
+		if u == source {
+			continue
+		}
+		for d := amoebot.Direction(0); d < amoebot.NumDirections; d++ {
+			v := region.Neighbor(u, d)
+			if v == amoebot.None {
+				continue
+			}
+			feasible := true
+			for axis := amoebot.Axis(0); axis < amoebot.NumAxes; axis++ {
+				if axis == d.Axis() {
+					continue // same portal on the edge's own axis
+				}
+				ai := axes[axis]
+				pu, pv := ai.ports.ID[u], ai.ports.ID[v]
+				if !ai.rp.InVQ[pu] || ai.rp.Parent[pu] != pv {
+					feasible = false
+					break
+				}
+			}
+			if feasible {
+				chosen.SetParent(u, v)
+				break
+			}
+		}
+	}
+
+	// Parents announce themselves so the chosen-parent forest becomes a
+	// usable tree structure, then the final root-and-prune with (s, D)
+	// extracts the destination tree and silences stray components (§4).
+	discoverChildren(clock, chosen)
+	return pruneToDestinations(clock, chosen, []int32{source}, dests)
+}

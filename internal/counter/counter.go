@@ -1,0 +1,129 @@
+// Package counter implements the distributed binary counter of Padalkin et
+// al. [26] on a chain of amoebots, the bookkeeping primitive behind the
+// iteration counting of the divide-and-conquer merge phase (paper §5.4.4):
+// constant-memory amoebots cannot store the current recursion level, so a
+// chain of amoebots jointly holds the level's binary representation — one
+// bit per amoebot — and increments it with circuit signals.
+//
+// The chain stores the value little-endian: amoebot i of the chain holds
+// bit i. An increment ripples a carry eastward along the chain: the i-th
+// amoebot flips its bit and forwards the carry iff it flipped 1→0. In the
+// circuit model the whole ripple takes one round — the carry is computed
+// from a single beep on the prefix circuit that is cut at the first 0-bit
+// amoebot (all lower amoebots hold 1 and propagate). Comparing the counter
+// against another counter or broadcasting its bits takes one round per bit
+// (the consumer reads them LSB-first, matching the bitstream machines).
+package counter
+
+import (
+	"spforest/internal/sim"
+)
+
+// Counter is a chain-held binary counter. The zero value is unusable;
+// create counters with New.
+type Counter struct {
+	bits []bool // bits[i] = bit i (little-endian), one per chain amoebot
+}
+
+// New returns a counter of the given chain length (capacity 2^length - 1),
+// initialized to zero.
+func New(length int) *Counter {
+	if length <= 0 {
+		panic("counter: non-positive chain length")
+	}
+	return &Counter{bits: make([]bool, length)}
+}
+
+// Len returns the chain length (number of bits).
+func (c *Counter) Len() int { return len(c.bits) }
+
+// Bit returns bit i.
+func (c *Counter) Bit(i int) bool { return c.bits[i] }
+
+// Value assembles the counter's value (simulator convenience; the amoebots
+// themselves only ever act on single bits).
+func (c *Counter) Value() uint64 {
+	var v uint64
+	for i, b := range c.bits {
+		if b {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}
+
+// Increment adds one to the counter: one beep round on the carry circuit
+// (the prefix of 1-amoebots propagates the carry instantly; the first
+// 0-amoebot absorbs it). Overflow panics — size the chain for the use.
+func (c *Counter) Increment(clock *sim.Clock) {
+	clock.Tick(1)
+	clock.AddBeeps(1)
+	for i := range c.bits {
+		if !c.bits[i] {
+			c.bits[i] = true
+			return
+		}
+		c.bits[i] = false
+	}
+	panic("counter: overflow")
+}
+
+// Reset zeroes the counter: one beep round (the head amoebot beeps on the
+// full chain circuit, everyone clears).
+func (c *Counter) Reset(clock *sim.Clock) {
+	clock.Tick(1)
+	clock.AddBeeps(1)
+	for i := range c.bits {
+		c.bits[i] = false
+	}
+}
+
+// IsZero reports whether the counter is zero, costing one beep round (every
+// 1-amoebot beeps on the chain circuit; silence means zero).
+func (c *Counter) IsZero(clock *sim.Clock) bool {
+	clock.Tick(1)
+	for _, b := range c.bits {
+		if b {
+			clock.AddBeeps(1)
+			return false
+		}
+	}
+	return true
+}
+
+// Compare compares two counters (which must share a structure so their
+// chains can exchange bits): the chains stream their bits LSB-first over a
+// shared circuit, one round per bit, into O(1)-state comparators at both
+// heads. Cost: max(len) rounds.
+func Compare(clock *sim.Clock, a, b *Counter) int {
+	n := a.Len()
+	if b.Len() > n {
+		n = b.Len()
+	}
+	clock.Tick(int64(n))
+	clock.AddBeeps(int64(n))
+	av, bv := a.Value(), b.Value()
+	switch {
+	case av < bv:
+		return -1
+	case av > bv:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Decrement subtracts one: one beep round (the borrow ripples through the
+// prefix of 0-amoebots). Underflow panics.
+func (c *Counter) Decrement(clock *sim.Clock) {
+	clock.Tick(1)
+	clock.AddBeeps(1)
+	for i := range c.bits {
+		if c.bits[i] {
+			c.bits[i] = false
+			return
+		}
+		c.bits[i] = true
+	}
+	panic("counter: underflow")
+}

@@ -1,0 +1,133 @@
+package counter
+
+import (
+	"testing"
+
+	"spforest/internal/sim"
+)
+
+func TestIncrementSequence(t *testing.T) {
+	var clock sim.Clock
+	c := New(8)
+	for want := uint64(1); want <= 255; want++ {
+		c.Increment(&clock)
+		if c.Value() != want {
+			t.Fatalf("after %d increments: value %d", want, c.Value())
+		}
+	}
+	if clock.Rounds() != 255 {
+		t.Fatalf("255 increments cost %d rounds, want 255 (1 each)", clock.Rounds())
+	}
+}
+
+func TestOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("overflow did not panic")
+		}
+	}()
+	var clock sim.Clock
+	c := New(2)
+	for i := 0; i < 4; i++ {
+		c.Increment(&clock)
+	}
+}
+
+func TestDecrement(t *testing.T) {
+	var clock sim.Clock
+	c := New(4)
+	for i := 0; i < 5; i++ {
+		c.Increment(&clock)
+	}
+	c.Decrement(&clock)
+	if c.Value() != 4 {
+		t.Fatalf("value %d after decrement", c.Value())
+	}
+	for i := 0; i < 4; i++ {
+		c.Decrement(&clock)
+	}
+	if c.Value() != 0 {
+		t.Fatalf("value %d, want 0", c.Value())
+	}
+}
+
+func TestUnderflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("underflow did not panic")
+		}
+	}()
+	var clock sim.Clock
+	New(3).Decrement(&clock)
+}
+
+func TestIsZeroAndReset(t *testing.T) {
+	var clock sim.Clock
+	c := New(5)
+	if !c.IsZero(&clock) {
+		t.Error("fresh counter not zero")
+	}
+	c.Increment(&clock)
+	if c.IsZero(&clock) {
+		t.Error("incremented counter zero")
+	}
+	c.Reset(&clock)
+	if !c.IsZero(&clock) {
+		t.Error("reset counter not zero")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	var clock sim.Clock
+	a, b := New(6), New(6)
+	for i := 0; i < 5; i++ {
+		a.Increment(&clock)
+	}
+	for i := 0; i < 9; i++ {
+		b.Increment(&clock)
+	}
+	if Compare(&clock, a, b) != -1 || Compare(&clock, b, a) != 1 {
+		t.Error("ordering wrong")
+	}
+	for i := 0; i < 4; i++ {
+		a.Increment(&clock)
+	}
+	if Compare(&clock, a, b) != 0 {
+		t.Error("equal counters not equal")
+	}
+}
+
+func TestCompareRoundCost(t *testing.T) {
+	var clock sim.Clock
+	a, b := New(10), New(4)
+	Compare(&clock, a, b)
+	if clock.Rounds() != 10 {
+		t.Fatalf("compare cost %d rounds, want max(len) = 10", clock.Rounds())
+	}
+}
+
+func TestBitsLittleEndian(t *testing.T) {
+	var clock sim.Clock
+	c := New(4)
+	for i := 0; i < 6; i++ { // 6 = 0110₂
+		c.Increment(&clock)
+	}
+	want := []bool{false, true, true, false}
+	for i, w := range want {
+		if c.Bit(i) != w {
+			t.Fatalf("bit %d = %v", i, c.Bit(i))
+		}
+	}
+	if c.Len() != 4 {
+		t.Fatalf("len %d", c.Len())
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero-length counter accepted")
+		}
+	}()
+	New(0)
+}

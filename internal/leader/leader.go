@@ -1,0 +1,72 @@
+// Package leader implements the randomized leader election of Feldmann et
+// al. on a global circuit (paper Theorem 2): all amoebots start as
+// candidates; in every phase each candidate tosses a fair coin, the
+// heads beep on the global circuit, and every tails candidate that hears a
+// beep withdraws. A second beep round per phase (all remaining candidates)
+// lets the structure detect progress. After Θ(log n) phases w.h.p. exactly
+// one candidate remains; uniqueness is confirmed by the boundary-counting
+// subprotocol of [17], which we account as a constant number of additional
+// rounds per confirmation attempt.
+//
+// The election is the only randomized component of the reproduction —
+// everything in the two shortest-path algorithms themselves is
+// deterministic, exactly as the paper states.
+package leader
+
+import (
+	"math/rand"
+
+	"spforest/amoebot"
+	"spforest/internal/circuits"
+	"spforest/internal/sim"
+)
+
+// confirmationRounds is the constant-round budget charged per uniqueness
+// check (the shape/boundary test of Feldmann et al.).
+const confirmationRounds = 4
+
+// Elect elects a single amoebot of the region and returns it. The rng
+// drives the candidates' coin tosses; rounds are charged on the clock
+// (2 per phase plus a constant per confirmation).
+func Elect(clock *sim.Clock, region *amoebot.Region, rng *rand.Rand) int32 {
+	candidates := append([]int32(nil), region.Nodes()...)
+	for {
+		if len(candidates) == 1 {
+			clock.Tick(confirmationRounds)
+			return candidates[0]
+		}
+		// Phase: every candidate tosses a coin; heads beep on the global
+		// circuit; tails candidates hearing a beep withdraw.
+		net := circuits.New()
+		ps := circuits.RegionCircuit(net, region)
+		heads := make(map[int32]bool, len(candidates))
+		anyHeads := false
+		for _, c := range candidates {
+			if rng.Intn(2) == 0 {
+				heads[c] = true
+				anyHeads = true
+				net.Beep(ps[c])
+			}
+		}
+		net.Deliver(clock)
+		if anyHeads {
+			next := candidates[:0]
+			for _, c := range candidates {
+				if heads[c] {
+					next = append(next, c)
+				}
+			}
+			candidates = next
+		}
+		// Progress/termination beep by all remaining candidates.
+		clock.Tick(1)
+		clock.AddBeeps(int64(len(candidates)))
+	}
+}
+
+// Phases returns the number of coin-toss phases an election over n
+// candidates is expected to need (≈ log₂ n), exposed for the benchmark
+// tables of Theorem 2.
+func Phases(clock *sim.Clock) int64 {
+	return clock.Rounds() / 2
+}

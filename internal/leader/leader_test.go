@@ -1,0 +1,76 @@
+package leader
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"spforest/amoebot"
+	"spforest/internal/shapes"
+	"spforest/internal/sim"
+)
+
+func TestElectReturnsRegionMember(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := shapes.Hexagon(4)
+	r := amoebot.WholeRegion(s)
+	for trial := 0; trial < 20; trial++ {
+		var clock sim.Clock
+		l := Elect(&clock, r, rng)
+		if !r.Contains(l) {
+			t.Fatalf("leader %d outside region", l)
+		}
+	}
+}
+
+func TestElectSingleton(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := shapes.Line(1)
+	var clock sim.Clock
+	l := Elect(&clock, amoebot.WholeRegion(s), rng)
+	if l != 0 {
+		t.Fatalf("leader = %d", l)
+	}
+	if clock.Rounds() != confirmationRounds {
+		t.Fatalf("singleton election took %d rounds", clock.Rounds())
+	}
+}
+
+func TestElectLogRounds(t *testing.T) {
+	// Average rounds over many seeds must scale like Θ(log n): for n=3169
+	// (hexagon radius 32) about 2·log₂n ≈ 23 rounds ± constant. Allow a
+	// wide band and verify it is far below linear.
+	s := shapes.Hexagon(32)
+	r := amoebot.WholeRegion(s)
+	rng := rand.New(rand.NewSource(3))
+	var total int64
+	const runs = 30
+	for i := 0; i < runs; i++ {
+		var clock sim.Clock
+		Elect(&clock, r, rng)
+		total += clock.Rounds()
+	}
+	avg := float64(total) / runs
+	logN := math.Log2(float64(s.N()))
+	if avg < logN || avg > 8*logN {
+		t.Fatalf("average election rounds %.1f not within [log n, 8 log n] = [%.1f, %.1f]",
+			avg, logN, 8*logN)
+	}
+}
+
+func TestElectUniformish(t *testing.T) {
+	// Every amoebot of a small structure should win sometimes.
+	s := shapes.Line(4)
+	r := amoebot.WholeRegion(s)
+	rng := rand.New(rand.NewSource(4))
+	wins := map[int32]int{}
+	for i := 0; i < 400; i++ {
+		var clock sim.Clock
+		wins[Elect(&clock, r, rng)]++
+	}
+	for i := int32(0); i < 4; i++ {
+		if wins[i] == 0 {
+			t.Fatalf("amoebot %d never elected in 400 runs: %v", i, wins)
+		}
+	}
+}

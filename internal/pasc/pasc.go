@@ -1,0 +1,247 @@
+// Package pasc implements the PASC (primary and secondary circuits)
+// algorithm of Feldmann et al., the distance/prefix-sum workhorse of the
+// paper (§2.2, Lemmas 3–4, Corollaries 5–6).
+//
+// PASC runs on a chain or rooted tree of slots. Every slot holds two
+// partition sets — primary and secondary — forming two parallel "tracks"
+// along the chain (2 links per edge). Active slots cross the tracks,
+// passive slots pass them straight through. Each iteration the source beeps
+// on its primary set; a slot reads one bit from the track the beep arrives
+// on (inverted if the slot is passive or a non-participating forwarder),
+// learning the i-th bit (LSB first) of its distance to the source
+// (respectively of its weighted prefix sum). An active participant that
+// reads 1 becomes passive. A second beep round per iteration — all still
+// active participants beep on a global circuit — detects termination, so
+// each iteration costs exactly 2 rounds (Lemma 4).
+//
+// Invariant: at the start of iteration i (1-based), the active participants
+// are exactly those whose value is divisible by 2^(i-1); the PASC therefore
+// terminates after ⌊log₂ max⌋ + 1 iterations.
+//
+// The simulator propagates the arriving track directly (an XOR along the
+// tree) instead of materializing the two circuits; this is observationally
+// identical and linear per iteration. Rounds are charged via StepRound.
+package pasc
+
+import (
+	"spforest/internal/sim"
+)
+
+// LinksPerEdge is the number of external links one PASC execution occupies
+// on each tree edge (the two tracks).
+const LinksPerEdge = 2
+
+// Run is one PASC execution over a forest of slots. Roots act as sources:
+// they always toggle the track and always read bit 0.
+type Run struct {
+	parent      []int32
+	order       []int32 // topological order (parents before children)
+	participant []bool
+	active      []bool
+	bits        []uint8 // reused output buffer
+	arrival     []uint8 // reused scratch: arriving track per slot
+	iterations  int
+	activeCount int
+}
+
+// New creates a PASC run over slots 0..len(parent)-1 with the given forest
+// structure (parent[i] == -1 marks a root/source). participant[i] selects
+// the slots that take part in the counting; non-participants forward the
+// tracks unchanged and read the prefix value of their nearest participating
+// ancestor. Roots' participant flags are ignored (sources always toggle).
+func New(parent []int32, participant []bool) *Run {
+	n := len(parent)
+	if len(participant) != n {
+		panic("pasc: length mismatch")
+	}
+	r := &Run{
+		parent:      append([]int32(nil), parent...),
+		participant: append([]bool(nil), participant...),
+		active:      make([]bool, n),
+		bits:        make([]uint8, n),
+		arrival:     make([]uint8, n),
+	}
+	// Topological order via iterative root-to-leaf traversal.
+	children := make([][]int32, n)
+	roots := make([]int32, 0, 1)
+	for i, p := range parent {
+		if p == -1 {
+			roots = append(roots, int32(i))
+			r.participant[i] = false // sources do not count themselves
+		} else {
+			children[p] = append(children[p], int32(i))
+		}
+	}
+	if len(roots) == 0 {
+		panic("pasc: no root slot")
+	}
+	r.order = make([]int32, 0, n)
+	stack := append([]int32(nil), roots...)
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		r.order = append(r.order, u)
+		stack = append(stack, children[u]...)
+	}
+	if len(r.order) != n {
+		panic("pasc: slot graph is not a forest")
+	}
+	for i := range r.active {
+		if r.participant[i] {
+			r.active[i] = true
+			r.activeCount++
+		}
+	}
+	return r
+}
+
+// NewChain creates a run over a chain of n slots (slot 0 the source).
+// With all participants it computes each slot's distance to slot 0
+// (Lemma 3).
+func NewChain(n int, participant []bool) *Run {
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = int32(i) - 1
+	}
+	return New(parent, participant)
+}
+
+// NewChainDistance creates the Lemma 3 configuration: a chain of n slots,
+// everybody participates.
+func NewChainDistance(n int) *Run {
+	all := make([]bool, n)
+	for i := range all {
+		all[i] = true
+	}
+	return NewChain(n, all)
+}
+
+// NewTreeDistance creates the Corollary 5 configuration: distances to the
+// root(s) in a rooted forest.
+func NewTreeDistance(parent []int32) *Run {
+	all := make([]bool, len(parent))
+	for i := range all {
+		all[i] = true
+	}
+	return New(parent, all)
+}
+
+// NewPrefixSum creates the Corollary 6 configuration for a chain of m
+// elements with 0/1 weights: slot i+1 computes prefixsum(i) = w(0)+…+w(i).
+// Slot 0 is the virtual source (simulated by the first chain amoebot).
+func NewPrefixSum(weights []bool) *Run {
+	parent := make([]int32, len(weights)+1)
+	part := make([]bool, len(weights)+1)
+	parent[0] = -1
+	for i, w := range weights {
+		parent[i+1] = int32(i)
+		part[i+1] = w
+	}
+	return New(parent, part)
+}
+
+// Len returns the number of slots.
+func (r *Run) Len() int { return len(r.parent) }
+
+// Done reports whether the run has terminated: every participant has turned
+// passive and at least one iteration has run (the amoebots need one silent
+// termination beep to learn that the run is over, even when nothing was
+// marked).
+func (r *Run) Done() bool { return r.iterations > 0 && r.activeCount == 0 }
+
+// Iterations returns the number of iterations stepped so far.
+func (r *Run) Iterations() int { return r.iterations }
+
+// step executes one PASC iteration and returns the bit each slot reads.
+// The returned slice is reused by the next call.
+func (r *Run) step() []uint8 {
+	r.iterations++
+	for _, u := range r.order {
+		p := r.parent[u]
+		var track uint8
+		if p == -1 {
+			track = 0 // track entering the source; the source itself toggles below
+		} else {
+			track = r.arrival[p]
+			// arrival[p] currently holds p's *exit* track (set below when p
+			// was processed).
+		}
+		// Store u's exit track: toggle if u is a source or an active
+		// participant.
+		toggle := r.parent[u] == -1 || (r.participant[u] && r.active[u])
+		exit := track
+		if toggle {
+			exit ^= 1
+		}
+		// u reads its bit from the arriving track.
+		var bit uint8
+		switch {
+		case r.parent[u] == -1:
+			bit = 0 // sources are at distance/prefix 0... (bit undefined for virtual sources)
+		case r.participant[u] && r.active[u]:
+			bit = track
+		default:
+			// Passive participants and forwarders read the inverted track.
+			bit = 1 - track
+		}
+		r.bits[u] = bit
+		r.arrival[u] = exit
+		if r.participant[u] && r.active[u] && bit == 1 {
+			r.active[u] = false
+			r.activeCount--
+		}
+	}
+	return r.bits
+}
+
+// StepRound advances every given run by one joint iteration, charging the
+// model cost of one PASC iteration — 2 rounds (Lemma 4): the track beep and
+// the shared termination beep. It returns the per-run bit slices (valid
+// until the next call).
+//
+// Runs stepped together share the termination round, which is how the paper
+// executes PASC instances "in parallel" (e.g. both directions of the line
+// algorithm, or the two forests of the merging algorithm). Runs that are
+// already Done keep emitting zero bits.
+func StepRound(clock *sim.Clock, runs ...*Run) [][]uint8 {
+	clock.Tick(2)
+	out := make([][]uint8, len(runs))
+	beeps := int64(0)
+	for i, r := range runs {
+		out[i] = r.step()
+		beeps += int64(r.activeCount) + 1 // track beep reaches everyone; actives beep for termination
+	}
+	clock.AddBeeps(beeps)
+	return out
+}
+
+// AllDone reports whether every run has terminated.
+func AllDone(runs ...*Run) bool {
+	for _, r := range runs {
+		if !r.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// Collect runs all given runs to joint completion, returning each slot's
+// full value for every run (simulator convenience: real amoebots consume
+// the bits with O(1)-state machines instead; see bitstream).
+func Collect(clock *sim.Clock, runs ...*Run) [][]uint64 {
+	vals := make([][]uint64, len(runs))
+	for i, r := range runs {
+		vals[i] = make([]uint64, r.Len())
+	}
+	for shift := uint(0); !AllDone(runs...); shift++ {
+		bitsPerRun := StepRound(clock, runs...)
+		for i, bits := range bitsPerRun {
+			for j, b := range bits {
+				if b != 0 {
+					vals[i][j] |= 1 << shift
+				}
+			}
+		}
+	}
+	return vals
+}

@@ -1,0 +1,265 @@
+// Package portal implements portals, portal graphs and implicit portal
+// trees on the triangular grid (paper §2.3, Definition 12), together with
+// the portal-tree versions of the tree primitives (§3.5, Lemmas 32–37).
+//
+// A d-portal is a maximal run of amoebots along axis d. For hole-free
+// structures every portal graph is a tree (Lemma 9), and distances satisfy
+// 2·dist(u,v) = dist_x(u,v) + dist_y(u,v) + dist_z(u,v) (Lemma 11). The
+// amoebots only access the implicit portal tree T: the axis-parallel edges
+// plus, between each pair of adjacent portals, the unique crossing edge
+// selected by a local rule (the "westernmost" edge for x-portals).
+package portal
+
+import (
+	"fmt"
+	"sort"
+
+	"spforest/amoebot"
+	"spforest/internal/ett"
+)
+
+// Portals is the portal decomposition of a region along one axis.
+type Portals struct {
+	Axis   amoebot.Axis
+	Region *amoebot.Region
+
+	// ID maps each structure node to its portal id (-1 outside the region).
+	ID []int32
+	// NodesOf lists each portal's amoebots in ascending axis order; the
+	// first entry is the negative-most amoebot, the portal's representative.
+	NodesOf [][]int32
+	// Nbr lists each portal's adjacent portals (ascending ids).
+	Nbr [][]int32
+
+	conn map[[2]int32]int32 // (from portal, to portal) -> connecting amoebot in "from"
+}
+
+// Compute builds the portal decomposition of the region along the axis.
+func Compute(region *amoebot.Region, axis amoebot.Axis) *Portals {
+	s := region.Structure()
+	p := &Portals{
+		Axis:   axis,
+		Region: region,
+		ID:     make([]int32, s.N()),
+		conn:   make(map[[2]int32]int32),
+	}
+	for i := range p.ID {
+		p.ID[i] = -1
+	}
+	pos, neg := axis.Positive(), axis.Negative()
+	for _, u := range region.Nodes() {
+		if region.Neighbor(u, neg) != amoebot.None {
+			continue // not the start of a run
+		}
+		id := int32(len(p.NodesOf))
+		var run []int32
+		for v := u; v != amoebot.None; v = region.Neighbor(v, pos) {
+			p.ID[v] = id
+			run = append(run, v)
+		}
+		p.NodesOf = append(p.NodesOf, run)
+	}
+	// Crossing edges of the implicit tree give the portal adjacency.
+	nbrSet := make([]map[int32]bool, len(p.NodesOf))
+	for i := range nbrSet {
+		nbrSet[i] = make(map[int32]bool)
+	}
+	for _, u := range region.Nodes() {
+		for d := amoebot.Direction(0); d < amoebot.NumDirections; d++ {
+			if d.Axis() == axis || !p.IsTreeEdge(u, d) {
+				continue
+			}
+			v := region.Neighbor(u, d)
+			p1, p2 := p.ID[u], p.ID[v]
+			key := [2]int32{p1, p2}
+			if prev, dup := p.conn[key]; dup && prev != u {
+				panic(fmt.Sprintf("portal: two crossing tree edges between portals %d and %d", p1, p2))
+			}
+			p.conn[key] = u
+			nbrSet[p1][p2] = true
+		}
+	}
+	p.Nbr = make([][]int32, len(p.NodesOf))
+	for i, set := range nbrSet {
+		for q := range set {
+			p.Nbr[i] = append(p.Nbr[i], q)
+		}
+		sort.Slice(p.Nbr[i], func(a, b int) bool { return p.Nbr[i][a] < p.Nbr[i][b] })
+	}
+	return p
+}
+
+// Len returns the number of portals.
+func (p *Portals) Len() int { return len(p.NodesOf) }
+
+// Rep returns the representative (negative-most amoebot) of the portal.
+func (p *Portals) Rep(id int32) int32 { return p.NodesOf[id][0] }
+
+// Connector returns the amoebot c_{from}(to): the amoebot of portal "from"
+// incident to the unique implicit-tree edge towards the adjacent portal
+// "to". By construction (Definition 12) it exists and is unique.
+func (p *Portals) Connector(from, to int32) int32 {
+	u, ok := p.conn[[2]int32{from, to}]
+	if !ok {
+		panic(fmt.Sprintf("portal: portals %d and %d are not adjacent", from, to))
+	}
+	return u
+}
+
+// Adjacent reports whether two portals share an implicit-tree edge.
+func (p *Portals) Adjacent(a, b int32) bool {
+	_, ok := p.conn[[2]int32{a, b}]
+	return ok
+}
+
+// IsTreeEdge reports whether the edge from u in direction d belongs to the
+// implicit portal tree (Definition 12). Axis-parallel edges always belong;
+// a crossing edge belongs iff u is the negative-most amoebot of its portal
+// (for the "minus-ward" crossing direction c), or u has no c-neighbor (for
+// the "plus-ward" direction c' = c + positive).
+//
+// The rule is purely local: u inspects only its own neighborhood.
+func (p *Portals) IsTreeEdge(u int32, d amoebot.Direction) bool {
+	r := p.Region
+	if r.Neighbor(u, d) == amoebot.None {
+		return false
+	}
+	if d.Axis() == p.Axis {
+		return true
+	}
+	side, _ := p.Axis.SideOf(d)
+	c, cp := p.Axis.CrossPair(side)
+	switch d {
+	case c:
+		return r.Neighbor(u, p.Axis.Negative()) == amoebot.None
+	case cp:
+		return r.Neighbor(u, c) == amoebot.None
+	default:
+		return false
+	}
+}
+
+// IsPortalGraphTree reports whether the portal graph is a tree (Lemma 9:
+// guaranteed for hole-free regions), i.e. connected with Len()-1 adjacent
+// pairs.
+func (p *Portals) IsPortalGraphTree() bool {
+	pairs := 0
+	for k := range p.conn {
+		if k[0] < k[1] {
+			pairs++
+		}
+	}
+	if pairs != p.Len()-1 {
+		return false
+	}
+	if p.Len() == 0 {
+		return false
+	}
+	seen := make([]bool, p.Len())
+	stack := []int32{0}
+	seen[0] = true
+	count := 0
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		count++
+		for _, v := range p.Nbr[u] {
+			if !seen[v] {
+				seen[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	return count == p.Len()
+}
+
+// View is a connected sub-set of portals (a subtree of the portal graph)
+// on which the §3.5 primitives run. The implicit tree of a view is the
+// implicit portal tree restricted to the union of the view's portals.
+type View struct {
+	P      *Portals
+	IDs    []int32 // portal ids in the view, ascending
+	inView []bool  // indexed by portal id
+
+	nodes   []int32 // union of the portals' amoebots, ascending structure ids
+	toLocal map[int32]int32
+	tree    *ett.Tree
+}
+
+// WholeView returns the view containing every portal.
+func (p *Portals) WholeView() *View {
+	ids := make([]int32, p.Len())
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	return p.SubView(ids)
+}
+
+// SubView builds the view of the given portals (which must induce a
+// connected subtree of the portal graph).
+func (p *Portals) SubView(ids []int32) *View {
+	v := &View{
+		P:      p,
+		IDs:    append([]int32(nil), ids...),
+		inView: make([]bool, p.Len()),
+	}
+	sort.Slice(v.IDs, func(a, b int) bool { return v.IDs[a] < v.IDs[b] })
+	for _, id := range v.IDs {
+		v.inView[id] = true
+	}
+	for _, id := range v.IDs {
+		v.nodes = append(v.nodes, p.NodesOf[id]...)
+	}
+	sort.Slice(v.nodes, func(a, b int) bool { return v.nodes[a] < v.nodes[b] })
+	v.toLocal = make(map[int32]int32, len(v.nodes))
+	for li, g := range v.nodes {
+		v.toLocal[g] = int32(li)
+	}
+	// Implicit tree restricted to the view: axis edges within portals plus
+	// crossing edges between view portals, in CCW direction order.
+	nbrs := make([][]int32, len(v.nodes))
+	for li, g := range v.nodes {
+		for d := amoebot.Direction(0); d < amoebot.NumDirections; d++ {
+			if !p.IsTreeEdge(g, d) {
+				continue
+			}
+			w := p.Region.Neighbor(g, d)
+			if !v.inView[p.ID[w]] {
+				continue
+			}
+			nbrs[li] = append(nbrs[li], v.toLocal[w])
+		}
+	}
+	v.tree = ett.MustTree(nbrs)
+	return v
+}
+
+// Contains reports whether the portal belongs to the view.
+func (v *View) Contains(id int32) bool { return v.inView[id] }
+
+// Nodes returns the structure node ids of the view's amoebots, ascending.
+func (v *View) Nodes() []int32 { return v.nodes }
+
+// Tree returns the implicit portal tree of the view over local indices.
+func (v *View) Tree() *ett.Tree { return v.tree }
+
+// Local returns the local index of a structure node in the view.
+func (v *View) Local(g int32) int32 { return v.toLocal[g] }
+
+// Global returns the structure node id of a local index.
+func (v *View) Global(l int32) int32 { return v.nodes[l] }
+
+// crossingOrdinal returns, for the crossing edge between adjacent view
+// portals (from, to), the local index of the connector c_from(to) and the
+// neighbor ordinal of the edge within the implicit tree.
+func (v *View) crossingOrdinal(from, to int32) (local int32, ord int) {
+	u := v.P.Connector(from, to)
+	w := v.P.Connector(to, from)
+	lu, lw := v.toLocal[u], v.toLocal[w]
+	for j, x := range v.tree.Neighbors[lu] {
+		if x == lw {
+			return lu, j
+		}
+	}
+	panic("portal: crossing edge missing from view tree")
+}

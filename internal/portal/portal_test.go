@@ -1,0 +1,215 @@
+package portal
+
+import (
+	"math/rand"
+	"testing"
+
+	"spforest/amoebot"
+	"spforest/internal/shapes"
+)
+
+func TestParallelogramXPortals(t *testing.T) {
+	s := shapes.Parallelogram(5, 3)
+	r := amoebot.WholeRegion(s)
+	p := Compute(r, amoebot.AxisX)
+	if p.Len() != 3 {
+		t.Fatalf("x-portals = %d, want 3 (one per row)", p.Len())
+	}
+	for id := int32(0); id < 3; id++ {
+		if len(p.NodesOf[id]) != 5 {
+			t.Fatalf("portal %d has %d nodes", id, len(p.NodesOf[id]))
+		}
+		rep := p.Rep(id)
+		// Representative must be the negative-most (westernmost) node.
+		for _, u := range p.NodesOf[id] {
+			if amoebot.AxisX.Along(s.Coord(u)) < amoebot.AxisX.Along(s.Coord(rep)) {
+				t.Fatalf("portal %d: rep is not negative-most", id)
+			}
+		}
+	}
+	if !p.IsPortalGraphTree() {
+		t.Fatal("parallelogram x-portal graph not a tree")
+	}
+}
+
+func TestPortalIDCoversRegionOnly(t *testing.T) {
+	s := shapes.Parallelogram(4, 4)
+	// Region = bottom two rows only.
+	var nodes []int32
+	for i := int32(0); i < int32(s.N()); i++ {
+		if s.Coord(i).Z < 2 {
+			nodes = append(nodes, i)
+		}
+	}
+	r := amoebot.NewRegion(s, nodes)
+	p := Compute(r, amoebot.AxisX)
+	if p.Len() != 2 {
+		t.Fatalf("portals = %d, want 2", p.Len())
+	}
+	for i := int32(0); i < int32(s.N()); i++ {
+		if r.Contains(i) != (p.ID[i] >= 0) {
+			t.Fatalf("ID coverage wrong at node %d", i)
+		}
+	}
+}
+
+func TestCombXPortalsSplitRows(t *testing.T) {
+	// The comb's tooth rows contain several disjoint runs: more than one
+	// portal per row.
+	s := shapes.Comb(3, 4)
+	p := Compute(amoebot.WholeRegion(s), amoebot.AxisX)
+	if p.Len() != 1+3*4 {
+		t.Fatalf("portals = %d, want %d (spine + one per tooth row)", p.Len(), 1+3*4)
+	}
+	if !p.IsPortalGraphTree() {
+		t.Fatal("comb x-portal graph not a tree")
+	}
+}
+
+// TestLemma9PortalGraphsAreTrees checks that all three portal graphs of
+// random hole-free structures are trees, and that the implicit portal tree
+// is a spanning tree of the region (validated by SubView's MustTree).
+func TestLemma9PortalGraphsAreTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 25; trial++ {
+		s := shapes.RandomBlob(rng, 30+rng.Intn(250))
+		r := amoebot.WholeRegion(s)
+		for axis := amoebot.Axis(0); axis < amoebot.NumAxes; axis++ {
+			p := Compute(r, axis)
+			if !p.IsPortalGraphTree() {
+				t.Fatalf("trial %d axis %v: portal graph not a tree (n=%d)", trial, axis, s.N())
+			}
+			v := p.WholeView() // panics if the implicit tree is not a tree
+			if v.Tree().Len() != s.N() {
+				t.Fatalf("implicit tree does not span the structure")
+			}
+			// Adjacency must be symmetric with consistent connectors.
+			for a := int32(0); a < int32(p.Len()); a++ {
+				for _, b := range p.Nbr[a] {
+					if !p.Adjacent(b, a) {
+						t.Fatalf("asymmetric portal adjacency %d/%d", a, b)
+					}
+					ca, cb := p.Connector(a, b), p.Connector(b, a)
+					if p.ID[ca] != a || p.ID[cb] != b {
+						t.Fatalf("connector in wrong portal")
+					}
+					if _, ok := amoebot.DirectionBetween(s.Coord(ca), s.Coord(cb)); !ok {
+						t.Fatalf("connectors of %d/%d not adjacent", a, b)
+					}
+				}
+			}
+		}
+	}
+}
+
+// bfsDist computes single-source graph distances within the region.
+func bfsDist(r *amoebot.Region, src int32) map[int32]int {
+	dist := map[int32]int{src: 0}
+	queue := []int32{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for d := amoebot.Direction(0); d < amoebot.NumDirections; d++ {
+			if v := r.Neighbor(u, d); v != amoebot.None {
+				if _, ok := dist[v]; !ok {
+					dist[v] = dist[u] + 1
+					queue = append(queue, v)
+				}
+			}
+		}
+	}
+	return dist
+}
+
+// portalTreeDist computes distances between portals in the portal graph.
+func portalTreeDist(p *Portals, src int32) map[int32]int {
+	dist := map[int32]int{src: 0}
+	queue := []int32{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range p.Nbr[u] {
+			if _, ok := dist[v]; !ok {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// TestLemma11DistanceIdentity checks 2·dist(u,v) = Σ_d dist_d(u,v) on
+// random hole-free structures.
+func TestLemma11DistanceIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 12; trial++ {
+		s := shapes.RandomBlob(rng, 20+rng.Intn(150))
+		r := amoebot.WholeRegion(s)
+		var ps [amoebot.NumAxes]*Portals
+		for axis := amoebot.Axis(0); axis < amoebot.NumAxes; axis++ {
+			ps[axis] = Compute(r, axis)
+		}
+		for probe := 0; probe < 8; probe++ {
+			u := int32(rng.Intn(s.N()))
+			gd := bfsDist(r, u)
+			var pd [amoebot.NumAxes]map[int32]int
+			for axis := amoebot.Axis(0); axis < amoebot.NumAxes; axis++ {
+				pd[axis] = portalTreeDist(ps[axis], ps[axis].ID[u])
+			}
+			for v := int32(0); v < int32(s.N()); v++ {
+				sum := 0
+				for axis := amoebot.Axis(0); axis < amoebot.NumAxes; axis++ {
+					sum += pd[axis][ps[axis].ID[v]]
+				}
+				if 2*gd[v] != sum {
+					t.Fatalf("trial %d: 2·dist(%d,%d)=%d but portal sum=%d",
+						trial, u, v, 2*gd[v], sum)
+				}
+			}
+		}
+	}
+}
+
+func TestIsTreeEdgeMatchesPaperRuleOnX(t *testing.T) {
+	// For x-portals: E/W always; NW iff no W; NE iff no NW; SW iff no W;
+	// SE iff no SW (paper §2.3 discussion of Definition 12).
+	s := shapes.RandomBlob(rand.New(rand.NewSource(55)), 120)
+	r := amoebot.WholeRegion(s)
+	p := Compute(r, amoebot.AxisX)
+	for _, u := range r.Nodes() {
+		has := func(d amoebot.Direction) bool { return r.Neighbor(u, d) != amoebot.None }
+		want := map[amoebot.Direction]bool{
+			amoebot.DirE:  has(amoebot.DirE),
+			amoebot.DirW:  has(amoebot.DirW),
+			amoebot.DirNW: has(amoebot.DirNW) && !has(amoebot.DirW),
+			amoebot.DirNE: has(amoebot.DirNE) && !has(amoebot.DirNW),
+			amoebot.DirSW: has(amoebot.DirSW) && !has(amoebot.DirW),
+			amoebot.DirSE: has(amoebot.DirSE) && !has(amoebot.DirSW),
+		}
+		for d, w := range want {
+			if p.IsTreeEdge(u, d) != w {
+				t.Fatalf("node %d dir %v: IsTreeEdge=%v want %v", u, d, p.IsTreeEdge(u, d), w)
+			}
+		}
+	}
+}
+
+func TestSubViewRestriction(t *testing.T) {
+	s := shapes.Parallelogram(4, 3)
+	p := Compute(amoebot.WholeRegion(s), amoebot.AxisX)
+	v := p.SubView([]int32{0, 1})
+	if len(v.Nodes()) != 8 {
+		t.Fatalf("subview nodes = %d", len(v.Nodes()))
+	}
+	if v.Contains(2) {
+		t.Fatal("subview contains excluded portal")
+	}
+	if v.Tree().Len() != 8 {
+		t.Fatalf("subview tree size = %d", v.Tree().Len())
+	}
+	for l := int32(0); l < int32(len(v.Nodes())); l++ {
+		if v.Local(v.Global(l)) != l {
+			t.Fatal("local/global mapping inconsistent")
+		}
+	}
+}

@@ -1,0 +1,328 @@
+package portal
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+
+	"spforest/amoebot"
+	"spforest/internal/shapes"
+	"spforest/internal/sim"
+)
+
+// randomSetup builds a random structure, its x-portals, a random portal set
+// Q and a random root portal.
+func randomSetup(rng *rand.Rand) (*Portals, *View, int32, []bool, int) {
+	s := shapes.RandomBlob(rng, 20+rng.Intn(200))
+	p := Compute(amoebot.WholeRegion(s), amoebot.AxisX)
+	inQ := make([]bool, p.Len())
+	sizeQ := 0
+	for i := range inQ {
+		if rng.Intn(100) < 30 {
+			inQ[i] = true
+			sizeQ++
+		}
+	}
+	root := int32(rng.Intn(p.Len()))
+	return p, p.WholeView(), root, inQ, sizeQ
+}
+
+// bruteRootedPortals roots the portal tree and counts Q-portals per subtree.
+func bruteRootedPortals(p *Portals, root int32, inQ []bool) (parent []int32, subQ []int) {
+	n := p.Len()
+	parent = make([]int32, n)
+	subQ = make([]int, n)
+	order := make([]int32, 0, n)
+	parent[root] = -1
+	seen := make([]bool, n)
+	seen[root] = true
+	stack := []int32{root}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		order = append(order, u)
+		for _, v := range p.Nbr[u] {
+			if !seen[v] {
+				seen[v] = true
+				parent[v] = u
+				stack = append(stack, v)
+			}
+		}
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		u := order[i]
+		if inQ[u] {
+			subQ[u]++
+		}
+		if parent[u] >= 0 {
+			subQ[parent[u]] += subQ[u]
+		}
+	}
+	return parent, subQ
+}
+
+func TestPortalRootPruneAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 40; trial++ {
+		p, v, root, inQ, sizeQ := randomSetup(rng)
+		var clock sim.Clock
+		rp := RootPrune(&clock, v, root, inQ)
+		if rp.QSize != uint64(sizeQ) {
+			t.Fatalf("trial %d: QSize=%d want %d", trial, rp.QSize, sizeQ)
+		}
+		parent, subQ := bruteRootedPortals(p, root, inQ)
+		for id := int32(0); id < int32(p.Len()); id++ {
+			if rp.InVQ[id] != (subQ[id] > 0) {
+				t.Fatalf("trial %d: InVQ[%d]=%v want %v", trial, id, rp.InVQ[id], subQ[id] > 0)
+			}
+			wantParent := int32(-1)
+			if subQ[id] > 0 && id != root {
+				wantParent = parent[id]
+			}
+			if rp.Parent[id] != wantParent {
+				t.Fatalf("trial %d: Parent[%d]=%d want %d", trial, id, rp.Parent[id], wantParent)
+			}
+		}
+	}
+}
+
+func TestPortalRootPruneRoundBound(t *testing.T) {
+	// ETT rounds depend on |Q| only: 2(⌊log₂|Q|⌋+1) + 2 beep rounds.
+	rng := rand.New(rand.NewSource(63))
+	s := shapes.RandomBlob(rng, 400)
+	p := Compute(amoebot.WholeRegion(s), amoebot.AxisX)
+	if p.Len() < 8 {
+		t.Skip("blob too flat")
+	}
+	for _, qn := range []int{1, 2, 5, 8} {
+		inQ := make([]bool, p.Len())
+		for i := 0; i < qn; i++ {
+			inQ[i] = true
+		}
+		var clock sim.Clock
+		RootPrune(&clock, p.WholeView(), 0, inQ)
+		want := int64(2*bits.Len(uint(qn)) + 2)
+		if clock.Rounds() != want {
+			t.Errorf("|Q|=%d: rounds=%d want %d", qn, clock.Rounds(), want)
+		}
+	}
+}
+
+func TestPortalDegQAndAugment(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	for trial := 0; trial < 40; trial++ {
+		p, v, root, inQ, sizeQ := randomSetup(rng)
+		var clock sim.Clock
+		rp := RootPrune(&clock, v, root, inQ)
+		deg := DegQ(v, rp)
+		_, subQ := bruteRootedPortals(p, root, inQ)
+		for id := int32(0); id < int32(p.Len()); id++ {
+			if subQ[id] == 0 {
+				if deg[id] != 0 {
+					t.Fatalf("trial %d: pruned portal %d has degQ %d", trial, id, deg[id])
+				}
+				continue
+			}
+			want := 0
+			for _, nb := range p.Nbr[id] {
+				// Edge survives iff both endpoints in V_Q and the deeper one
+				// has Q below it.
+				if subQ[nb] > 0 && (subQ[id] > 0) {
+					// The edge (id,nb) is in the pruned tree iff the child
+					// side has Q in its subtree.
+					child := id
+					if bp, _ := bruteRootedPortals(p, root, inQ); bp[nb] == id {
+						child = nb
+					}
+					if subQ[child] > 0 {
+						want++
+					}
+				}
+			}
+			if deg[id] != want {
+				t.Fatalf("trial %d: degQ[%d]=%d want %d", trial, id, deg[id], want)
+			}
+		}
+		aq := Augment(&clock, v, rp)
+		count := 0
+		for id := range aq {
+			if aq[id] {
+				count++
+				if deg[id] < 3 {
+					t.Fatalf("trial %d: A_Q portal %d has degQ %d", trial, id, deg[id])
+				}
+			}
+		}
+		if sizeQ > 0 && count > sizeQ-1 {
+			t.Fatalf("trial %d: |A_Q|=%d exceeds |Q|-1=%d (Cor 29)", trial, count, sizeQ-1)
+		}
+	}
+}
+
+func TestElectPortal(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 40; trial++ {
+		_, v, root, inQ, sizeQ := randomSetup(rng)
+		var clock sim.Clock
+		got := ElectPortal(&clock, v, root, inQ)
+		if clock.Rounds() != 2 {
+			t.Fatalf("election rounds = %d, want 2", clock.Rounds())
+		}
+		if sizeQ == 0 {
+			if got != -1 {
+				t.Fatalf("elected %d from empty Q", got)
+			}
+			continue
+		}
+		if got < 0 || !inQ[got] {
+			t.Fatalf("elected %d not in Q", got)
+		}
+		var clock2 sim.Clock
+		if again := ElectPortal(&clock2, v, root, inQ); again != got {
+			t.Fatal("portal election not deterministic")
+		}
+	}
+}
+
+func brutePortalCentroids(p *Portals, view *View, inQ []bool) []bool {
+	sizeQ := 0
+	for _, id := range view.IDs {
+		if inQ[id] {
+			sizeQ++
+		}
+	}
+	out := make([]bool, p.Len())
+	for _, u := range view.IDs {
+		if !inQ[u] {
+			continue
+		}
+		ok := true
+		seen := map[int32]bool{u: true}
+		for _, start := range p.Nbr[u] {
+			if !view.Contains(start) || seen[start] {
+				continue
+			}
+			cnt := 0
+			stack := []int32{start}
+			seen[start] = true
+			for len(stack) > 0 {
+				x := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if inQ[x] {
+					cnt++
+				}
+				for _, w := range p.Nbr[x] {
+					if view.Contains(w) && !seen[w] {
+						seen[w] = true
+						stack = append(stack, w)
+					}
+				}
+			}
+			if 2*cnt > sizeQ {
+				ok = false
+			}
+		}
+		out[u] = ok
+	}
+	return out
+}
+
+func TestPortalCentroidsAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for trial := 0; trial < 40; trial++ {
+		p, v, root, inQ, _ := randomSetup(rng)
+		var clock sim.Clock
+		got := Centroids(&clock, v, root, inQ)
+		want := brutePortalCentroids(p, v, inQ)
+		for id := 0; id < p.Len(); id++ {
+			if got.IsCentroid[id] != want[id] {
+				t.Fatalf("trial %d: centroid[%d]=%v want %v", trial, id, got.IsCentroid[id], want[id])
+			}
+		}
+	}
+}
+
+func TestPortalDecomposeValidity(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	for trial := 0; trial < 25; trial++ {
+		p, v, root, inQ, sizeQ := randomSetup(rng)
+		if sizeQ == 0 {
+			continue
+		}
+		var c0 sim.Clock
+		rp := RootPrune(&c0, v, root, inQ)
+		aq := Augment(&c0, v, rp)
+		qp := make([]bool, p.Len())
+		sizeQP := 0
+		for i := range qp {
+			qp[i] = inQ[i] || aq[i]
+			if qp[i] {
+				sizeQP++
+			}
+		}
+		var clock sim.Clock
+		dec := Decompose(&clock, v, root, qp)
+		for id := 0; id < p.Len(); id++ {
+			if qp[id] != (dec.Depth[id] >= 0) {
+				t.Fatalf("trial %d: depth assignment wrong at portal %d", trial, id)
+			}
+		}
+		if dec.Height > bits.Len(uint(sizeQP)) {
+			t.Fatalf("trial %d: height %d for |Q'|=%d", trial, dec.Height, sizeQP)
+		}
+		roots := 0
+		for id := 0; id < p.Len(); id++ {
+			if dec.Depth[id] == 0 {
+				roots++
+			}
+			if pc := dec.ParentCentroid[id]; pc >= 0 && dec.Depth[pc] >= dec.Depth[id] {
+				t.Fatalf("trial %d: non-decreasing DT edge", trial)
+			}
+		}
+		if roots != 1 {
+			t.Fatalf("trial %d: %d DT roots", trial, roots)
+		}
+		// Same-depth centroids are separated by a shallower centroid on the
+		// portal-tree path.
+		for _, a := range v.IDs {
+			for _, b := range v.IDs {
+				if a >= b || dec.Depth[a] < 0 || dec.Depth[a] != dec.Depth[b] {
+					continue
+				}
+				found := false
+				for _, x := range portalPath(p, a, b) {
+					if x != a && x != b && dec.Depth[x] >= 0 && dec.Depth[x] < dec.Depth[a] {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("trial %d: same-depth centroid portals %d,%d not separated", trial, a, b)
+				}
+			}
+		}
+	}
+}
+
+func portalPath(p *Portals, a, b int32) []int32 {
+	parent := make([]int32, p.Len())
+	for i := range parent {
+		parent[i] = -2
+	}
+	parent[a] = -1
+	queue := []int32{a}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range p.Nbr[u] {
+			if parent[v] == -2 {
+				parent[v] = u
+				queue = append(queue, v)
+			}
+		}
+	}
+	var path []int32
+	for u := b; u != -1; u = parent[u] {
+		path = append(path, u)
+	}
+	return path
+}

@@ -1,0 +1,202 @@
+// Package shapes generates hole-free amoebot structures used as workloads
+// by tests, examples and the benchmark harness.
+//
+// All generators return connected, hole-free structures (the paper's
+// preconditions); tests validate this property for every generator.
+package shapes
+
+import (
+	"math/rand"
+
+	"spforest/amoebot"
+)
+
+// Line returns n amoebots in a single row (the structure of §5.1).
+func Line(n int) *amoebot.Structure {
+	cs := make([]amoebot.Coord, n)
+	for i := range cs {
+		cs[i] = amoebot.XZ(i, 0)
+	}
+	return amoebot.MustStructure(cs)
+}
+
+// Parallelogram returns a w×h parallelogram (w amoebots per row, h rows).
+func Parallelogram(w, h int) *amoebot.Structure {
+	cs := make([]amoebot.Coord, 0, w*h)
+	for z := 0; z < h; z++ {
+		for x := 0; x < w; x++ {
+			cs = append(cs, amoebot.XZ(x, z))
+		}
+	}
+	return amoebot.MustStructure(cs)
+}
+
+// Hexagon returns the ball of the given radius around the origin:
+// 1 + 3r(r+1) amoebots.
+func Hexagon(radius int) *amoebot.Structure {
+	var cs []amoebot.Coord
+	origin := amoebot.Coord{}
+	for z := -radius; z <= radius; z++ {
+		for x := -radius - radius; x <= radius+radius; x++ {
+			c := amoebot.XZ(x, z)
+			if origin.Dist(c) <= radius {
+				cs = append(cs, c)
+			}
+		}
+	}
+	return amoebot.MustStructure(cs)
+}
+
+// Triangle returns an upward triangle with the given side length (rows of
+// side, side-1, ..., 1 amoebots).
+func Triangle(side int) *amoebot.Structure {
+	var cs []amoebot.Coord
+	for z := 0; z < side; z++ {
+		for x := 0; x < side-z; x++ {
+			cs = append(cs, amoebot.XZ(x, z))
+		}
+	}
+	return amoebot.MustStructure(cs)
+}
+
+// Comb returns a comb: a horizontal spine with vertical teeth hanging south,
+// one tooth every second column. Combs have diameter Θ(teeth·toothLen /
+// (teeth+toothLen))·... in practice ≈ 2·toothLen + 2·teeth: a long-diameter,
+// many-portal stress shape for the baselines and the portal machinery.
+func Comb(teeth, toothLen int) *amoebot.Structure {
+	var cs []amoebot.Coord
+	width := 2*teeth - 1
+	for x := 0; x < width; x++ {
+		cs = append(cs, amoebot.XZ(x, 0))
+	}
+	for tooth := 0; tooth < teeth; tooth++ {
+		x := 2 * tooth
+		for z := 1; z <= toothLen; z++ {
+			cs = append(cs, amoebot.XZ(x, z))
+		}
+	}
+	return amoebot.MustStructure(cs)
+}
+
+// Staircase returns a diagonal staircase of the given number of steps, each
+// step a stepW×stepH parallelogram overlapping the next: a shape whose
+// portal trees have long paths on all three axes.
+func Staircase(steps, stepW, stepH int) *amoebot.Structure {
+	seen := make(map[amoebot.Coord]bool)
+	var cs []amoebot.Coord
+	for st := 0; st < steps; st++ {
+		ox, oz := st*(stepW-1), st*stepH
+		for z := 0; z <= stepH; z++ {
+			for x := 0; x < stepW; x++ {
+				c := amoebot.XZ(ox+x, oz+z)
+				if !seen[c] {
+					seen[c] = true
+					cs = append(cs, c)
+				}
+			}
+		}
+	}
+	return amoebot.MustStructure(cs)
+}
+
+// RandomBlob grows a random connected structure of roughly targetN amoebots
+// inside a (2·targetN)²-bounded box and then fills every hole, yielding a
+// connected hole-free blob with irregular boundary (multiple portals per
+// row). The result has at least targetN amoebots.
+func RandomBlob(rng *rand.Rand, targetN int) *amoebot.Structure {
+	if targetN < 1 {
+		targetN = 1
+	}
+	occupied := map[amoebot.Coord]bool{{}: true}
+	frontier := []amoebot.Coord{{}}
+	for len(occupied) < targetN && len(frontier) > 0 {
+		// Pick a random frontier cell and occupy a random empty neighbor.
+		i := rng.Intn(len(frontier))
+		c := frontier[i]
+		var empty []amoebot.Coord
+		for d := amoebot.Direction(0); d < amoebot.NumDirections; d++ {
+			if n := c.Neighbor(d); !occupied[n] {
+				empty = append(empty, n)
+			}
+		}
+		if len(empty) == 0 {
+			frontier[i] = frontier[len(frontier)-1]
+			frontier = frontier[:len(frontier)-1]
+			continue
+		}
+		n := empty[rng.Intn(len(empty))]
+		occupied[n] = true
+		frontier = append(frontier, n)
+	}
+	return fillHoles(occupied)
+}
+
+// fillHoles adds every complement cell not connected to the outside of the
+// bounding box, producing a hole-free structure.
+func fillHoles(occupied map[amoebot.Coord]bool) *amoebot.Structure {
+	minX, maxX, minZ, maxZ := 1<<30, -(1 << 30), 1<<30, -(1 << 30)
+	for c := range occupied {
+		if c.X < minX {
+			minX = c.X
+		}
+		if c.X > maxX {
+			maxX = c.X
+		}
+		if c.Z < minZ {
+			minZ = c.Z
+		}
+		if c.Z > maxZ {
+			maxZ = c.Z
+		}
+	}
+	minX, maxX, minZ, maxZ = minX-1, maxX+1, minZ-1, maxZ+1
+	outside := make(map[amoebot.Coord]bool)
+	stack := []amoebot.Coord{amoebot.XZ(minX, minZ)}
+	outside[amoebot.XZ(minX, minZ)] = true
+	for len(stack) > 0 {
+		c := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for d := amoebot.Direction(0); d < amoebot.NumDirections; d++ {
+			n := c.Neighbor(d)
+			if n.X < minX || n.X > maxX || n.Z < minZ || n.Z > maxZ {
+				continue
+			}
+			if occupied[n] || outside[n] {
+				continue
+			}
+			outside[n] = true
+			stack = append(stack, n)
+		}
+	}
+	var cs []amoebot.Coord
+	for z := minZ; z <= maxZ; z++ {
+		for x := minX; x <= maxX; x++ {
+			c := amoebot.XZ(x, z)
+			if occupied[c] || (!outside[c] && x > minX && x < maxX && z > minZ && z < maxZ) {
+				cs = append(cs, c)
+			}
+		}
+	}
+	return amoebot.MustStructure(cs)
+}
+
+// RandomSubset picks k distinct node indices of s uniformly at random,
+// sorted ascending. It panics if k exceeds the structure size.
+func RandomSubset(rng *rand.Rand, s *amoebot.Structure, k int) []int32 {
+	n := s.N()
+	if k > n {
+		panic("shapes: subset larger than structure")
+	}
+	perm := rng.Perm(n)[:k]
+	out := make([]int32, k)
+	for i, p := range perm {
+		out[i] = int32(p)
+	}
+	// Insertion sort: k is usually small.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1] > out[j]; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}

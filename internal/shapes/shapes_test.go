@@ -1,0 +1,156 @@
+package shapes
+
+import (
+	"math/rand"
+	"testing"
+
+	"spforest/amoebot"
+)
+
+func validate(t *testing.T, name string, s *amoebot.Structure) {
+	t.Helper()
+	if err := s.Validate(); err != nil {
+		t.Errorf("%s: %v", name, err)
+	}
+}
+
+func TestLine(t *testing.T) {
+	s := Line(7)
+	if s.N() != 7 {
+		t.Fatalf("N = %d", s.N())
+	}
+	validate(t, "line", s)
+	ends := 0
+	for i := int32(0); i < int32(s.N()); i++ {
+		switch s.Degree(i) {
+		case 1:
+			ends++
+		case 2:
+		default:
+			t.Fatalf("line node %d has degree %d", i, s.Degree(i))
+		}
+	}
+	if ends != 2 {
+		t.Fatalf("line has %d endpoints", ends)
+	}
+}
+
+func TestParallelogram(t *testing.T) {
+	s := Parallelogram(6, 4)
+	if s.N() != 24 {
+		t.Fatalf("N = %d", s.N())
+	}
+	validate(t, "parallelogram", s)
+}
+
+func TestHexagonSize(t *testing.T) {
+	for r := 0; r <= 5; r++ {
+		s := Hexagon(r)
+		want := 1 + 3*r*(r+1)
+		if s.N() != want {
+			t.Errorf("hexagon(%d): N = %d, want %d", r, s.N(), want)
+		}
+		validate(t, "hexagon", s)
+	}
+}
+
+func TestTriangle(t *testing.T) {
+	s := Triangle(5)
+	if s.N() != 15 {
+		t.Fatalf("N = %d, want 15", s.N())
+	}
+	validate(t, "triangle", s)
+}
+
+func TestComb(t *testing.T) {
+	s := Comb(4, 6)
+	if s.N() != 7+4*6 {
+		t.Fatalf("N = %d", s.N())
+	}
+	validate(t, "comb", s)
+}
+
+func TestStaircase(t *testing.T) {
+	s := Staircase(4, 5, 3)
+	validate(t, "staircase", s)
+	if s.N() < 4*5*3 {
+		t.Fatalf("staircase suspiciously small: %d", s.N())
+	}
+}
+
+func TestRandomBlobValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(400)
+		s := RandomBlob(rng, n)
+		if s.N() < n {
+			t.Fatalf("blob size %d < target %d", s.N(), n)
+		}
+		validate(t, "blob", s)
+	}
+}
+
+func TestRandomBlobVariety(t *testing.T) {
+	// Structures from different seeds should differ (generator is random).
+	a := RandomBlob(rand.New(rand.NewSource(1)), 100)
+	b := RandomBlob(rand.New(rand.NewSource(2)), 100)
+	if a.N() == b.N() {
+		ca, cb := a.Coords(), b.Coords()
+		same := true
+		for i := range ca {
+			if ca[i] != cb[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical blobs")
+		}
+	}
+}
+
+func TestRandomBlobDeterministic(t *testing.T) {
+	a := RandomBlob(rand.New(rand.NewSource(9)), 150)
+	b := RandomBlob(rand.New(rand.NewSource(9)), 150)
+	if a.N() != b.N() {
+		t.Fatalf("same seed produced different sizes: %d vs %d", a.N(), b.N())
+	}
+	ca, cb := a.Coords(), b.Coords()
+	for i := range ca {
+		if ca[i] != cb[i] {
+			t.Fatal("same seed produced different blobs")
+		}
+	}
+}
+
+func TestRandomSubset(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := Hexagon(4)
+	sub := RandomSubset(rng, s, 10)
+	if len(sub) != 10 {
+		t.Fatalf("subset size %d", len(sub))
+	}
+	for i := 1; i < len(sub); i++ {
+		if sub[i-1] >= sub[i] {
+			t.Fatalf("subset not strictly ascending: %v", sub)
+		}
+	}
+	for _, i := range sub {
+		if i < 0 || int(i) >= s.N() {
+			t.Fatalf("subset index out of range: %d", i)
+		}
+	}
+	all := RandomSubset(rng, s, s.N())
+	if len(all) != s.N() {
+		t.Fatal("full subset wrong size")
+	}
+}
+
+func TestRandomSubsetPanicsWhenTooLarge(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("oversized subset did not panic")
+		}
+	}()
+	RandomSubset(rand.New(rand.NewSource(1)), Line(3), 4)
+}

@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestClockTick(t *testing.T) {
+	var c Clock
+	c.Tick(3)
+	c.Tick(2)
+	if c.Rounds() != 5 {
+		t.Fatalf("rounds = %d, want 5", c.Rounds())
+	}
+	c.AddBeeps(7)
+	if c.Beeps() != 7 {
+		t.Fatalf("beeps = %d", c.Beeps())
+	}
+}
+
+func TestClockPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative tick did not panic")
+		}
+	}()
+	var c Clock
+	c.Tick(-1)
+}
+
+func TestJoinMaxTakesSlowestBranch(t *testing.T) {
+	var c Clock
+	c.Tick(10)
+	a, b := c.Fork(), c.Fork()
+	a.Tick(4)
+	a.AddBeeps(100)
+	b.Tick(9)
+	b.AddBeeps(1)
+	c.JoinMax(a, b)
+	if c.Rounds() != 19 {
+		t.Fatalf("rounds = %d, want 19 (10 + max(4,9))", c.Rounds())
+	}
+	if c.Beeps() != 101 {
+		t.Fatalf("beeps = %d, want 101 (sum)", c.Beeps())
+	}
+}
+
+func TestJoinMaxNoChildren(t *testing.T) {
+	var c Clock
+	c.Tick(2)
+	c.JoinMax()
+	if c.Rounds() != 2 {
+		t.Fatalf("rounds = %d", c.Rounds())
+	}
+}
+
+func TestPhasesAccumulate(t *testing.T) {
+	var c Clock
+	c.Phase("setup", func() { c.Tick(2) })
+	c.Phase("pasc", func() { c.Tick(6) })
+	c.Phase("pasc", func() { c.Tick(4) })
+	if c.PhaseRounds("pasc") != 10 || c.PhaseRounds("setup") != 2 {
+		t.Fatalf("phase rounds: pasc=%d setup=%d", c.PhaseRounds("pasc"), c.PhaseRounds("setup"))
+	}
+	if c.Rounds() != 12 {
+		t.Fatalf("total rounds = %d", c.Rounds())
+	}
+}
+
+func TestJoinMaxMergesPhases(t *testing.T) {
+	var c Clock
+	a := c.Fork()
+	a.Phase("work", func() { a.Tick(3) })
+	b := c.Fork()
+	b.Phase("work", func() { b.Tick(5) })
+	c.JoinMax(a, b)
+	if c.PhaseRounds("work") != 8 {
+		t.Fatalf("merged phase rounds = %d, want 8", c.PhaseRounds("work"))
+	}
+	if c.Rounds() != 5 {
+		t.Fatalf("rounds = %d, want 5", c.Rounds())
+	}
+}
+
+func TestSnapshotIsolated(t *testing.T) {
+	var c Clock
+	c.Phase("p", func() { c.Tick(1) })
+	s := c.Snapshot()
+	c.Phase("p", func() { c.Tick(1) })
+	if s.Phases["p"] != 1 {
+		t.Fatalf("snapshot mutated: %d", s.Phases["p"])
+	}
+	if s.Rounds != 1 {
+		t.Fatalf("snapshot rounds = %d", s.Rounds)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	var c Clock
+	c.Phase("alpha", func() { c.Tick(2) })
+	c.AddBeeps(3)
+	got := c.Snapshot().String()
+	if !strings.Contains(got, "rounds=2") || !strings.Contains(got, "alpha=2") {
+		t.Fatalf("stats string = %q", got)
+	}
+}

@@ -1,0 +1,49 @@
+package spforest
+
+import (
+	"math/rand"
+
+	"spforest/amoebot"
+	"spforest/internal/shapes"
+)
+
+// Line returns a structure of n amoebots in a single row.
+func Line(n int) *amoebot.Structure { return shapes.Line(n) }
+
+// Parallelogram returns a w×h parallelogram structure.
+func Parallelogram(w, h int) *amoebot.Structure { return shapes.Parallelogram(w, h) }
+
+// Hexagon returns the hexagonal ball of the given radius around the origin
+// (1 + 3r(r+1) amoebots).
+func Hexagon(radius int) *amoebot.Structure { return shapes.Hexagon(radius) }
+
+// Triangle returns an upward triangle with the given side length.
+func Triangle(side int) *amoebot.Structure { return shapes.Triangle(side) }
+
+// Comb returns a comb-shaped structure (spine plus teeth): a long-diameter
+// stress shape on which diameter-bound algorithms are slow.
+func Comb(teeth, toothLen int) *amoebot.Structure { return shapes.Comb(teeth, toothLen) }
+
+// Staircase returns a diagonal staircase of overlapping parallelogram
+// steps.
+func Staircase(steps, stepW, stepH int) *amoebot.Structure {
+	return shapes.Staircase(steps, stepW, stepH)
+}
+
+// RandomBlob grows a random connected hole-free structure of at least
+// targetN amoebots, deterministically from the seed.
+func RandomBlob(seed int64, targetN int) *amoebot.Structure {
+	return shapes.RandomBlob(rand.New(rand.NewSource(seed)), targetN)
+}
+
+// RandomCoords picks k distinct amoebot coordinates of the structure,
+// deterministically from the seed — a convenience for building source and
+// destination sets.
+func RandomCoords(seed int64, s *amoebot.Structure, k int) []amoebot.Coord {
+	idx := shapes.RandomSubset(rand.New(rand.NewSource(seed)), s, k)
+	out := make([]amoebot.Coord, len(idx))
+	for i, id := range idx {
+		out[i] = s.Coord(id)
+	}
+	return out
+}

@@ -1,0 +1,273 @@
+// Package spforest is a Go implementation of the polylogarithmic-time
+// shortest-path-forest algorithms for programmable matter by Padalkin and
+// Scheideler (PODC 2024, arXiv:2402.12123), together with a faithful
+// simulator of the geometric amoebot model with reconfigurable circuits.
+//
+// Given a connected, hole-free amoebot structure on the triangular grid, a
+// set of k sources and a set of ℓ destinations, the library computes an
+// (S,D)-shortest path forest — a set of vertex-disjoint trees, one per
+// source, connecting every destination to its nearest source along a
+// shortest path — while counting the synchronous communication rounds the
+// distributed execution needs:
+//
+//   - ShortestPathTree solves the single-source case in O(log ℓ) rounds
+//     (Theorem 39), which yields O(1)-round SPSP and O(log n)-round SSSP;
+//   - ShortestPathForest solves the general case in O(log n · log² k)
+//     rounds (Theorem 56 / Corollary 57);
+//   - SequentialForest and BFSForest provide the paper's comparison
+//     baselines (O(k log n) and O(diam) rounds).
+//
+// Structures, regions and forests live in the amoebot sub-package. The
+// simulator charges rounds exactly as the paper's lemmas account them; see
+// DESIGN.md for the fidelity model.
+package spforest
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"spforest/amoebot"
+	"spforest/internal/baseline"
+	"spforest/internal/core"
+	"spforest/internal/leader"
+	"spforest/internal/sim"
+	"spforest/internal/verify"
+)
+
+// Stats summarizes the simulated distributed execution.
+type Stats struct {
+	// Rounds is the number of synchronous rounds (the paper's complexity
+	// measure).
+	Rounds int64
+	// Beeps is the total number of beep signals sent (a work measure).
+	Beeps int64
+	// Phases attributes rounds to named algorithm phases.
+	Phases map[string]int64
+}
+
+func statsOf(c *sim.Clock) Stats {
+	s := c.Snapshot()
+	return Stats{Rounds: s.Rounds, Beeps: s.Beeps, Phases: s.Phases}
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("rounds=%d beeps=%d", s.Rounds, s.Beeps)
+}
+
+// Result is the outcome of one algorithm execution.
+type Result struct {
+	// Forest is the computed (S,D)-shortest path forest.
+	Forest *amoebot.Forest
+	// Stats is the simulated cost of the distributed execution.
+	Stats Stats
+}
+
+// Options tunes an execution.
+type Options struct {
+	// Leader designates the pre-elected unique amoebot the paper's
+	// preprocessing assumes (§2.1). If nil, a leader is elected with the
+	// randomized circuit protocol of Theorem 2 and its Θ(log n) w.h.p.
+	// rounds are charged to the "preprocess" phase.
+	Leader *amoebot.Coord
+	// Seed drives the randomized leader election (ignored when Leader is
+	// set).
+	Seed int64
+}
+
+func resolve(s *amoebot.Structure, cs []amoebot.Coord, what string) ([]int32, error) {
+	if len(cs) == 0 {
+		return nil, fmt.Errorf("spforest: no %ss given", what)
+	}
+	out := make([]int32, 0, len(cs))
+	seen := make(map[int32]bool, len(cs))
+	for _, c := range cs {
+		i, ok := s.Index(c)
+		if !ok {
+			return nil, fmt.Errorf("spforest: %s %v is not part of the structure", what, c)
+		}
+		if !seen[i] {
+			seen[i] = true
+			out = append(out, i)
+		}
+	}
+	return out, nil
+}
+
+func validate(s *amoebot.Structure) error {
+	if s == nil {
+		return errors.New("spforest: nil structure")
+	}
+	return s.Validate()
+}
+
+// ShortestPathTree computes an ({source}, D)-shortest path forest — a
+// single tree rooted at the source reaching every destination on a shortest
+// path — in O(log ℓ) simulated rounds (Theorem 39).
+func ShortestPathTree(s *amoebot.Structure, source amoebot.Coord, dests []amoebot.Coord) (*Result, error) {
+	if err := validate(s); err != nil {
+		return nil, err
+	}
+	src, err := resolve(s, []amoebot.Coord{source}, "source")
+	if err != nil {
+		return nil, err
+	}
+	ds, err := resolve(s, dests, "destination")
+	if err != nil {
+		return nil, err
+	}
+	var clock sim.Clock
+	var f *amoebot.Forest
+	clock.Phase("spt", func() {
+		f = core.SPT(&clock, amoebot.WholeRegion(s), src[0], ds)
+	})
+	return &Result{Forest: f, Stats: statsOf(&clock)}, nil
+}
+
+// SPSP computes a shortest path between two amoebots in O(1) simulated
+// rounds (the k = ℓ = 1 case of Theorem 39).
+func SPSP(s *amoebot.Structure, source, dest amoebot.Coord) (*Result, error) {
+	return ShortestPathTree(s, source, []amoebot.Coord{dest})
+}
+
+// SSSP computes a shortest path tree from the source to every amoebot in
+// O(log n) simulated rounds (the ℓ = n case of Theorem 39).
+func SSSP(s *amoebot.Structure, source amoebot.Coord) (*Result, error) {
+	return ShortestPathTree(s, source, s.Coords())
+}
+
+// ShortestPathForest computes an (S,D)-shortest path forest in
+// O(log n · log² k) simulated rounds (Theorem 56 / Corollary 57).
+func ShortestPathForest(s *amoebot.Structure, sources, dests []amoebot.Coord, opt *Options) (*Result, error) {
+	if err := validate(s); err != nil {
+		return nil, err
+	}
+	srcs, err := resolve(s, sources, "source")
+	if err != nil {
+		return nil, err
+	}
+	ds, err := resolve(s, dests, "destination")
+	if err != nil {
+		return nil, err
+	}
+	var clock sim.Clock
+	region := amoebot.WholeRegion(s)
+	ldr, err := pickLeader(&clock, s, region, opt)
+	if err != nil {
+		return nil, err
+	}
+	var f *amoebot.Forest
+	clock.Phase("forest", func() {
+		f = core.Forest(&clock, region, srcs, ds, ldr)
+	})
+	return &Result{Forest: f, Stats: statsOf(&clock)}, nil
+}
+
+func pickLeader(clock *sim.Clock, s *amoebot.Structure, region *amoebot.Region, opt *Options) (int32, error) {
+	if opt != nil && opt.Leader != nil {
+		i, ok := s.Index(*opt.Leader)
+		if !ok {
+			return 0, fmt.Errorf("spforest: leader %v is not part of the structure", *opt.Leader)
+		}
+		return i, nil
+	}
+	var seed int64
+	if opt != nil {
+		seed = opt.Seed
+	}
+	var ldr int32
+	clock.Phase("preprocess", func() {
+		ldr = leader.Elect(clock, region, rand.New(rand.NewSource(seed)))
+	})
+	return ldr, nil
+}
+
+// SequentialForest computes the forest with the naive approach the paper
+// uses as its O(k log n)-round comparison point (§5 introduction): one
+// shortest path tree per source, merged one by one.
+func SequentialForest(s *amoebot.Structure, sources, dests []amoebot.Coord) (*Result, error) {
+	if err := validate(s); err != nil {
+		return nil, err
+	}
+	srcs, err := resolve(s, sources, "source")
+	if err != nil {
+		return nil, err
+	}
+	ds, err := resolve(s, dests, "destination")
+	if err != nil {
+		return nil, err
+	}
+	var clock sim.Clock
+	var f *amoebot.Forest
+	clock.Phase("sequential", func() {
+		f = core.ForestSequential(&clock, amoebot.WholeRegion(s), srcs, ds)
+	})
+	return &Result{Forest: f, Stats: statsOf(&clock)}, nil
+}
+
+// BFSForest computes an S-shortest path forest with the plain-model
+// breadth-first wavefront (Θ(diam) rounds), the related-work baseline the
+// polylogarithmic algorithms are compared against.
+func BFSForest(s *amoebot.Structure, sources []amoebot.Coord) (*Result, error) {
+	if err := validate(s); err != nil {
+		return nil, err
+	}
+	srcs, err := resolve(s, sources, "source")
+	if err != nil {
+		return nil, err
+	}
+	var clock sim.Clock
+	var f *amoebot.Forest
+	clock.Phase("bfs", func() {
+		f = baseline.BFSForest(&clock, amoebot.WholeRegion(s), srcs)
+	})
+	return &Result{Forest: f, Stats: statsOf(&clock)}, nil
+}
+
+// Verify checks the five (S,D)-shortest-path-forest properties of a forest
+// against a centralized reference solver; it returns nil iff the forest is
+// a correct (S,D)-SPF of the structure.
+func Verify(s *amoebot.Structure, sources, dests []amoebot.Coord, f *amoebot.Forest) error {
+	if err := validate(s); err != nil {
+		return err
+	}
+	srcs, err := resolve(s, sources, "source")
+	if err != nil {
+		return err
+	}
+	ds, err := resolve(s, dests, "destination")
+	if err != nil {
+		return err
+	}
+	return verify.Forest(s, srcs, ds, f)
+}
+
+// Distances returns, for every amoebot (indexed as in s.Coords()), the
+// graph distance to the nearest source, computed by the centralized
+// reference solver.
+func Distances(s *amoebot.Structure, sources []amoebot.Coord) ([]int, error) {
+	if err := validate(s); err != nil {
+		return nil, err
+	}
+	srcs, err := resolve(s, sources, "source")
+	if err != nil {
+		return nil, err
+	}
+	d, _ := baseline.Exact(amoebot.WholeRegion(s), srcs)
+	out := make([]int, len(d))
+	for i, v := range d {
+		out[i] = int(v)
+	}
+	return out, nil
+}
+
+// ElectLeader runs the randomized leader election of Theorem 2 and returns
+// the elected amoebot with the rounds it took (Θ(log n) w.h.p.).
+func ElectLeader(s *amoebot.Structure, seed int64) (amoebot.Coord, Stats, error) {
+	if err := validate(s); err != nil {
+		return amoebot.Coord{}, Stats{}, err
+	}
+	var clock sim.Clock
+	l := leader.Elect(&clock, amoebot.WholeRegion(s), rand.New(rand.NewSource(seed)))
+	return s.Coord(l), statsOf(&clock), nil
+}

@@ -1,0 +1,219 @@
+package spforest_test
+
+import (
+	"fmt"
+	"testing"
+
+	"spforest"
+	"spforest/amoebot"
+)
+
+func TestFacadeSPT(t *testing.T) {
+	s := spforest.Hexagon(4)
+	dests := spforest.RandomCoords(1, s, 5)
+	res, err := spforest.ShortestPathTree(s, amoebot.Coord{}, dests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := spforest.Verify(s, []amoebot.Coord{{}}, dests, res.Forest); err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Rounds == 0 {
+		t.Fatal("no rounds recorded")
+	}
+	if res.Stats.Phases["spt"] != res.Stats.Rounds {
+		t.Fatalf("phase attribution off: %v", res.Stats)
+	}
+}
+
+func TestFacadeSPSPAndSSSP(t *testing.T) {
+	s := spforest.Parallelogram(10, 4)
+	a, b := amoebot.XZ(0, 0), amoebot.XZ(9, 3)
+	spsp, err := spforest.SPSP(s, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := spforest.Verify(s, []amoebot.Coord{a}, []amoebot.Coord{b}, spsp.Forest); err != nil {
+		t.Fatal(err)
+	}
+	sssp, err := spforest.SSSP(s, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := spforest.Verify(s, []amoebot.Coord{a}, s.Coords(), sssp.Forest); err != nil {
+		t.Fatal(err)
+	}
+	if spsp.Stats.Rounds >= sssp.Stats.Rounds {
+		t.Fatalf("SPSP (%d) not cheaper than SSSP (%d)", spsp.Stats.Rounds, sssp.Stats.Rounds)
+	}
+}
+
+func TestFacadeForestWithElection(t *testing.T) {
+	s := spforest.RandomBlob(7, 150)
+	sources := spforest.RandomCoords(2, s, 4)
+	res, err := spforest.ShortestPathForest(s, sources, s.Coords(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := spforest.Verify(s, sources, s.Coords(), res.Forest); err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Phases["preprocess"] == 0 {
+		t.Fatal("leader election rounds not charged")
+	}
+}
+
+func TestFacadeForestWithGivenLeader(t *testing.T) {
+	s := spforest.Hexagon(3)
+	sources := spforest.RandomCoords(3, s, 3)
+	res, err := spforest.ShortestPathForest(s, sources, s.Coords(),
+		&spforest.Options{Leader: &sources[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Phases["preprocess"] != 0 {
+		t.Fatal("preprocessing charged despite a given leader")
+	}
+	if err := spforest.Verify(s, sources, s.Coords(), res.Forest); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeBaselines(t *testing.T) {
+	s := spforest.Comb(6, 12)
+	sources := spforest.RandomCoords(5, s, 3)
+	seq, err := spforest.SequentialForest(s, sources, s.Coords())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := spforest.Verify(s, sources, s.Coords(), seq.Forest); err != nil {
+		t.Fatal(err)
+	}
+	bfs, err := spforest.BFSForest(s, sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := spforest.Verify(s, sources, s.Coords(), bfs.Forest); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeErrors(t *testing.T) {
+	s := spforest.Line(5)
+	if _, err := spforest.ShortestPathTree(s, amoebot.XZ(99, 99), s.Coords()); err == nil {
+		t.Error("unoccupied source accepted")
+	}
+	if _, err := spforest.ShortestPathTree(s, amoebot.XZ(0, 0), nil); err == nil {
+		t.Error("empty destination set accepted")
+	}
+	if _, err := spforest.ShortestPathForest(s, nil, s.Coords(), nil); err == nil {
+		t.Error("empty source set accepted")
+	}
+	// Structures with holes are rejected.
+	var ring []amoebot.Coord
+	for d := amoebot.Direction(0); d < amoebot.NumDirections; d++ {
+		ring = append(ring, amoebot.Coord{}.Neighbor(d))
+	}
+	holed := amoebot.MustStructure(ring)
+	if _, err := spforest.SSSP(holed, ring[0]); err == nil {
+		t.Error("holed structure accepted")
+	}
+}
+
+func TestFacadeDistances(t *testing.T) {
+	s := spforest.Line(6)
+	d, err := spforest.Distances(s, []amoebot.Coord{amoebot.XZ(0, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range d {
+		if v != i {
+			t.Fatalf("distances = %v", d)
+		}
+	}
+}
+
+func TestFacadeElectLeader(t *testing.T) {
+	s := spforest.Hexagon(3)
+	l, stats, err := spforest.ElectLeader(s, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Occupied(l) {
+		t.Fatal("leader not in structure")
+	}
+	if stats.Rounds == 0 {
+		t.Fatal("no election rounds")
+	}
+	// Determinism per seed.
+	l2, _, _ := spforest.ElectLeader(s, 9)
+	if l != l2 {
+		t.Fatal("same seed produced different leaders")
+	}
+}
+
+// ExampleSPSP demonstrates the constant-round single-pair query.
+func ExampleSPSP() {
+	s := spforest.Parallelogram(8, 3)
+	res, _ := spforest.SPSP(s, amoebot.XZ(0, 0), amoebot.XZ(7, 2))
+	dst, _ := s.Index(amoebot.XZ(7, 2))
+	fmt.Println("path length:", res.Forest.Depth(dst))
+	// Output: path length: 9
+}
+
+// TestDeterministicRounds: the algorithms are deterministic (paper §2.1) —
+// identical inputs must produce identical forests and round counts.
+func TestDeterministicRounds(t *testing.T) {
+	s := spforest.RandomBlob(77, 400)
+	sources := spforest.RandomCoords(3, s, 6)
+	run := func() (*spforest.Result, error) {
+		return spforest.ShortestPathForest(s, sources, s.Coords(),
+			&spforest.Options{Leader: &sources[0]})
+	}
+	a, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats.Rounds != b.Stats.Rounds || a.Stats.Beeps != b.Stats.Beeps {
+		t.Fatalf("nondeterministic stats: %v vs %v", a.Stats, b.Stats)
+	}
+	for i := int32(0); i < int32(s.N()); i++ {
+		if a.Forest.Parent(i) != b.Forest.Parent(i) {
+			t.Fatalf("nondeterministic parent at %d", i)
+		}
+	}
+}
+
+// TestFacadeFuzz runs the full pipeline over random instances through the
+// public API only.
+func TestFacadeFuzz(t *testing.T) {
+	trials := 20
+	if testing.Short() {
+		trials = 6
+	}
+	for seed := int64(0); seed < int64(trials); seed++ {
+		s := spforest.RandomBlob(seed, 30+int(seed%7)*40)
+		k := 1 + int(seed%9)
+		if k > s.N() {
+			k = s.N()
+		}
+		sources := spforest.RandomCoords(seed+100, s, k)
+		l := 1 + int(seed%11)
+		if l > s.N() {
+			l = s.N()
+		}
+		dests := spforest.RandomCoords(seed+200, s, l)
+		res, err := spforest.ShortestPathForest(s, sources, dests,
+			&spforest.Options{Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := spforest.Verify(s, sources, dests, res.Forest); err != nil {
+			t.Fatalf("seed %d (n=%d k=%d ℓ=%d): %v", seed, s.N(), k, l, err)
+		}
+	}
+}
