@@ -6,6 +6,12 @@
 //	go test -bench=. -benchmem
 //
 // or with the richer sweep driver: go run ./cmd/spfbench.
+//
+// The query benchmarks (E1–E5, E9) run through a shared engine.Engine, so
+// the measured loop is the repeated-query hot path: per-structure
+// preprocessing (validation, region construction, leader election) is paid
+// once outside the loop. The one-shot free functions are benchmarked
+// separately in engine/bench_test.go (BenchmarkAmortization).
 package spforest_test
 
 import (
@@ -15,6 +21,7 @@ import (
 
 	"spforest"
 	"spforest/amoebot"
+	"spforest/engine"
 	"spforest/internal/baseline"
 	"spforest/internal/core"
 	"spforest/internal/ett"
@@ -31,15 +38,31 @@ func reportRounds(b *testing.B, rounds int64) {
 	b.ReportMetric(float64(rounds), "rounds")
 }
 
+// mustEngine binds a benchmark engine, failing the benchmark on error.
+func mustEngine(b *testing.B, s *amoebot.Structure, cfg *engine.Config) *engine.Engine {
+	b.Helper()
+	e, err := engine.New(s, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
 // BenchmarkE1_SPTvsL: Theorem 39, O(log ℓ) rounds for (1,ℓ)-SPF.
 func BenchmarkE1_SPTvsL(b *testing.B) {
 	s := spforest.Hexagon(32)
+	eng := mustEngine(b, s, nil)
 	for _, l := range []int{1, 16, 256, 2048} {
 		b.Run(fmt.Sprintf("l=%d", l), func(b *testing.B) {
-			dests := spforest.RandomCoords(int64(l), s, l)
+			q := engine.Query{
+				Algo:    engine.AlgoSPT,
+				Sources: []amoebot.Coord{amoebot.XZ(-32, 0)},
+				Dests:   spforest.RandomCoords(int64(l), s, l),
+			}
+			b.ResetTimer()
 			var rounds int64
 			for i := 0; i < b.N; i++ {
-				res, err := spforest.ShortestPathTree(s, amoebot.XZ(-32, 0), dests)
+				res, err := eng.Run(q)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -54,10 +77,16 @@ func BenchmarkE1_SPTvsL(b *testing.B) {
 func BenchmarkE2_SPSPvsN(b *testing.B) {
 	for _, r := range []int{8, 32, 128} {
 		s := spforest.Hexagon(r)
+		eng := mustEngine(b, s, nil)
 		b.Run(fmt.Sprintf("n=%d", s.N()), func(b *testing.B) {
+			q := engine.Query{
+				Algo:    engine.AlgoSPSP,
+				Sources: []amoebot.Coord{amoebot.XZ(-r, 0)},
+				Dests:   []amoebot.Coord{amoebot.XZ(r, 0)},
+			}
 			var rounds int64
 			for i := 0; i < b.N; i++ {
-				res, err := spforest.SPSP(s, amoebot.XZ(-r, 0), amoebot.XZ(r, 0))
+				res, err := eng.Run(q)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -72,10 +101,15 @@ func BenchmarkE2_SPSPvsN(b *testing.B) {
 func BenchmarkE3_SSSPvsN(b *testing.B) {
 	for _, r := range []int{8, 32, 128} {
 		s := spforest.Hexagon(r)
+		eng := mustEngine(b, s, nil)
 		b.Run(fmt.Sprintf("n=%d", s.N()), func(b *testing.B) {
+			q := engine.Query{
+				Algo:    engine.AlgoSSSP,
+				Sources: []amoebot.Coord{amoebot.XZ(-r, 0)},
+			}
 			var rounds int64
 			for i := 0; i < b.N; i++ {
-				res, err := spforest.SSSP(s, amoebot.XZ(-r, 0))
+				res, err := eng.Run(q)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -92,10 +126,12 @@ func BenchmarkE4_ForestVsK(b *testing.B) {
 	for _, k := range []int{2, 8, 32, 128} {
 		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
 			sources := spforest.RandomCoords(int64(k), s, k)
+			eng := mustEngine(b, s, &engine.Config{Leader: &sources[0]})
+			q := engine.Query{Algo: engine.AlgoForest, Sources: sources, Dests: s.Coords()}
+			b.ResetTimer()
 			var rounds int64
 			for i := 0; i < b.N; i++ {
-				res, err := spforest.ShortestPathForest(s, sources, s.Coords(),
-					&spforest.Options{Leader: &sources[0]})
+				res, err := eng.Run(q)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -112,10 +148,12 @@ func BenchmarkE5_ForestVsN(b *testing.B) {
 		s := spforest.RandomBlob(int64(n), n)
 		b.Run(fmt.Sprintf("n=%d", s.N()), func(b *testing.B) {
 			sources := spforest.RandomCoords(7, s, 16)
+			eng := mustEngine(b, s, &engine.Config{Leader: &sources[0]})
+			q := engine.Query{Algo: engine.AlgoForest, Sources: sources, Dests: s.Coords()}
+			b.ResetTimer()
 			var rounds int64
 			for i := 0; i < b.N; i++ {
-				res, err := spforest.ShortestPathForest(s, sources, s.Coords(),
-					&spforest.Options{Leader: &sources[0]})
+				res, err := eng.Run(q)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -329,11 +367,12 @@ func BenchmarkE9_Baselines(b *testing.B) {
 	})
 	blob := spforest.RandomBlob(5, 4000)
 	sources := spforest.RandomCoords(32, blob, 32)
+	eng := mustEngine(b, blob, &engine.Config{Leader: &sources[0]})
 	b.Run("k32/dnc", func(b *testing.B) {
+		q := engine.Query{Algo: engine.AlgoForest, Sources: sources, Dests: blob.Coords()}
 		var rounds int64
 		for i := 0; i < b.N; i++ {
-			res, err := spforest.ShortestPathForest(blob, sources, blob.Coords(),
-				&spforest.Options{Leader: &sources[0]})
+			res, err := eng.Run(q)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -342,9 +381,10 @@ func BenchmarkE9_Baselines(b *testing.B) {
 		reportRounds(b, rounds)
 	})
 	b.Run("k32/sequential", func(b *testing.B) {
+		q := engine.Query{Algo: engine.AlgoSequential, Sources: sources, Dests: blob.Coords()}
 		var rounds int64
 		for i := 0; i < b.N; i++ {
-			res, err := spforest.SequentialForest(blob, sources, blob.Coords())
+			res, err := eng.Run(q)
 			if err != nil {
 				b.Fatal(err)
 			}

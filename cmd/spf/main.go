@@ -1,5 +1,8 @@
-// Command spf runs one shortest-path-forest computation on a generated
-// structure and reports the simulated cost and verification result.
+// Command spf runs shortest-path-forest computations on a generated
+// structure and reports the simulated cost and verification result. All
+// algorithms of one invocation share a single query engine, so the
+// structure is validated (and, for the forest algorithm, a leader elected)
+// exactly once.
 //
 //	spf -shape blob -n 2000 -seed 7 -k 8 -l 50 -algo forest
 //	spf -shape hexagon -n 32 -k 1 -l 1 -algo spt
@@ -14,6 +17,7 @@ import (
 
 	"spforest"
 	"spforest/amoebot"
+	"spforest/engine"
 )
 
 var (
@@ -47,7 +51,9 @@ func main() {
 	} else {
 		s = buildShape()
 	}
-	if err := s.Validate(); err != nil {
+	// The engine validates the structure once; every query reuses that.
+	eng, err := engine.New(s, &engine.Config{Seed: *seed})
+	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -59,6 +65,10 @@ func main() {
 		}
 	}
 	kk := *k
+	if kk < 1 {
+		fmt.Fprintln(os.Stderr, "spf: -k must be at least 1")
+		os.Exit(2)
+	}
 	if kk > s.N() {
 		kk = s.N()
 	}
@@ -73,35 +83,44 @@ func main() {
 	}
 	fmt.Printf("structure: %s, n=%d, k=%d, ℓ=%d\n", label, s.N(), len(sources), len(dests))
 
-	type row struct {
-		name string
-		res  *spforest.Result
-		err  error
+	type job struct {
+		name          string
+		query         engine.Query
+		vSrcs, vDests []amoebot.Coord // verification sets
 	}
-	var rows []row
+	var jobs []job
 	want := func(name string) bool { return *algo == name || *algo == "all" }
 	if want("forest") {
-		r, err := spforest.ShortestPathForest(s, sources, dests, &spforest.Options{Seed: *seed})
-		rows = append(rows, row{"forest (Thm 56)", r, err})
+		jobs = append(jobs, job{"forest (Thm 56)",
+			engine.Query{Algo: engine.AlgoForest, Sources: sources, Dests: dests},
+			sources, dests})
 	}
 	if want("spt") {
-		r, err := spforest.ShortestPathTree(s, sources[0], dests)
-		rows = append(rows, row{"spt (Thm 39, k=1)", r, err})
+		jobs = append(jobs, job{"spt (Thm 39, k=1)",
+			engine.Query{Algo: engine.AlgoSPT, Sources: sources[:1], Dests: dests},
+			sources[:1], dests})
 	}
 	if want("seq") {
-		r, err := spforest.SequentialForest(s, sources, dests)
-		rows = append(rows, row{"sequential (§5)", r, err})
+		jobs = append(jobs, job{"sequential (§5)",
+			engine.Query{Algo: engine.AlgoSequential, Sources: sources, Dests: dests},
+			sources, dests})
 	}
 	if want("bfs") {
-		r, err := spforest.BFSForest(s, sources)
-		rows = append(rows, row{"bfs wavefront", r, err})
+		jobs = append(jobs, job{"bfs wavefront",
+			engine.Query{Algo: engine.AlgoBFS, Sources: sources},
+			sources, s.Coords()})
 	}
-	if len(rows) == 0 {
+	if len(jobs) == 0 {
 		fmt.Fprintln(os.Stderr, "unknown -algo", *algo)
 		os.Exit(2)
 	}
-	if *out != "" && len(rows) == 1 && rows[0].err == nil {
-		data, err := rows[0].res.Forest.MarshalText()
+	queries := make([]engine.Query, len(jobs))
+	for i, j := range jobs {
+		queries[i] = j.query
+	}
+	batch := eng.Batch(queries)
+	if *out != "" && len(jobs) == 1 && batch.Results[0].Err == nil {
+		data, err := batch.Results[0].Result.Forest.MarshalText()
 		if err == nil {
 			err = os.WriteFile(*out, data, 0o644)
 		}
@@ -110,34 +129,32 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	for _, r := range rows {
-		if r.err != nil {
-			fmt.Printf("%-20s error: %v\n", r.name, r.err)
+	for i, j := range jobs {
+		r := batch.Results[i]
+		if r.Err != nil {
+			fmt.Printf("%-20s error: %v\n", j.name, r.Err)
 			continue
 		}
 		verdict := "verified"
-		vs, vd := sources, dests
-		if r.name == "spt (Thm 39, k=1)" {
-			vs = sources[:1]
-		}
-		if r.name == "bfs wavefront" {
-			vd = s.Coords()
-		}
-		if err := spforest.Verify(s, vs, vd, r.res.Forest); err != nil {
+		if err := eng.Verify(j.vSrcs, j.vDests, r.Result.Forest); err != nil {
 			verdict = "INVALID: " + err.Error()
 		}
 		fmt.Printf("%-20s rounds=%-8d beeps=%-10d tree nodes=%-7d %s\n",
-			r.name, r.res.Stats.Rounds, r.res.Stats.Beeps, r.res.Forest.Size(), verdict)
-		if len(r.res.Stats.Phases) > 1 {
-			names := make([]string, 0, len(r.res.Stats.Phases))
-			for ph := range r.res.Stats.Phases {
+			j.name, r.Result.Stats.Rounds, r.Result.Stats.Beeps, r.Result.Forest.Size(), verdict)
+		if len(r.Result.Stats.Phases) > 1 {
+			names := make([]string, 0, len(r.Result.Stats.Phases))
+			for ph := range r.Result.Stats.Phases {
 				names = append(names, ph)
 			}
 			sort.Strings(names)
 			for _, ph := range names {
-				fmt.Printf("    %-16s %d rounds\n", ph, r.res.Stats.Phases[ph])
+				fmt.Printf("    %-16s %d rounds\n", ph, r.Result.Stats.Phases[ph])
 			}
 		}
+	}
+	if len(jobs) > 1 {
+		fmt.Printf("batch: %d queries, %d simulated rounds total (max %d), wall %v\n",
+			batch.Stats.Queries, batch.Stats.Rounds, batch.Stats.MaxRounds, batch.Stats.Wall)
 	}
 }
 

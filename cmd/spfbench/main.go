@@ -5,9 +5,22 @@
 //	spfbench              # run everything
 //	spfbench -run E4      # run tables whose id contains "E4"
 //	spfbench -quick       # smaller sweeps
+//	spfbench -json        # machine-readable per-experiment records
+//
+// With -json the human-readable tables are suppressed and a JSON array of
+// records — one per measured data point plus one "total" record per
+// experiment — is written to stdout, each with the simulated rounds and
+// beeps and the host wall time. This is the format BENCH_*.json trajectory
+// points are captured from.
+//
+// The query experiments (E1–E5, E9) run through the engine sub-package.
+// E1 and E9 bind one engine per structure and reuse it across queries; E4
+// and E5 re-bind per sweep point because each point designates a different
+// leader (sources[0] of that point's source set).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
@@ -15,9 +28,11 @@ import (
 	"math/rand"
 	"os"
 	"strings"
+	"time"
 
 	"spforest"
 	"spforest/amoebot"
+	"spforest/engine"
 	"spforest/internal/baseline"
 	"spforest/internal/core"
 	"spforest/internal/ett"
@@ -33,7 +48,51 @@ import (
 var (
 	runFilter = flag.String("run", "", "only run experiments whose id contains this substring")
 	quick     = flag.Bool("quick", false, "smaller parameter sweeps")
+	jsonOut   = flag.Bool("json", false, "emit machine-readable JSON records instead of tables")
 )
+
+// record is one measured data point in -json mode.
+type record struct {
+	Experiment string           `json:"experiment"`
+	Label      string           `json:"label"`
+	Params     map[string]int64 `json:"params,omitempty"`
+	Rounds     int64            `json:"rounds"`
+	Beeps      int64            `json:"beeps"`
+	WallNS     int64            `json:"wall_ns"`
+}
+
+var (
+	curExp  string // experiment id currently running (set by main's loop)
+	records []record
+)
+
+// emit appends one -json record for the current experiment.
+func emit(label string, params map[string]int64, rounds, beeps int64, wall time.Duration) {
+	records = append(records, record{
+		Experiment: curExp,
+		Label:      label,
+		Params:     params,
+		Rounds:     rounds,
+		Beeps:      beeps,
+		WallNS:     wall.Nanoseconds(),
+	})
+}
+
+// printf writes table output, suppressed in -json mode.
+func printf(format string, args ...any) {
+	if !*jsonOut {
+		fmt.Printf(format, args...)
+	}
+}
+
+// runQ answers one query on the engine, recording a -json data point.
+func runQ(e *engine.Engine, q engine.Query, label string, params map[string]int64) *spforest.Result {
+	start := time.Now()
+	res, err := e.Run(q)
+	die(err)
+	emit(label, params, res.Stats.Rounds, res.Stats.Beeps, time.Since(start))
+	return res
+}
 
 func main() {
 	flag.Parse()
@@ -59,17 +118,45 @@ func main() {
 		if *runFilter != "" && !strings.Contains(e.id, *runFilter) {
 			continue
 		}
-		fmt.Printf("== %s: %s\n", e.id, e.title)
+		curExp = e.id
+		printf("== %s: %s\n", e.id, e.title)
+		start := time.Now()
 		e.fn()
-		fmt.Println()
+		emit("total", nil, 0, 0, time.Since(start))
+		printf("\n")
+	}
+	flushJSON()
+}
+
+// flushJSON writes the collected records in -json mode; die calls it too,
+// so a failing experiment still emits every data point measured so far.
+func flushJSON() {
+	if !*jsonOut {
+		return
+	}
+	if records == nil {
+		records = []record{} // encode an empty run as [], not null
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(records); err != nil {
+		fmt.Fprintln(os.Stderr, "spfbench:", err)
+		os.Exit(1)
 	}
 }
 
 func die(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "spfbench:", err)
+		flushJSON()
 		os.Exit(1)
 	}
+}
+
+func mustEngine(s *amoebot.Structure, cfg *engine.Config) *engine.Engine {
+	e, err := engine.New(s, cfg)
+	die(err)
+	return e
 }
 
 func hexRadii() []int {
@@ -85,47 +172,63 @@ func e1() {
 		r = 32
 	}
 	s := spforest.Hexagon(r)
-	fmt.Printf("hexagon n=%d fixed; random destination sets\n", s.N())
-	fmt.Println("      ℓ   rounds   log2(ℓ+1)")
+	eng := mustEngine(s, nil)
+	printf("hexagon n=%d fixed; random destination sets\n", s.N())
+	printf("      ℓ   rounds   log2(ℓ+1)\n")
 	sweep := []int{1, 4, 16, 64, 256, 1024, 4096}
 	for _, l := range sweep {
 		if l > s.N() {
 			break
 		}
 		dests := spforest.RandomCoords(int64(l), s, l)
-		res, err := spforest.ShortestPathTree(s, amoebot.XZ(-r, 0), dests)
-		die(err)
-		fmt.Printf("%7d %8d %11.1f\n", l, res.Stats.Rounds, math.Log2(float64(l+1)))
+		res := runQ(eng, engine.Query{
+			Algo:    engine.AlgoSPT,
+			Sources: []amoebot.Coord{amoebot.XZ(-r, 0)},
+			Dests:   dests,
+		}, "spt", map[string]int64{"n": int64(s.N()), "l": int64(l)})
+		printf("%7d %8d %11.1f\n", l, res.Stats.Rounds, math.Log2(float64(l+1)))
 	}
 }
 
 func e2() {
-	fmt.Println("     n     diam   rounds")
+	printf("     n     diam   rounds\n")
 	for _, r := range hexRadii() {
 		s := spforest.Hexagon(r)
-		res, err := spforest.SPSP(s, amoebot.XZ(-r, 0), amoebot.XZ(r, 0))
-		die(err)
-		fmt.Printf("%6d %8d %8d\n", s.N(), 2*r, res.Stats.Rounds)
+		eng := mustEngine(s, nil)
+		res := runQ(eng, engine.Query{
+			Algo:    engine.AlgoSPSP,
+			Sources: []amoebot.Coord{amoebot.XZ(-r, 0)},
+			Dests:   []amoebot.Coord{amoebot.XZ(r, 0)},
+		}, "spsp", map[string]int64{"n": int64(s.N()), "diam": int64(2 * r)})
+		printf("%6d %8d %8d\n", s.N(), 2*r, res.Stats.Rounds)
 	}
 }
 
 func e3() {
-	fmt.Println("     n   rounds   log2(n)")
+	printf("     n   rounds   log2(n)\n")
 	for _, r := range hexRadii() {
 		s := spforest.Hexagon(r)
-		res, err := spforest.SSSP(s, amoebot.XZ(-r, 0))
-		die(err)
-		fmt.Printf("%6d %8d %9.1f\n", s.N(), res.Stats.Rounds, math.Log2(float64(s.N())))
+		eng := mustEngine(s, nil)
+		res := runQ(eng, engine.Query{
+			Algo:    engine.AlgoSSSP,
+			Sources: []amoebot.Coord{amoebot.XZ(-r, 0)},
+		}, "sssp", map[string]int64{"n": int64(s.N())})
+		printf("%6d %8d %9.1f\n", s.N(), res.Stats.Rounds, math.Log2(float64(s.N())))
 	}
 }
 
+// forestOn runs the divide-and-conquer forest and the sequential baseline
+// on one shared engine (structure validated once, leader given).
 func forestOn(s *amoebot.Structure, k int, seed int64) (dnc, seq int64) {
 	sources := spforest.RandomCoords(seed, s, k)
-	res, err := spforest.ShortestPathForest(s, sources, s.Coords(),
-		&spforest.Options{Leader: &sources[0]})
-	die(err)
-	sq, err := spforest.SequentialForest(s, sources, s.Coords())
-	die(err)
+	eng := mustEngine(s, &engine.Config{Leader: &sources[0]})
+	params := map[string]int64{"n": int64(s.N()), "k": int64(k)}
+	res := runQ(eng, engine.Query{
+		Algo: engine.AlgoForest, Sources: sources, Dests: s.Coords(),
+	}, "forest", params)
+	sq := runQ(eng, engine.Query{
+		Algo: engine.AlgoSequential, Sources: sources, Dests: s.Coords(),
+	}, "sequential", params)
 	return res.Stats.Rounds, sq.Stats.Rounds
 }
 
@@ -135,8 +238,8 @@ func e4() {
 		n = 2000
 	}
 	s := spforest.RandomBlob(5, n)
-	fmt.Printf("random blob n=%d fixed; ℓ=n\n", s.N())
-	fmt.Println("     k   D&C rounds   sequential   log n·log²k")
+	printf("random blob n=%d fixed; ℓ=n\n", s.N())
+	printf("     k   D&C rounds   sequential   log n·log²k\n")
 	ks := []int{2, 4, 8, 16, 32, 64, 128, 256}
 	if *quick {
 		ks = []int{2, 4, 8, 16, 32}
@@ -145,29 +248,25 @@ func e4() {
 	for _, k := range ks {
 		dnc, seq := forestOn(s, k, int64(k))
 		lk := math.Log2(float64(k))
-		fmt.Printf("%6d %12d %12d %13.0f\n", k, dnc, seq, logn*lk*lk)
+		printf("%6d %12d %12d %13.0f\n", k, dnc, seq, logn*lk*lk)
 	}
 }
 
 func e5() {
-	fmt.Println("      n   D&C rounds (k=16)   log n·log²k")
+	printf("      n   D&C rounds (k=16)   log n·log²k\n")
 	ns := []int{500, 1000, 2000, 4000, 8000, 16000, 32000}
 	if *quick {
 		ns = []int{500, 1000, 2000, 4000}
 	}
 	for _, n := range ns {
 		s := shapes.RandomBlob(rand.New(rand.NewSource(int64(n))), n)
-		dnc, _ := forestOnNoSeq(s, 16, 7)
-		fmt.Printf("%7d %19d %13.0f\n", s.N(), dnc, math.Log2(float64(s.N()))*16)
+		sources := spforest.RandomCoords(7, s, 16)
+		eng := mustEngine(s, &engine.Config{Leader: &sources[0]})
+		res := runQ(eng, engine.Query{
+			Algo: engine.AlgoForest, Sources: sources, Dests: s.Coords(),
+		}, "forest", map[string]int64{"n": int64(s.N()), "k": 16})
+		printf("%7d %19d %13.0f\n", s.N(), res.Stats.Rounds, math.Log2(float64(s.N()))*16)
 	}
-}
-
-func forestOnNoSeq(s *amoebot.Structure, k int, seed int64) (int64, error) {
-	sources := spforest.RandomCoords(seed, s, k)
-	res, err := spforest.ShortestPathForest(s, sources, s.Coords(),
-		&spforest.Options{Leader: &sources[0]})
-	die(err)
-	return res.Stats.Rounds, nil
 }
 
 func e6() {
@@ -183,13 +282,14 @@ func e6() {
 		nbrs[i] = append(nbrs[i], int32(p))
 	}
 	tree := ett.MustTree(nbrs)
-	fmt.Printf("random tree n=%d\n", n)
-	fmt.Println("    |Q|   root&prune   election   centroid   decomposition   2(⌊log|Q|⌋+1)")
+	printf("random tree n=%d\n", n)
+	printf("    |Q|   root&prune   election   centroid   decomposition   2(⌊log|Q|⌋+1)\n")
 	for _, q := range []int{1, 4, 16, 64, 256, 1024} {
 		inQ := make([]bool, n)
 		for _, i := range rng.Perm(n)[:q] {
 			inQ[i] = true
 		}
+		start := time.Now()
 		var c1, c2, c3, c4 sim.Clock
 		rp := treeprim.RootAndPrune(&c1, tree, 0, inQ)
 		treeprim.Elect(&c2, tree, 0, inQ)
@@ -200,7 +300,10 @@ func e6() {
 			qp[i] = inQ[i] || aq[i]
 		}
 		treeprim.Decompose(&c4, tree, 0, qp)
-		fmt.Printf("%7d %12d %10d %10d %15d %15d\n",
+		emit("primitives", map[string]int64{"n": int64(n), "q": int64(q)},
+			c1.Rounds()+c2.Rounds()+c3.Rounds()+c4.Rounds(),
+			c1.Beeps()+c2.Beeps()+c3.Beeps()+c4.Beeps(), time.Since(start))
+		printf("%7d %12d %10d %10d %15d %15d\n",
 			q, c1.Rounds(), c2.Rounds(), c3.Rounds(), c4.Rounds(), 2*bits.Len(uint(q)))
 	}
 }
@@ -214,8 +317,8 @@ func e7() {
 	ports := portal.Compute(amoebot.WholeRegion(s), amoebot.AxisX)
 	view := ports.WholeView()
 	rng := rand.New(rand.NewSource(29))
-	fmt.Printf("random blob n=%d, %d x-portals\n", s.N(), ports.Len())
-	fmt.Println("    |Q|   root&prune   election   centroid   decomposition")
+	printf("random blob n=%d, %d x-portals\n", s.N(), ports.Len())
+	printf("    |Q|   root&prune   election   centroid   decomposition\n")
 	for _, q := range []int{1, 4, 16, 64, 256} {
 		if q > ports.Len() {
 			break
@@ -224,6 +327,7 @@ func e7() {
 		for _, i := range rng.Perm(ports.Len())[:q] {
 			inQ[i] = true
 		}
+		start := time.Now()
 		var c1, c2, c3, c4 sim.Clock
 		rp := portal.RootPrune(&c1, view, 0, inQ)
 		portal.ElectPortal(&c2, view, 0, inQ)
@@ -234,17 +338,21 @@ func e7() {
 			qp[i] = inQ[i] || aq[i]
 		}
 		portal.Decompose(&c4, view, 0, qp)
-		fmt.Printf("%7d %12d %10d %10d %15d\n", q, c1.Rounds(), c2.Rounds(), c3.Rounds(), c4.Rounds())
+		emit("portal-primitives", map[string]int64{"n": int64(s.N()), "q": int64(q)},
+			c1.Rounds()+c2.Rounds()+c3.Rounds()+c4.Rounds(),
+			c1.Beeps()+c2.Beeps()+c3.Beeps()+c4.Beeps(), time.Since(start))
+		printf("%7d %12d %10d %10d %15d\n", q, c1.Rounds(), c2.Rounds(), c3.Rounds(), c4.Rounds())
 	}
 }
 
 func e8() {
-	fmt.Println("      n   line(k=2)   merge   propagate   2(⌊log n⌋+1)")
+	printf("      n   line(k=2)   merge   propagate   2(⌊log n⌋+1)\n")
 	ns := []int{256, 1024, 4096, 16384}
 	if *quick {
 		ns = []int{256, 1024}
 	}
 	for _, n := range ns {
+		start := time.Now()
 		// Line algorithm on a chain with two sources at the ends.
 		s := shapes.Line(n)
 		chain := make([]int32, n)
@@ -285,35 +393,42 @@ func e8() {
 		var cp sim.Clock
 		core.Propagate(&cp, r, mid, fp, amoebot.SideB)
 
-		fmt.Printf("%7d %11d %7d %11d %14d\n",
+		emit("subroutines", map[string]int64{"n": int64(n)},
+			cl.Rounds()+cm.Rounds()+cp.Rounds(),
+			cl.Beeps()+cm.Beeps()+cp.Beeps(), time.Since(start))
+		printf("%7d %11d %7d %11d %14d\n",
 			n, cl.Rounds(), cm.Rounds(), cp.Rounds(), 2*bits.Len(uint(n)))
 	}
 }
 
 func e9() {
-	fmt.Println("(a) SPSP vs BFS on combs of growing diameter (teeth=16)")
-	fmt.Println("  tooth len       n    diam≈   SPT rounds   BFS rounds   winner")
+	printf("(a) SPSP vs BFS on combs of growing diameter (teeth=16)\n")
+	printf("  tooth len       n    diam≈   SPT rounds   BFS rounds   winner\n")
 	tls := []int{25, 50, 100, 200, 400, 800}
 	if *quick {
 		tls = []int{25, 100, 400}
 	}
 	for _, tl := range tls {
 		s := spforest.Comb(16, tl)
-		src, _ := s.Index(amoebot.XZ(0, tl))
-		dst, _ := s.Index(amoebot.XZ(30, tl))
-		var c1 sim.Clock
-		f := core.SPT(&c1, amoebot.WholeRegion(s), src, []int32{dst})
-		die(verify.Forest(s, []int32{src}, []int32{dst}, f))
-		var c2 sim.Clock
-		baseline.BFSForest(&c2, amoebot.WholeRegion(s), []int32{src})
+		eng := mustEngine(s, nil)
+		src := amoebot.XZ(0, tl)
+		dst := amoebot.XZ(30, tl)
+		params := map[string]int64{"n": int64(s.N()), "toothlen": int64(tl)}
+		spt := runQ(eng, engine.Query{
+			Algo: engine.AlgoSPT, Sources: []amoebot.Coord{src}, Dests: []amoebot.Coord{dst},
+		}, "comb-spt", params)
+		die(eng.Verify([]amoebot.Coord{src}, []amoebot.Coord{dst}, spt.Forest))
+		bfs := runQ(eng, engine.Query{
+			Algo: engine.AlgoBFS, Sources: []amoebot.Coord{src},
+		}, "comb-bfs", params)
 		winner := "SPT"
-		if c2.Rounds() < c1.Rounds() {
+		if bfs.Stats.Rounds < spt.Stats.Rounds {
 			winner = "BFS"
 		}
-		fmt.Printf("%11d %7d %8d %12d %12d   %s\n",
-			tl, s.N(), 2*tl+30, c1.Rounds(), c2.Rounds(), winner)
+		printf("%11d %7d %8d %12d %12d   %s\n",
+			tl, s.N(), 2*tl+30, spt.Stats.Rounds, bfs.Stats.Rounds, winner)
 	}
-	fmt.Println("(b) divide & conquer vs sequential merge: see table E4")
+	printf("(b) divide & conquer vs sequential merge: see table E4\n")
 }
 
 func e10() {
@@ -322,6 +437,7 @@ func e10() {
 		trials = 15
 	}
 	rng := rand.New(rand.NewSource(31))
+	start := time.Now()
 	structures, treesOK, idOK, pairs := 0, 0, 0, 0
 	for i := 0; i < trials; i++ {
 		s := shapes.RandomBlob(rng, 50+rng.Intn(400))
@@ -358,9 +474,15 @@ func e10() {
 			idOK++
 		}
 	}
-	fmt.Printf("structures tested: %d\n", structures)
-	fmt.Printf("all three portal graphs trees (Lemma 9):   %d/%d\n", treesOK, structures)
-	fmt.Printf("distance identity holds (Lemma 11):        %d/%d structures (%d pairs)\n",
+	emit("portal-structure", map[string]int64{
+		"structures": int64(structures),
+		"trees_ok":   int64(treesOK),
+		"identity":   int64(idOK),
+		"pairs":      int64(pairs),
+	}, 0, 0, time.Since(start))
+	printf("structures tested: %d\n", structures)
+	printf("all three portal graphs trees (Lemma 9):   %d/%d\n", treesOK, structures)
+	printf("distance identity holds (Lemma 11):        %d/%d structures (%d pairs)\n",
 		idOK, structures, pairs)
 }
 
@@ -388,18 +510,23 @@ func e11() {
 	if *quick {
 		runs = 15
 	}
-	fmt.Println("     n   avg rounds   log2(n)")
+	printf("     n   avg rounds   log2(n)\n")
 	for _, r := range hexRadii() {
 		s := spforest.Hexagon(r)
 		region := amoebot.WholeRegion(s)
 		rng := rand.New(rand.NewSource(int64(r)))
-		var total int64
+		start := time.Now()
+		var total, beeps int64
 		for i := 0; i < runs; i++ {
 			var clock sim.Clock
 			leader.Elect(&clock, region, rng)
 			total += clock.Rounds()
+			beeps += clock.Beeps()
 		}
-		fmt.Printf("%6d %12.1f %9.1f\n", s.N(), float64(total)/float64(runs),
+		// Totals, not averages: consumers divide by params.runs exactly.
+		emit("leader", map[string]int64{"n": int64(s.N()), "runs": int64(runs)},
+			total, beeps, time.Since(start))
+		printf("%6d %12.1f %9.1f\n", s.N(), float64(total)/float64(runs),
 			math.Log2(float64(s.N())))
 	}
 }
@@ -408,8 +535,8 @@ func e13() {
 	// Path-like portal trees (staircases) are the worst case for the naive
 	// bottom-up schedule: Θ(k) sequential merge levels instead of the
 	// centroid decomposition's O(log k).
-	fmt.Println("staircase structures, sources spread over the steps")
-	fmt.Println("     k   centroid schedule   bottom-up ablation")
+	printf("staircase structures, sources spread over the steps\n")
+	printf("     k   centroid schedule   bottom-up ablation\n")
 	ks := []int{4, 8, 16, 32, 64}
 	if *quick {
 		ks = []int{4, 8, 16}
@@ -419,36 +546,45 @@ func e13() {
 		region := amoebot.WholeRegion(s)
 		rng := rand.New(rand.NewSource(int64(k)))
 		sources := shapes.RandomSubset(rng, s, k)
+		start := time.Now()
 		var c1, c2 sim.Clock
 		f1 := core.Forest(&c1, region, sources, region.Nodes(), sources[0])
 		die(verify.Forest(s, sources, region.Nodes(), f1))
 		f2 := core.ForestWithSchedule(&c2, region, sources, region.Nodes(), sources[0], core.ScheduleTreeDepth)
 		die(verify.Forest(s, sources, region.Nodes(), f2))
-		fmt.Printf("%6d %19d %20d\n", k, c1.Rounds(), c2.Rounds())
+		emit("ablation", map[string]int64{"k": int64(k), "bottomup_rounds": c2.Rounds()},
+			c1.Rounds(), c1.Beeps(), time.Since(start))
+		printf("%6d %19d %20d\n", k, c1.Rounds(), c2.Rounds())
 	}
 }
 
 func e12() {
-	fmt.Println("chain distance (Lemma 3/4):")
-	fmt.Println("       m   iterations   rounds   ⌊log2(m-1)⌋+1")
+	printf("chain distance (Lemma 3/4):\n")
+	printf("       m   iterations   rounds   ⌊log2(m-1)⌋+1\n")
 	for _, m := range []int{4, 16, 256, 4096, 65536} {
+		start := time.Now()
 		var clock sim.Clock
 		run := pasc.NewChainDistance(m)
 		pasc.Collect(&clock, run)
-		fmt.Printf("%8d %12d %8d %15d\n", m, run.Iterations(), clock.Rounds(),
+		emit("pasc-chain", map[string]int64{"m": int64(m), "iterations": int64(run.Iterations())},
+			clock.Rounds(), clock.Beeps(), time.Since(start))
+		printf("%8d %12d %8d %15d\n", m, run.Iterations(), clock.Rounds(),
 			bits.Len(uint(m-1)))
 	}
-	fmt.Println("prefix sums (Corollary 6): iterations depend on W, not m")
-	fmt.Println("       m      W   iterations   rounds")
+	printf("prefix sums (Corollary 6): iterations depend on W, not m\n")
+	printf("       m      W   iterations   rounds\n")
 	m := 65536
 	for _, w := range []int{1, 16, 256, 4096} {
 		weights := make([]bool, m)
 		for i := 0; i < w; i++ {
 			weights[i*(m/w)] = true
 		}
+		start := time.Now()
 		var clock sim.Clock
 		run := pasc.NewPrefixSum(weights)
 		pasc.Collect(&clock, run)
-		fmt.Printf("%8d %6d %12d %8d\n", m, w, run.Iterations(), clock.Rounds())
+		emit("pasc-prefix", map[string]int64{"m": int64(m), "w": int64(w), "iterations": int64(run.Iterations())},
+			clock.Rounds(), clock.Beeps(), time.Since(start))
+		printf("%8d %6d %12d %8d\n", m, w, run.Iterations(), clock.Rounds())
 	}
 }

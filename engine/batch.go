@@ -1,0 +1,123 @@
+package engine
+
+import (
+	"sync"
+	"time"
+
+	"spforest/amoebot"
+)
+
+// Query names one shortest-path computation for Engine.Run or Engine.Batch.
+type Query struct {
+	// Algo selects the solver by name (see Solvers). Empty selects
+	// AlgoForest.
+	Algo string
+	// Sources are the source amoebots S. Tree algorithms (spt, spsp,
+	// sssp) require exactly one.
+	Sources []amoebot.Coord
+	// Dests are the destination amoebots D. When given they are always
+	// validated against the structure, but sssp (implicitly every
+	// amoebot) and bfs (the wavefront spans the structure) do not
+	// otherwise use them.
+	Dests []amoebot.Coord
+	// Tag is an optional caller-chosen identifier echoed in the
+	// QueryResult, for correlating batch output with batch input.
+	Tag string
+}
+
+// QueryResult pairs one batch query with its outcome.
+type QueryResult struct {
+	// Query is the input query (Tag included) this result answers.
+	Query Query
+	// Result is the computed forest and simulated cost; nil iff Err is
+	// non-nil.
+	Result *Result
+	// Err is the per-query failure, if any. One failing query does not
+	// abort the batch.
+	Err error
+	// Wall is the host wall-clock time the query took (not a simulated
+	// quantity).
+	Wall time.Duration
+}
+
+// BatchStats aggregates a batch.
+type BatchStats struct {
+	// Queries is the number of queries in the batch.
+	Queries int
+	// Failed is the number of queries that returned an error.
+	Failed int
+	// Rounds and Beeps are summed over all successful queries.
+	Rounds int64
+	Beeps  int64
+	// MaxRounds is the largest per-query round count — the batch's
+	// simulated makespan if all queries ran on replicas in parallel.
+	MaxRounds int64
+	// Phases sums the per-phase round attribution over all successful
+	// queries.
+	Phases map[string]int64
+	// Wall is the host wall-clock time of the whole batch.
+	Wall time.Duration
+}
+
+// BatchResult is the outcome of Engine.Batch: one QueryResult per input
+// query, in input order, plus aggregate statistics.
+type BatchResult struct {
+	Results []QueryResult
+	Stats   BatchStats
+}
+
+// Batch answers the queries concurrently on a worker pool bounded by
+// Config.Workers (default GOMAXPROCS), each query on its own simulated
+// clock. Per-structure preprocessing is shared: the structure is not
+// re-validated, and at most one query pays for leader election. Results
+// come back in input order; individual failures are reported per query.
+func (e *Engine) Batch(queries []Query) *BatchResult {
+	start := time.Now()
+	out := &BatchResult{Results: make([]QueryResult, len(queries))}
+	workers := e.workers
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				qStart := time.Now()
+				res, err := e.Run(queries[i])
+				out.Results[i] = QueryResult{
+					Query:  queries[i],
+					Result: res,
+					Err:    err,
+					Wall:   time.Since(qStart),
+				}
+			}
+		}()
+	}
+	for i := range queries {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	st := BatchStats{Queries: len(queries), Phases: make(map[string]int64)}
+	for _, r := range out.Results {
+		if r.Err != nil {
+			st.Failed++
+			continue
+		}
+		st.Rounds += r.Result.Stats.Rounds
+		st.Beeps += r.Result.Stats.Beeps
+		if r.Result.Stats.Rounds > st.MaxRounds {
+			st.MaxRounds = r.Result.Stats.Rounds
+		}
+		for name, rounds := range r.Result.Stats.Phases {
+			st.Phases[name] += rounds
+		}
+	}
+	st.Wall = time.Since(start)
+	out.Stats = st
+	return out
+}

@@ -1,0 +1,212 @@
+package engine_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"spforest"
+	"spforest/amoebot"
+	"spforest/engine"
+)
+
+func TestBatchOrderAndTags(t *testing.T) {
+	s := spforest.RandomBlob(21, 200)
+	sources := spforest.RandomCoords(2, s, 3)
+	queries := []engine.Query{
+		{Tag: "q0", Algo: engine.AlgoForest, Sources: sources, Dests: s.Coords()},
+		{Tag: "q1", Algo: engine.AlgoSSSP, Sources: sources[:1]},
+		{Tag: "q2", Algo: engine.AlgoBFS, Sources: sources},
+		{Tag: "q3", Algo: engine.AlgoSPT, Sources: sources, Dests: s.Coords()}, // invalid: 3 sources
+		{Tag: "q4", Algo: engine.AlgoSequential, Sources: sources, Dests: s.Coords()},
+	}
+	e, err := engine.New(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := e.Batch(queries)
+	if len(batch.Results) != len(queries) {
+		t.Fatalf("got %d results for %d queries", len(batch.Results), len(queries))
+	}
+	for i, r := range batch.Results {
+		if r.Query.Tag != fmt.Sprintf("q%d", i) {
+			t.Fatalf("result %d carries tag %q: order not preserved", i, r.Query.Tag)
+		}
+		if i == 3 {
+			if r.Err == nil {
+				t.Fatal("invalid query q3 did not fail")
+			}
+			continue
+		}
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.Query.Tag, r.Err)
+		}
+		if r.Result.Forest == nil {
+			t.Fatalf("%s: no forest", r.Query.Tag)
+		}
+	}
+	st := batch.Stats
+	if st.Queries != 5 || st.Failed != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	var wantRounds, wantMax int64
+	for _, r := range batch.Results {
+		if r.Err != nil {
+			continue
+		}
+		wantRounds += r.Result.Stats.Rounds
+		if r.Result.Stats.Rounds > wantMax {
+			wantMax = r.Result.Stats.Rounds
+		}
+	}
+	if st.Rounds != wantRounds || st.MaxRounds != wantMax {
+		t.Fatalf("aggregate rounds %d (max %d), want %d (max %d)",
+			st.Rounds, st.MaxRounds, wantRounds, wantMax)
+	}
+	if st.Phases["preprocess"] == 0 {
+		t.Fatal("no query in the batch paid for leader election")
+	}
+}
+
+// TestBatchMatchesSequentialRun: concurrency must not change any per-query
+// result — same forests, same deterministic round counts, and leader
+// election still paid exactly once across the whole batch.
+func TestBatchMatchesSequentialRun(t *testing.T) {
+	s := spforest.RandomBlob(33, 300)
+	sources := spforest.RandomCoords(4, s, 6)
+	var queries []engine.Query
+	for i := 0; i < 12; i++ {
+		queries = append(queries, engine.Query{Algo: engine.AlgoForest, Sources: sources, Dests: s.Coords()})
+	}
+
+	seq, err := engine.New(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seqResults []*engine.Result
+	for _, q := range queries {
+		r, err := seq.Run(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqResults = append(seqResults, r)
+	}
+
+	par, err := engine.New(s, &engine.Config{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := par.Batch(queries)
+	var elections int
+	for i, r := range batch.Results {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		if p := r.Result.Stats.Phases["preprocess"]; p > 0 {
+			elections++
+			// The paying query costs what the sequential first query cost.
+			if r.Result.Stats.Rounds != seqResults[0].Stats.Rounds {
+				t.Fatalf("paying query cost %d rounds, want %d",
+					r.Result.Stats.Rounds, seqResults[0].Stats.Rounds)
+			}
+		} else if r.Result.Stats.Rounds != seqResults[1].Stats.Rounds {
+			t.Fatalf("query %d cost %d rounds, want %d", i,
+				r.Result.Stats.Rounds, seqResults[1].Stats.Rounds)
+		}
+		for n := int32(0); n < int32(s.N()); n++ {
+			if r.Result.Forest.Parent(n) != seqResults[0].Forest.Parent(n) {
+				t.Fatalf("query %d: parent mismatch at node %d", i, n)
+			}
+		}
+	}
+	if elections != 1 {
+		t.Fatalf("%d queries paid for leader election, want exactly 1", elections)
+	}
+}
+
+// TestConcurrentMixedQueries floods one shared engine with mixed
+// SPF/SPT/SSSP/SPSP/sequential/BFS queries from many goroutines and
+// verifies every resulting forest. Run with -race (CI does) to check the
+// engine's concurrency claims.
+func TestConcurrentMixedQueries(t *testing.T) {
+	s := spforest.RandomBlob(17, 250)
+	e, err := engine.New(s, &engine.Config{Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 16
+	iters := 4
+	if testing.Short() {
+		iters = 2
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*iters)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				seed := int64(g*100 + it)
+				sources := spforest.RandomCoords(seed, s, 1+g%5)
+				dests := spforest.RandomCoords(seed+1, s, 1+(g+it)%9)
+				var q engine.Query
+				vDests := dests
+				switch g % 4 {
+				case 0:
+					q = engine.Query{Algo: engine.AlgoForest, Sources: sources, Dests: dests}
+				case 1:
+					q = engine.Query{Algo: engine.AlgoSPT, Sources: sources[:1], Dests: dests}
+					sources = sources[:1]
+				case 2:
+					q = engine.Query{Algo: engine.AlgoSSSP, Sources: sources[:1]}
+					sources = sources[:1]
+					vDests = s.Coords()
+				case 3:
+					q = engine.Query{Algo: engine.AlgoSequential, Sources: sources, Dests: dests}
+				}
+				res, err := e.Run(q)
+				if err != nil {
+					errs <- fmt.Errorf("goroutine %d iter %d: %w", g, it, err)
+					return
+				}
+				if err := e.Verify(sources, vDests, res.Forest); err != nil {
+					errs <- fmt.Errorf("goroutine %d iter %d: %w", g, it, err)
+					return
+				}
+				// Hammer the distance cache from all goroutines too.
+				if _, err := e.Distances(sources); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestBatchWorkersBound: a Workers=1 engine must still answer every query.
+func TestBatchWorkersBound(t *testing.T) {
+	s := spforest.Hexagon(3)
+	e, err := engine.New(s, &engine.Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	west := amoebot.XZ(-3, 0)
+	var queries []engine.Query
+	for i := 0; i < 5; i++ {
+		queries = append(queries, engine.Query{Algo: engine.AlgoSSSP, Sources: []amoebot.Coord{west}})
+	}
+	batch := e.Batch(queries)
+	for _, r := range batch.Results {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+	if batch.Stats.Failed != 0 || batch.Stats.Queries != 5 {
+		t.Fatalf("stats: %+v", batch.Stats)
+	}
+}

@@ -1,0 +1,267 @@
+// Package engine provides the reusable query layer over the shortest-path
+// forest algorithms: an Engine binds to one validated amoebot structure and
+// memoizes the expensive per-structure preprocessing — validation, the
+// whole-structure region, the elected leader (Theorem 2) and the exact
+// reference distances — so that a stream of queries pays for it once
+// instead of once per call.
+//
+// This mirrors the factoring of Padalkin & Scheideler (PODC 2024): their
+// algorithms assume per-structure preprocessing (leader election and the
+// portal/tree primitives of the reconfigurable-circuit toolbox) and then
+// answer individual (S,D) queries in polylogarithmic rounds. The engine
+// makes that split explicit in the API.
+//
+// Every algorithm sits behind the Solver interface and is selected by name
+// (see Solvers); Engine.Run answers one Query and Engine.Batch fans a slice
+// of queries out over a bounded worker pool, each query with its own
+// simulated clock. Engines are safe for concurrent use.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+
+	"spforest/amoebot"
+	"spforest/internal/baseline"
+	"spforest/internal/leader"
+	"spforest/internal/sim"
+	"spforest/internal/verify"
+)
+
+// Config tunes an Engine.
+type Config struct {
+	// Leader designates the pre-elected unique amoebot the paper's
+	// preprocessing assumes (§2.1). If nil, a leader is elected lazily on
+	// the first query that needs one, with the randomized circuit protocol
+	// of Theorem 2; its Θ(log n) w.h.p. rounds are charged to that query's
+	// "preprocess" phase and amortized over all later queries.
+	Leader *amoebot.Coord
+	// Seed drives the randomized leader election (ignored when Leader is
+	// set).
+	Seed int64
+	// Workers bounds the concurrency of Batch. Zero or negative means
+	// GOMAXPROCS.
+	Workers int
+}
+
+// Engine answers shortest-path-forest queries against one validated
+// structure. Construct with New; the zero value is unusable. Engines are
+// safe for concurrent use by multiple goroutines.
+type Engine struct {
+	s       *amoebot.Structure
+	region  *amoebot.Region
+	cfg     Config
+	workers int
+
+	leaderOnce sync.Once
+	leaderIdx  int32
+	prepStats  Stats // cost of the lazy election; zero when Leader was given
+
+	distMu    sync.Mutex
+	distCache map[string][]int32
+}
+
+// New validates the structure once and binds an engine to it. All later
+// queries reuse the validation, the whole-structure region, the (lazily
+// elected) leader and the reference-distance cache.
+func New(s *amoebot.Structure, cfg *Config) (*Engine, error) {
+	if s == nil {
+		return nil, errors.New("engine: nil structure")
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		s:         s,
+		region:    amoebot.WholeRegion(s),
+		distCache: make(map[string][]int32),
+	}
+	if cfg != nil {
+		e.cfg = *cfg
+	}
+	e.workers = e.cfg.Workers
+	if e.workers <= 0 {
+		e.workers = runtime.GOMAXPROCS(0)
+	}
+	if e.cfg.Leader != nil {
+		i, ok := s.Index(*e.cfg.Leader)
+		if !ok {
+			return nil, fmt.Errorf("engine: leader %v is not part of the structure", *e.cfg.Leader)
+		}
+		e.leaderIdx = i
+		e.leaderOnce.Do(func() {}) // election pre-empted by the given leader
+	}
+	return e, nil
+}
+
+// Structure returns the structure the engine is bound to.
+func (e *Engine) Structure() *amoebot.Structure { return e.s }
+
+// Region returns the memoized whole-structure region.
+func (e *Engine) Region() *amoebot.Region { return e.region }
+
+// Run answers one query on its own simulated clock. An empty Query.Algo
+// selects the divide-and-conquer forest algorithm.
+func (e *Engine) Run(q Query) (*Result, error) {
+	algo := q.Algo
+	if algo == "" {
+		algo = AlgoForest
+	}
+	solver, ok := Lookup(algo)
+	if !ok {
+		return nil, unknownAlgo(algo)
+	}
+	srcs, err := e.resolve(q.Sources, "source")
+	if err != nil {
+		return nil, err
+	}
+	var dests []int32
+	if len(q.Dests) > 0 {
+		dests, err = e.resolve(q.Dests, "destination")
+		if err != nil {
+			return nil, err
+		}
+	}
+	var clock sim.Clock
+	f, err := solver.Solve(&Context{Engine: e, Clock: &clock, Sources: srcs, Dests: dests})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Forest: f, Stats: statsOf(&clock)}, nil
+}
+
+// leaderFor returns the memoized leader index, running the randomized
+// election of Theorem 2 on the first call. The triggering query's clock is
+// charged the election's "preprocess" phase; every later query gets the
+// leader for free. Concurrent first calls serialize on the election.
+func (e *Engine) leaderFor(clock *sim.Clock) int32 {
+	e.leaderOnce.Do(func() {
+		before := clock.Snapshot()
+		rng := rand.New(rand.NewSource(e.cfg.Seed))
+		clock.Phase("preprocess", func() {
+			e.leaderIdx = leader.Elect(clock, e.region, rng)
+		})
+		after := clock.Snapshot()
+		rounds := after.Rounds - before.Rounds
+		e.prepStats = Stats{
+			Rounds: rounds,
+			Beeps:  after.Beeps - before.Beeps,
+			Phases: map[string]int64{"preprocess": rounds},
+		}
+	})
+	return e.leaderIdx
+}
+
+// Leader returns the engine's leader and the simulated cost of electing it.
+// With a configured Config.Leader the cost is zero; otherwise the first
+// call (or the first forest query) runs the election and later calls return
+// the memoized result. Calling Leader before a query stream pre-pays the
+// preprocessing so no query is charged for it.
+func (e *Engine) Leader() (amoebot.Coord, Stats) {
+	var clock sim.Clock
+	idx := e.leaderFor(&clock)
+	return e.s.Coord(idx), e.prepStats
+}
+
+// Verify checks the five (S,D)-shortest-path-forest properties of f
+// against the centralized reference solver; it returns nil iff f is a
+// correct (S,D)-SPF of the engine's structure. It reuses the memoized
+// region and reference distances instead of recomputing them per call.
+func (e *Engine) Verify(sources, dests []amoebot.Coord, f *amoebot.Forest) error {
+	srcs, err := e.resolve(sources, "source")
+	if err != nil {
+		return err
+	}
+	ds, err := e.resolve(dests, "destination")
+	if err != nil {
+		return err
+	}
+	return verify.ForestInRegionWithDist(e.region, e.exactDistances(srcs), srcs, ds, f)
+}
+
+// Distances returns, for every amoebot (indexed as in Structure().Coords()),
+// the graph distance to the nearest source, computed once per distinct
+// source set by the centralized reference solver and memoized.
+func (e *Engine) Distances(sources []amoebot.Coord) ([]int, error) {
+	srcs, err := e.resolve(sources, "source")
+	if err != nil {
+		return nil, err
+	}
+	d := e.exactDistances(srcs)
+	out := make([]int, len(d))
+	for i, v := range d {
+		out[i] = int(v)
+	}
+	return out, nil
+}
+
+// maxDistCacheEntries bounds the distance memo: each entry is an O(n)
+// slice, and an engine is long-lived, so an unbounded cache would grow
+// with every distinct source set ever queried.
+const maxDistCacheEntries = 64
+
+// exactDistances memoizes baseline.Exact per canonical source set, keeping
+// at most maxDistCacheEntries entries (an arbitrary entry is evicted when
+// full). The returned slice is shared; callers must not modify it.
+func (e *Engine) exactDistances(srcs []int32) []int32 {
+	key := sourceKey(srcs)
+	e.distMu.Lock()
+	d, hit := e.distCache[key]
+	e.distMu.Unlock()
+	if hit {
+		return d
+	}
+	d, _ = baseline.Exact(e.region, srcs)
+	e.distMu.Lock()
+	if _, dup := e.distCache[key]; !dup && len(e.distCache) >= maxDistCacheEntries {
+		for k := range e.distCache {
+			delete(e.distCache, k)
+			break
+		}
+	}
+	e.distCache[key] = d
+	e.distMu.Unlock()
+	return d
+}
+
+func sourceKey(srcs []int32) string {
+	sorted := make([]int32, len(srcs))
+	copy(sorted, srcs)
+	for i := 1; i < len(sorted); i++ { // insertion sort: source sets are small
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	var b strings.Builder
+	for _, s := range sorted {
+		b.WriteString(strconv.Itoa(int(s)))
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
+// resolve maps coordinates to node indices, rejecting coordinates outside
+// the structure and dropping duplicates (keeping first occurrences).
+func (e *Engine) resolve(cs []amoebot.Coord, what string) ([]int32, error) {
+	if len(cs) == 0 {
+		return nil, fmt.Errorf("engine: no %ss given", what)
+	}
+	out := make([]int32, 0, len(cs))
+	seen := make(map[int32]bool, len(cs))
+	for _, c := range cs {
+		i, ok := e.s.Index(c)
+		if !ok {
+			return nil, fmt.Errorf("engine: %s %v is not part of the structure", what, c)
+		}
+		if !seen[i] {
+			seen[i] = true
+			out = append(out, i)
+		}
+	}
+	return out, nil
+}

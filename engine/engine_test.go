@@ -1,0 +1,309 @@
+package engine_test
+
+import (
+	"strings"
+	"testing"
+
+	"spforest"
+	"spforest/amoebot"
+	"spforest/engine"
+)
+
+func TestSolverRegistry(t *testing.T) {
+	names := engine.Solvers()
+	for _, want := range []string{
+		engine.AlgoForest, engine.AlgoSPT, engine.AlgoSPSP, engine.AlgoSSSP,
+		engine.AlgoSequential, engine.AlgoBFS, engine.AlgoExact,
+	} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("builtin solver %q not registered (have %v)", want, names)
+		}
+		if _, ok := engine.Lookup(want); !ok {
+			t.Errorf("Lookup(%q) failed", want)
+		}
+	}
+	s := spforest.Hexagon(2)
+	e, err := engine.New(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = e.Run(engine.Query{Algo: "no-such-algo", Sources: s.Coords()[:1]})
+	if err == nil || !strings.Contains(err.Error(), "unknown algorithm") {
+		t.Fatalf("unknown algorithm accepted: %v", err)
+	}
+}
+
+func TestNewRejectsInvalidStructures(t *testing.T) {
+	if _, err := engine.New(nil, nil); err == nil {
+		t.Error("nil structure accepted")
+	}
+	// A ring of six amoebots around an unoccupied center has one hole.
+	var ring []amoebot.Coord
+	for d := amoebot.Direction(0); d < amoebot.NumDirections; d++ {
+		ring = append(ring, amoebot.Coord{}.Neighbor(d))
+	}
+	if _, err := engine.New(amoebot.MustStructure(ring), nil); err == nil {
+		t.Error("holed structure accepted")
+	}
+	s := spforest.Hexagon(2)
+	bad := amoebot.XZ(99, 99)
+	if _, err := engine.New(s, &engine.Config{Leader: &bad}); err == nil {
+		t.Error("leader outside the structure accepted")
+	}
+}
+
+// TestLeaderElectedOnce: the first forest query pays the election (its
+// "preprocess" phase), every later query on the same engine gets the leader
+// free — the amortization the engine exists for.
+func TestLeaderElectedOnce(t *testing.T) {
+	s := spforest.RandomBlob(7, 150)
+	sources := spforest.RandomCoords(2, s, 4)
+	e, err := engine.New(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := engine.Query{Algo: engine.AlgoForest, Sources: sources, Dests: s.Coords()}
+	first, err := e.Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Stats.Phases["preprocess"] == 0 {
+		t.Fatal("first query not charged for leader election")
+	}
+	second, err := e.Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := second.Stats.Phases["preprocess"]; p != 0 {
+		t.Fatalf("second query charged %d preprocess rounds", p)
+	}
+	if second.Stats.Rounds >= first.Stats.Rounds {
+		t.Fatalf("second query (%d rounds) not cheaper than first (%d)",
+			second.Stats.Rounds, first.Stats.Rounds)
+	}
+	for _, res := range []*engine.Result{first, second} {
+		if err := e.Verify(sources, s.Coords(), res.Forest); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestLeaderPrePay: Engine.Leader pre-pays the election, so no query is
+// charged a preprocess phase afterwards.
+func TestLeaderPrePay(t *testing.T) {
+	s := spforest.RandomBlob(5, 120)
+	e, err := engine.New(s, &engine.Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ldr, stats := e.Leader()
+	if !s.Occupied(ldr) {
+		t.Fatal("leader not in structure")
+	}
+	if stats.Rounds == 0 || stats.Phases["preprocess"] != stats.Rounds {
+		t.Fatalf("election stats off: %v", stats)
+	}
+	ldr2, stats2 := e.Leader()
+	if ldr2 != ldr || stats2.Rounds != stats.Rounds {
+		t.Fatal("Leader not memoized")
+	}
+	sources := spforest.RandomCoords(2, s, 3)
+	res, err := e.Run(engine.Query{Sources: sources, Dests: s.Coords()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := res.Stats.Phases["preprocess"]; p != 0 {
+		t.Fatalf("query charged %d preprocess rounds after pre-pay", p)
+	}
+}
+
+func TestExplicitLeaderSkipsElection(t *testing.T) {
+	s := spforest.Hexagon(3)
+	sources := spforest.RandomCoords(3, s, 3)
+	e, err := engine.New(s, &engine.Config{Leader: &sources[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ldr, stats := e.Leader()
+	if ldr != sources[0] || stats.Rounds != 0 {
+		t.Fatalf("explicit leader not honored: %v %v", ldr, stats)
+	}
+	res, err := e.Run(engine.Query{Sources: sources, Dests: s.Coords()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Phases["preprocess"] != 0 {
+		t.Fatal("preprocessing charged despite a given leader")
+	}
+}
+
+// TestDistancesCached: repeated Distances calls hit the memo and still
+// return independent slices.
+func TestDistancesCached(t *testing.T) {
+	s := spforest.Line(6)
+	e, err := engine.New(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs := []amoebot.Coord{amoebot.XZ(0, 0), amoebot.XZ(5, 0)}
+	a, err := e.Distances(srcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 2, 2, 1, 0}
+	for i := range want {
+		if a[i] != want[i] {
+			t.Fatalf("distances = %v", a)
+		}
+	}
+	a[0] = 99 // mutating the returned slice must not poison the cache
+	// The same source set in the other order hits the same cache entry.
+	b, err := e.Distances([]amoebot.Coord{amoebot.XZ(5, 0), amoebot.XZ(0, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("cached distances = %v", b)
+		}
+	}
+}
+
+// TestExactSolver: the centralized backend produces a verifiable forest
+// with zero simulated rounds.
+func TestExactSolver(t *testing.T) {
+	s := spforest.RandomBlob(11, 200)
+	sources := spforest.RandomCoords(4, s, 3)
+	dests := spforest.RandomCoords(5, s, 17)
+	e, err := engine.New(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(engine.Query{Algo: engine.AlgoExact, Sources: sources, Dests: dests})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Rounds != 0 {
+		t.Fatalf("centralized solver charged %d rounds", res.Stats.Rounds)
+	}
+	if err := e.Verify(sources, dests, res.Forest); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExactMatchesDistributed: the exact backend and the distributed forest
+// agree on every member's depth (both are verified SPFs, so depths equal
+// the true distances).
+func TestExactMatchesDistributed(t *testing.T) {
+	s := spforest.RandomBlob(13, 250)
+	sources := spforest.RandomCoords(6, s, 5)
+	e, err := engine.New(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := e.Run(engine.Query{Algo: engine.AlgoExact, Sources: sources, Dests: s.Coords()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := e.Distances(sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int32(0); i < int32(s.N()); i++ {
+		if exact.Forest.Depth(i) != dist[i] {
+			t.Fatalf("exact depth %d != distance %d at node %d", exact.Forest.Depth(i), dist[i], i)
+		}
+	}
+}
+
+func TestQueryArityErrors(t *testing.T) {
+	s := spforest.Hexagon(3)
+	e, err := engine.New(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := s.Coords()
+	cases := []engine.Query{
+		{Algo: engine.AlgoSPT, Sources: cs[:2], Dests: cs[:1]},  // two sources
+		{Algo: engine.AlgoSPT, Sources: cs[:1]},                 // no destinations
+		{Algo: engine.AlgoSPSP, Sources: cs[:1], Dests: cs[:2]}, // two destinations
+		{Algo: engine.AlgoForest, Sources: cs[:2]},              // no destinations
+		{Algo: engine.AlgoForest, Dests: cs[:1]},                // no sources
+		{Sources: []amoebot.Coord{amoebot.XZ(99, 99)}, Dests: cs[:1]},
+	}
+	for i, q := range cases {
+		if _, err := e.Run(q); err == nil {
+			t.Errorf("case %d: invalid query accepted: %+v", i, q)
+		}
+	}
+}
+
+// TestAmortization is the acceptance check of the engine's raison d'être:
+// N repeated forest queries through one engine do strictly less total
+// simulated work than N one-shot calls, and the saving is exactly the
+// re-elections the engine skipped.
+func TestAmortization(t *testing.T) {
+	s := spforest.RandomBlob(9, 400)
+	sources := spforest.RandomCoords(2, s, 4)
+	const n = 6
+
+	var legacyTotal int64
+	for i := 0; i < n; i++ {
+		res, err := spforest.ShortestPathForest(s, sources, s.Coords(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		legacyTotal += res.Stats.Rounds
+	}
+
+	e, err := engine.New(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var engineTotal, election int64
+	for i := 0; i < n; i++ {
+		res, err := e.Run(engine.Query{Sources: sources, Dests: s.Coords()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		engineTotal += res.Stats.Rounds
+		if i == 0 {
+			election = res.Stats.Phases["preprocess"]
+		}
+	}
+	if election == 0 {
+		t.Fatal("no election charged at all")
+	}
+	if engineTotal >= legacyTotal {
+		t.Fatalf("engine total %d rounds not cheaper than legacy %d", engineTotal, legacyTotal)
+	}
+	// Legacy re-elects with the same seed every call, so the saving is
+	// exactly (n-1) elections.
+	if want := legacyTotal - (n-1)*election; engineTotal != want {
+		t.Fatalf("engine total %d, want %d (legacy %d minus %d×%d election rounds)",
+			engineTotal, want, legacyTotal, n-1, election)
+	}
+}
+
+// TestStatsStringIncludesPhases: the user-facing Stats string must carry
+// the per-phase round breakdown.
+func TestStatsStringIncludesPhases(t *testing.T) {
+	s := spforest.RandomBlob(3, 100)
+	sources := spforest.RandomCoords(1, s, 2)
+	res, err := spforest.ShortestPathForest(s, sources, s.Coords(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	str := res.Stats.String()
+	for _, want := range []string{"rounds=", "beeps=", "forest=", "preprocess="} {
+		if !strings.Contains(str, want) {
+			t.Errorf("Stats.String() = %q, missing %q", str, want)
+		}
+	}
+}

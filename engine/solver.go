@@ -1,0 +1,112 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"spforest/amoebot"
+	"spforest/internal/sim"
+)
+
+// Context carries the per-query execution state handed to a Solver: the
+// engine (for memoized per-structure state), the query's private clock, and
+// the resolved, deduplicated node indices of the query's sources and
+// destinations.
+type Context struct {
+	Engine  *Engine
+	Clock   *sim.Clock
+	Sources []int32
+	Dests   []int32 // nil when the query gave no destinations
+}
+
+// Region returns the whole-structure region the engine memoizes.
+func (ctx *Context) Region() *amoebot.Region { return ctx.Engine.Region() }
+
+// Solver is one shortest-path-forest algorithm behind the engine. Solvers
+// must be safe for concurrent use: Solve may be called from many goroutines
+// at once (with distinct Contexts) against the same Engine.
+type Solver interface {
+	// Name is the identifier queries select the solver by.
+	Name() string
+	// Solve runs the algorithm, charging simulated rounds to ctx.Clock.
+	Solve(ctx *Context) (*amoebot.Forest, error)
+}
+
+// Built-in solver names.
+const (
+	// AlgoForest is the divide-and-conquer (S,D)-shortest-path-forest
+	// algorithm (Theorem 56 / Corollary 57, O(log n · log² k) rounds).
+	AlgoForest = "forest"
+	// AlgoSPT is the single-source shortest path tree algorithm
+	// (Theorem 39, O(log ℓ) rounds).
+	AlgoSPT = "spt"
+	// AlgoSPSP is the single-pair special case of AlgoSPT (O(1) rounds).
+	AlgoSPSP = "spsp"
+	// AlgoSSSP is the all-destinations special case of AlgoSPT
+	// (O(log n) rounds); queries need only a source.
+	AlgoSSSP = "sssp"
+	// AlgoSequential is the naive sequential-merge baseline
+	// (§5 introduction, O(k log n) rounds).
+	AlgoSequential = "sequential"
+	// AlgoBFS is the plain-model breadth-first wavefront baseline
+	// (Θ(diam) rounds); queries need only sources.
+	AlgoBFS = "bfs"
+	// AlgoExact is the centralized reference solver (not a distributed
+	// algorithm; zero simulated rounds). It returns a canonical
+	// (S,D)-shortest-path forest for ground-truth comparisons.
+	AlgoExact = "exact"
+)
+
+var (
+	registryMu sync.RWMutex
+	registry   = make(map[string]Solver)
+)
+
+// Register makes a solver selectable by its name in Query.Algo. It returns
+// an error if the name is empty or already taken.
+func Register(s Solver) error {
+	name := s.Name()
+	if name == "" {
+		return fmt.Errorf("engine: solver with empty name")
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		return fmt.Errorf("engine: solver %q already registered", name)
+	}
+	registry[name] = s
+	return nil
+}
+
+func mustRegister(s Solver) {
+	if err := Register(s); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup returns the solver registered under name.
+func Lookup(name string) (Solver, bool) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	s, ok := registry[name]
+	return s, ok
+}
+
+// Solvers returns the registered solver names in sorted order.
+func Solvers() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func unknownAlgo(name string) error {
+	return fmt.Errorf("engine: unknown algorithm %q (have %s)",
+		name, strings.Join(Solvers(), ", "))
+}

@@ -1,0 +1,131 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"spforest/amoebot"
+	"spforest/internal/baseline"
+	"spforest/internal/core"
+)
+
+func init() {
+	mustRegister(forestSolver{})
+	mustRegister(treeSolver{name: AlgoSPT})
+	mustRegister(treeSolver{name: AlgoSPSP, singlePair: true})
+	mustRegister(treeSolver{name: AlgoSSSP, allDests: true})
+	mustRegister(sequentialSolver{})
+	mustRegister(bfsSolver{})
+	mustRegister(exactSolver{})
+}
+
+func needDests(ctx *Context, name string) error {
+	if len(ctx.Dests) == 0 {
+		return fmt.Errorf("engine: %s query without destinations", name)
+	}
+	return nil
+}
+
+// forestSolver runs the divide-and-conquer algorithm of §5.4 after the
+// engine's memoized leader preprocessing.
+type forestSolver struct{}
+
+func (forestSolver) Name() string { return AlgoForest }
+
+func (forestSolver) Solve(ctx *Context) (*amoebot.Forest, error) {
+	if err := needDests(ctx, AlgoForest); err != nil {
+		return nil, err
+	}
+	ldr := ctx.Engine.leaderFor(ctx.Clock)
+	var f *amoebot.Forest
+	ctx.Clock.Phase("forest", func() {
+		f = core.Forest(ctx.Clock, ctx.Region(), ctx.Sources, ctx.Dests, ldr)
+	})
+	return f, nil
+}
+
+// treeSolver runs the single-source algorithm of §4 (Theorem 39); SPSP and
+// SSSP are its k = ℓ = 1 and ℓ = n arity-checked special cases. All three
+// charge the "spt" phase — they are the same algorithm.
+type treeSolver struct {
+	name       string
+	singlePair bool // exactly one destination required (SPSP)
+	allDests   bool // destinations are implicitly every amoebot (SSSP)
+}
+
+func (t treeSolver) Name() string { return t.name }
+
+func (t treeSolver) Solve(ctx *Context) (*amoebot.Forest, error) {
+	if len(ctx.Sources) != 1 {
+		return nil, fmt.Errorf("engine: %s query needs exactly one source, got %d",
+			t.name, len(ctx.Sources))
+	}
+	dests := ctx.Dests
+	switch {
+	case t.allDests:
+		dests = ctx.Region().Nodes()
+	case t.singlePair:
+		if len(dests) != 1 {
+			return nil, fmt.Errorf("engine: %s query needs exactly one destination, got %d",
+				t.name, len(dests))
+		}
+	default:
+		if err := needDests(ctx, t.name); err != nil {
+			return nil, err
+		}
+	}
+	var f *amoebot.Forest
+	ctx.Clock.Phase("spt", func() {
+		f = core.SPT(ctx.Clock, ctx.Region(), ctx.Sources[0], dests)
+	})
+	return f, nil
+}
+
+// sequentialSolver runs the paper's O(k log n) sequential-merge baseline.
+type sequentialSolver struct{}
+
+func (sequentialSolver) Name() string { return AlgoSequential }
+
+func (sequentialSolver) Solve(ctx *Context) (*amoebot.Forest, error) {
+	if err := needDests(ctx, AlgoSequential); err != nil {
+		return nil, err
+	}
+	var f *amoebot.Forest
+	ctx.Clock.Phase("sequential", func() {
+		f = core.ForestSequential(ctx.Clock, ctx.Region(), ctx.Sources, ctx.Dests)
+	})
+	return f, nil
+}
+
+// bfsSolver runs the plain-model Θ(diam) wavefront baseline; the forest
+// spans the whole structure, so destinations are ignored.
+type bfsSolver struct{}
+
+func (bfsSolver) Name() string { return AlgoBFS }
+
+func (bfsSolver) Solve(ctx *Context) (*amoebot.Forest, error) {
+	var f *amoebot.Forest
+	ctx.Clock.Phase("bfs", func() {
+		f = baseline.BFSForest(ctx.Clock, ctx.Region(), ctx.Sources)
+	})
+	return f, nil
+}
+
+// exactSolver is the centralized reference: it builds a canonical
+// (S,D)-shortest-path forest from the engine's memoized exact distances.
+// It charges no simulated rounds — it is not a distributed algorithm.
+type exactSolver struct{}
+
+func (exactSolver) Name() string { return AlgoExact }
+
+func (exactSolver) Solve(ctx *Context) (*amoebot.Forest, error) {
+	if err := needDests(ctx, AlgoExact); err != nil {
+		return nil, err
+	}
+	dist := ctx.Engine.exactDistances(ctx.Sources)
+	f := baseline.ExactForestFromDist(ctx.Region(), dist, ctx.Sources, ctx.Dests)
+	if f == nil {
+		return nil, errors.New("engine: exact solver failed to cover a destination")
+	}
+	return f, nil
+}

@@ -8,8 +8,8 @@ import (
 	"fmt"
 	"log"
 
-	"spforest"
 	"spforest/amoebot"
+	"spforest/engine"
 )
 
 // A serpentine structure: two sources at opposite ends, destinations deep
@@ -28,7 +28,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := s.Validate(); err != nil {
+	// The engine validates the structure (connected, hole-free) once at
+	// construction.
+	eng, err := engine.New(s, nil)
+	if err != nil {
 		log.Fatal(err)
 	}
 	sources := marks['S']
@@ -36,11 +39,11 @@ func main() {
 	fmt.Printf("structure: %d amoebots, diameter %d, %d sources, %d destinations\n",
 		s.N(), s.Diameter(), len(sources), len(dests))
 
-	res, err := spforest.ShortestPathForest(s, sources, dests, nil)
+	res, err := eng.Run(engine.Query{Algo: engine.AlgoForest, Sources: sources, Dests: dests})
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := spforest.Verify(s, sources, dests, res.Forest); err != nil {
+	if err := eng.Verify(sources, dests, res.Forest); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("forest: %d simulated rounds\n\n", res.Stats.Rounds)

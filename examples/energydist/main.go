@@ -10,6 +10,7 @@ import (
 
 	"spforest"
 	"spforest/amoebot"
+	"spforest/engine"
 )
 
 func main() {
@@ -32,11 +33,17 @@ func main() {
 	}
 	fmt.Printf("structure: %d amoebots, %d charging stations\n", s.N(), len(stations))
 
-	res, err := spforest.ShortestPathForest(s, stations, s.Coords(), nil)
+	// One engine per structure: the first forest query pays for leader
+	// election, any follow-up query on the same engine would get it free.
+	eng, err := engine.New(s, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := spforest.Verify(s, stations, s.Coords(), res.Forest); err != nil {
+	res, err := eng.Run(engine.Query{Algo: engine.AlgoForest, Sources: stations, Dests: s.Coords()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := eng.Verify(stations, s.Coords(), res.Forest); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("forest computed in %d simulated rounds (incl. %d rounds leader election)\n",

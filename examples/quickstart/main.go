@@ -1,5 +1,5 @@
-// Quickstart: build a structure, compute a single-source shortest path
-// tree, and inspect the simulated round cost.
+// Quickstart: build a structure, bind a query engine to it, compute a
+// single-source shortest path tree, and inspect the simulated round cost.
 package main
 
 import (
@@ -8,6 +8,7 @@ import (
 
 	"spforest"
 	"spforest/amoebot"
+	"spforest/engine"
 )
 
 func main() {
@@ -15,10 +16,21 @@ func main() {
 	s := spforest.Hexagon(8)
 	fmt.Printf("structure: %d amoebots, hole-free: %v\n", s.N(), s.IsHoleFree())
 
+	// The engine validates the structure once; every query against it
+	// reuses that preprocessing.
+	eng, err := engine.New(s, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	// Shortest path tree from the west corner to three destinations.
 	source := amoebot.XZ(-8, 0)
 	dests := []amoebot.Coord{amoebot.XZ(8, 0), amoebot.XZ(0, 8), amoebot.XZ(4, -8)}
-	res, err := spforest.ShortestPathTree(s, source, dests)
+	res, err := eng.Run(engine.Query{
+		Algo:    engine.AlgoSPT,
+		Sources: []amoebot.Coord{source},
+		Dests:   dests,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -31,14 +43,17 @@ func main() {
 
 	// The independent checker confirms all five shortest-path-forest
 	// properties against a centralized reference.
-	if err := spforest.Verify(s, []amoebot.Coord{source}, dests, res.Forest); err != nil {
+	if err := eng.Verify([]amoebot.Coord{source}, dests, res.Forest); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("verified: the tree is a correct ({s},D)-shortest path forest")
 
 	// Compare with the plain-model BFS wavefront: Θ(diam) rounds instead
-	// of O(log ℓ).
-	bfs, err := spforest.BFSForest(s, []amoebot.Coord{source})
+	// of O(log ℓ). Same engine, different algorithm backend.
+	bfs, err := eng.Run(engine.Query{
+		Algo:    engine.AlgoBFS,
+		Sources: []amoebot.Coord{source},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -3,7 +3,8 @@
 // to their nearest docking point (the sources); the shortest path forest
 // provides the routing structure. The example compares the simulated round
 // cost of the divide-and-conquer algorithm against the sequential-merge
-// approach and the plain BFS wavefront.
+// approach and the plain BFS wavefront — all three as one concurrent batch
+// on a shared engine.
 package main
 
 import (
@@ -11,6 +12,7 @@ import (
 	"log"
 
 	"spforest"
+	"spforest/engine"
 )
 
 func main() {
@@ -23,26 +25,30 @@ func main() {
 	sources := spforest.RandomCoords(3, s, 4)
 	movers := spforest.RandomCoords(4, s, 24)
 
-	dnc, err := spforest.ShortestPathForest(s, sources, movers, nil)
+	// One engine, one validation; the three algorithm backends run
+	// concurrently on a worker pool, each on its own simulated clock.
+	eng, err := engine.New(s, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := spforest.Verify(s, sources, movers, dnc.Forest); err != nil {
-		log.Fatal(err)
-	}
-	seq, err := spforest.SequentialForest(s, sources, movers)
-	if err != nil {
-		log.Fatal(err)
-	}
-	bfs, err := spforest.BFSForest(s, sources)
-	if err != nil {
-		log.Fatal(err)
-	}
-
+	batch := eng.Batch([]engine.Query{
+		{Tag: "divide & conquer (Thm 56)", Algo: engine.AlgoForest, Sources: sources, Dests: movers},
+		{Tag: "sequential merge (§5)", Algo: engine.AlgoSequential, Sources: sources, Dests: movers},
+		{Tag: "BFS wavefront (plain)", Algo: engine.AlgoBFS, Sources: sources},
+	})
 	fmt.Println("algorithm                     rounds")
-	fmt.Printf("divide & conquer (Thm 56) %10d\n", dnc.Stats.Rounds)
-	fmt.Printf("sequential merge (§5)     %10d\n", seq.Stats.Rounds)
-	fmt.Printf("BFS wavefront (plain)     %10d\n", bfs.Stats.Rounds)
+	for _, r := range batch.Results {
+		if r.Err != nil {
+			log.Fatal(r.Err)
+		}
+		fmt.Printf("%-25s %10d\n", r.Query.Tag, r.Result.Stats.Rounds)
+	}
+	dnc := batch.Results[0].Result
+	if err := eng.Verify(sources, movers, dnc.Forest); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("batch: %d queries in %v wall time, %d simulated rounds total\n",
+		batch.Stats.Queries, batch.Stats.Wall.Round(1e6), batch.Stats.Rounds)
 	fmt.Println("(both circuit algorithms beat the wavefront once the diameter")
 	fmt.Println(" outgrows their polylog cost; at k=4 the sequential merge is")
 	fmt.Println(" still ahead of divide & conquer — see EXPERIMENTS.md E9 for")

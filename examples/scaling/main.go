@@ -1,6 +1,7 @@
 // Scaling demo: measure how the simulated round counts of SPSP, SSSP and
 // the k-source forest grow with the structure size, reproducing the
-// polylogarithmic shapes of the paper's theorems at example scale.
+// polylogarithmic shapes of the paper's theorems at example scale. Each
+// structure gets one engine; the four algorithms run as one batch.
 package main
 
 import (
@@ -9,6 +10,7 @@ import (
 
 	"spforest"
 	"spforest/amoebot"
+	"spforest/engine"
 )
 
 func main() {
@@ -16,28 +18,28 @@ func main() {
 	for _, r := range []int{4, 8, 16, 32} {
 		s := spforest.Hexagon(r)
 		west, east := amoebot.XZ(-r, 0), amoebot.XZ(r, 0)
-
-		spsp, err := spforest.SPSP(s, west, east)
-		if err != nil {
-			log.Fatal(err)
-		}
-		sssp, err := spforest.SSSP(s, west)
-		if err != nil {
-			log.Fatal(err)
-		}
 		sources := spforest.RandomCoords(11, s, 8)
-		forest, err := spforest.ShortestPathForest(s, sources, s.Coords(),
-			&spforest.Options{Leader: &sources[0]})
+
+		eng, err := engine.New(s, &engine.Config{Leader: &sources[0]})
 		if err != nil {
 			log.Fatal(err)
 		}
-		bfs, err := spforest.BFSForest(s, []amoebot.Coord{west})
-		if err != nil {
-			log.Fatal(err)
+		batch := eng.Batch([]engine.Query{
+			{Algo: engine.AlgoSPSP, Sources: []amoebot.Coord{west}, Dests: []amoebot.Coord{east}},
+			{Algo: engine.AlgoSSSP, Sources: []amoebot.Coord{west}},
+			{Algo: engine.AlgoForest, Sources: sources, Dests: s.Coords()},
+			{Algo: engine.AlgoBFS, Sources: []amoebot.Coord{west}},
+		})
+		for _, res := range batch.Results {
+			if res.Err != nil {
+				log.Fatal(res.Err)
+			}
 		}
-		fmt.Printf("%6d %7d %6d %13d %11d\n",
-			s.N(), spsp.Stats.Rounds, sssp.Stats.Rounds,
-			forest.Stats.Rounds, bfs.Stats.Rounds)
+		fmt.Printf("%6d %7d %6d %13d %11d\n", s.N(),
+			batch.Results[0].Result.Stats.Rounds,
+			batch.Results[1].Result.Stats.Rounds,
+			batch.Results[2].Result.Stats.Rounds,
+			batch.Results[3].Result.Stats.Rounds)
 	}
 	fmt.Println("\nSPSP stays constant, SSSP grows with log n, the forest")
 	fmt.Println("polylogarithmically — while BFS follows the diameter.")

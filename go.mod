@@ -1,0 +1,3 @@
+module spforest
+
+go 1.24

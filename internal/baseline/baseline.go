@@ -107,6 +107,52 @@ func BFSForest(clock *sim.Clock, region *amoebot.Region, sources []int32) *amoeb
 	return f
 }
 
+// ExactForest builds a canonical (S,D)-shortest-path forest centrally from
+// the exact distances: every destination walks to a source along
+// smallest-direction predecessors, so each member's depth equals its
+// nearest-source distance. It is the ground-truth counterpart of the
+// distributed algorithms (zero simulated rounds) and returns nil if some
+// destination lies outside the region or cannot reach a source.
+func ExactForest(region *amoebot.Region, sources, dests []int32) *amoebot.Forest {
+	dist, _ := Exact(region, sources)
+	return ExactForestFromDist(region, dist, sources, dests)
+}
+
+// ExactForestFromDist is ExactForest with the nearest-source distances
+// precomputed (as returned by Exact for the same region and sources), so
+// callers that memoize distances skip the BFS.
+func ExactForestFromDist(region *amoebot.Region, dist []int32, sources, dests []int32) *amoebot.Forest {
+	s := region.Structure()
+	f := amoebot.NewForest(s)
+	for _, src := range sources {
+		if region.Contains(src) {
+			f.SetRoot(src)
+		}
+	}
+	for _, d := range dests {
+		if !region.Contains(d) || dist[d] < 0 {
+			return nil
+		}
+		for v := d; !f.Member(v); {
+			p := amoebot.None
+			for dir := amoebot.Direction(0); dir < amoebot.NumDirections; dir++ {
+				if u := region.Neighbor(v, dir); u != amoebot.None && dist[u] == dist[v]-1 {
+					p = u
+					break
+				}
+			}
+			if p == amoebot.None {
+				// No predecessor: dist is inconsistent with (region,
+				// sources) — e.g. memoized for a different source set.
+				return nil
+			}
+			f.SetParent(v, p)
+			v = p
+		}
+	}
+	return f
+}
+
 // Eccentricity returns max_u dist(S, u) within the region (the BFS round
 // count lower bound).
 func Eccentricity(region *amoebot.Region, sources []int32) int {

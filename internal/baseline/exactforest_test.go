@@ -1,0 +1,59 @@
+package baseline_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"spforest/amoebot"
+	"spforest/internal/baseline"
+	"spforest/internal/shapes"
+	"spforest/internal/verify"
+)
+
+// TestExactForestIsValidSPF: the centralized forest must satisfy all five
+// (S,D)-SPF properties on random instances.
+func TestExactForestIsValidSPF(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 25; trial++ {
+		s := shapes.RandomBlob(rng, 40+trial*15)
+		r := amoebot.WholeRegion(s)
+		k := 1 + trial%5
+		l := 1 + trial%11
+		sources := shapes.RandomSubset(rng, s, k)
+		dests := shapes.RandomSubset(rng, s, l)
+		f := baseline.ExactForest(r, sources, dests)
+		if f == nil {
+			t.Fatalf("trial %d: no forest for reachable destinations", trial)
+		}
+		if err := verify.Forest(s, sources, dests, f); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+// TestExactForestPartialRegion: destinations outside the region (or cut off
+// from every source) must be rejected with a nil forest.
+func TestExactForestPartialRegion(t *testing.T) {
+	s := shapes.Line(6)
+	left := amoebot.NewRegion(s, []int32{0, 1, 2})
+	if f := baseline.ExactForest(left, []int32{0}, []int32{5}); f != nil {
+		t.Fatal("destination outside the region accepted")
+	}
+	if f := baseline.ExactForest(left, []int32{0}, []int32{2}); f == nil {
+		t.Fatal("in-region destination rejected")
+	}
+}
+
+// TestExactForestFromDistInconsistent: a dist slice that doesn't belong to
+// (region, sources) must yield nil, not a panic, when no predecessor
+// exists.
+func TestExactForestFromDistInconsistent(t *testing.T) {
+	s := shapes.Line(4)
+	r := amoebot.WholeRegion(s)
+	// dist claims node 3 is at distance 7, but its only neighbor is at 0:
+	// the predecessor walk finds no neighbor at distance 6.
+	bogus := []int32{0, 0, 0, 7}
+	if f := baseline.ExactForestFromDist(r, bogus, []int32{0}, []int32{3}); f != nil {
+		t.Fatal("inconsistent distances accepted")
+	}
+}

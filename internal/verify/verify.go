@@ -31,6 +31,14 @@ func Forest(s *amoebot.Structure, sources, dests []int32, f *amoebot.Forest) err
 // given region: membership, parents and distances are all interpreted
 // within the region's induced subgraph.
 func ForestInRegion(region *amoebot.Region, sources, dests []int32, f *amoebot.Forest) error {
+	dist, _ := baseline.Exact(region, sources)
+	return ForestInRegionWithDist(region, dist, sources, dests, f)
+}
+
+// ForestInRegionWithDist is ForestInRegion with the nearest-source
+// distances precomputed (baseline.Exact's output for the same region and
+// sources), so callers that memoize distances skip the BFS.
+func ForestInRegionWithDist(region *amoebot.Region, dist []int32, sources, dests []int32, f *amoebot.Forest) error {
 	s := region.Structure()
 	if f.Structure() != s {
 		return fmt.Errorf("verify: forest belongs to a different structure")
@@ -48,7 +56,6 @@ func ForestInRegion(region *amoebot.Region, sources, dests []int32, f *amoebot.F
 	if len(inS) == 0 {
 		return fmt.Errorf("verify: no sources")
 	}
-	dist, _ := baseline.Exact(region, sources)
 
 	// Property 1 + roots ⊆ S: the member roots are exactly the sources.
 	for _, src := range sources {

@@ -20,48 +20,29 @@
 // Structures, regions and forests live in the amoebot sub-package. The
 // simulator charges rounds exactly as the paper's lemmas account them; see
 // DESIGN.md for the fidelity model.
+//
+// The free functions below are one-shot conveniences: each call validates
+// the structure and (for ShortestPathForest without Options.Leader) elects
+// a leader from scratch. For a stream of queries against one structure, use
+// the engine sub-package, which pays that per-structure preprocessing once
+// and answers batches of queries concurrently:
+//
+//	e, err := engine.New(s, nil)
+//	res, err := e.Run(engine.Query{Algo: engine.AlgoForest, Sources: srcs, Dests: dests})
 package spforest
 
 import (
-	"errors"
-	"fmt"
-	"math/rand"
-
 	"spforest/amoebot"
-	"spforest/internal/baseline"
-	"spforest/internal/core"
-	"spforest/internal/leader"
-	"spforest/internal/sim"
-	"spforest/internal/verify"
+	"spforest/engine"
 )
 
-// Stats summarizes the simulated distributed execution.
-type Stats struct {
-	// Rounds is the number of synchronous rounds (the paper's complexity
-	// measure).
-	Rounds int64
-	// Beeps is the total number of beep signals sent (a work measure).
-	Beeps int64
-	// Phases attributes rounds to named algorithm phases.
-	Phases map[string]int64
-}
+// Stats summarizes the simulated distributed execution. It is an alias of
+// engine.Stats; its String includes the per-phase round breakdown.
+type Stats = engine.Stats
 
-func statsOf(c *sim.Clock) Stats {
-	s := c.Snapshot()
-	return Stats{Rounds: s.Rounds, Beeps: s.Beeps, Phases: s.Phases}
-}
-
-func (s Stats) String() string {
-	return fmt.Sprintf("rounds=%d beeps=%d", s.Rounds, s.Beeps)
-}
-
-// Result is the outcome of one algorithm execution.
-type Result struct {
-	// Forest is the computed (S,D)-shortest path forest.
-	Forest *amoebot.Forest
-	// Stats is the simulated cost of the distributed execution.
-	Stats Stats
-}
+// Result is the outcome of one algorithm execution (an alias of
+// engine.Result).
+type Result = engine.Result
 
 // Options tunes an execution.
 type Options struct {
@@ -75,199 +56,116 @@ type Options struct {
 	Seed int64
 }
 
-func resolve(s *amoebot.Structure, cs []amoebot.Coord, what string) ([]int32, error) {
-	if len(cs) == 0 {
-		return nil, fmt.Errorf("spforest: no %ss given", what)
+// oneShot binds a throwaway engine to s for a single query: per-structure
+// preprocessing is paid by this one call, exactly like the pre-engine
+// one-shot API did.
+func oneShot(s *amoebot.Structure, opt *Options) (*engine.Engine, error) {
+	var cfg engine.Config
+	if opt != nil {
+		cfg.Leader = opt.Leader
+		cfg.Seed = opt.Seed
 	}
-	out := make([]int32, 0, len(cs))
-	seen := make(map[int32]bool, len(cs))
-	for _, c := range cs {
-		i, ok := s.Index(c)
-		if !ok {
-			return nil, fmt.Errorf("spforest: %s %v is not part of the structure", what, c)
-		}
-		if !seen[i] {
-			seen[i] = true
-			out = append(out, i)
-		}
-	}
-	return out, nil
+	return engine.New(s, &cfg)
 }
 
-func validate(s *amoebot.Structure) error {
-	if s == nil {
-		return errors.New("spforest: nil structure")
+func runOnce(s *amoebot.Structure, opt *Options, q engine.Query) (*Result, error) {
+	e, err := oneShot(s, opt)
+	if err != nil {
+		return nil, err
 	}
-	return s.Validate()
+	return e.Run(q)
 }
 
 // ShortestPathTree computes an ({source}, D)-shortest path forest — a
 // single tree rooted at the source reaching every destination on a shortest
 // path — in O(log ℓ) simulated rounds (Theorem 39).
 func ShortestPathTree(s *amoebot.Structure, source amoebot.Coord, dests []amoebot.Coord) (*Result, error) {
-	if err := validate(s); err != nil {
-		return nil, err
-	}
-	src, err := resolve(s, []amoebot.Coord{source}, "source")
-	if err != nil {
-		return nil, err
-	}
-	ds, err := resolve(s, dests, "destination")
-	if err != nil {
-		return nil, err
-	}
-	var clock sim.Clock
-	var f *amoebot.Forest
-	clock.Phase("spt", func() {
-		f = core.SPT(&clock, amoebot.WholeRegion(s), src[0], ds)
+	return runOnce(s, nil, engine.Query{
+		Algo:    engine.AlgoSPT,
+		Sources: []amoebot.Coord{source},
+		Dests:   dests,
 	})
-	return &Result{Forest: f, Stats: statsOf(&clock)}, nil
 }
 
 // SPSP computes a shortest path between two amoebots in O(1) simulated
 // rounds (the k = ℓ = 1 case of Theorem 39).
 func SPSP(s *amoebot.Structure, source, dest amoebot.Coord) (*Result, error) {
-	return ShortestPathTree(s, source, []amoebot.Coord{dest})
+	return runOnce(s, nil, engine.Query{
+		Algo:    engine.AlgoSPSP,
+		Sources: []amoebot.Coord{source},
+		Dests:   []amoebot.Coord{dest},
+	})
 }
 
 // SSSP computes a shortest path tree from the source to every amoebot in
 // O(log n) simulated rounds (the ℓ = n case of Theorem 39).
 func SSSP(s *amoebot.Structure, source amoebot.Coord) (*Result, error) {
-	return ShortestPathTree(s, source, s.Coords())
+	return runOnce(s, nil, engine.Query{
+		Algo:    engine.AlgoSSSP,
+		Sources: []amoebot.Coord{source},
+	})
 }
 
 // ShortestPathForest computes an (S,D)-shortest path forest in
 // O(log n · log² k) simulated rounds (Theorem 56 / Corollary 57).
 func ShortestPathForest(s *amoebot.Structure, sources, dests []amoebot.Coord, opt *Options) (*Result, error) {
-	if err := validate(s); err != nil {
-		return nil, err
-	}
-	srcs, err := resolve(s, sources, "source")
-	if err != nil {
-		return nil, err
-	}
-	ds, err := resolve(s, dests, "destination")
-	if err != nil {
-		return nil, err
-	}
-	var clock sim.Clock
-	region := amoebot.WholeRegion(s)
-	ldr, err := pickLeader(&clock, s, region, opt)
-	if err != nil {
-		return nil, err
-	}
-	var f *amoebot.Forest
-	clock.Phase("forest", func() {
-		f = core.Forest(&clock, region, srcs, ds, ldr)
+	return runOnce(s, opt, engine.Query{
+		Algo:    engine.AlgoForest,
+		Sources: sources,
+		Dests:   dests,
 	})
-	return &Result{Forest: f, Stats: statsOf(&clock)}, nil
-}
-
-func pickLeader(clock *sim.Clock, s *amoebot.Structure, region *amoebot.Region, opt *Options) (int32, error) {
-	if opt != nil && opt.Leader != nil {
-		i, ok := s.Index(*opt.Leader)
-		if !ok {
-			return 0, fmt.Errorf("spforest: leader %v is not part of the structure", *opt.Leader)
-		}
-		return i, nil
-	}
-	var seed int64
-	if opt != nil {
-		seed = opt.Seed
-	}
-	var ldr int32
-	clock.Phase("preprocess", func() {
-		ldr = leader.Elect(clock, region, rand.New(rand.NewSource(seed)))
-	})
-	return ldr, nil
 }
 
 // SequentialForest computes the forest with the naive approach the paper
 // uses as its O(k log n)-round comparison point (§5 introduction): one
 // shortest path tree per source, merged one by one.
 func SequentialForest(s *amoebot.Structure, sources, dests []amoebot.Coord) (*Result, error) {
-	if err := validate(s); err != nil {
-		return nil, err
-	}
-	srcs, err := resolve(s, sources, "source")
-	if err != nil {
-		return nil, err
-	}
-	ds, err := resolve(s, dests, "destination")
-	if err != nil {
-		return nil, err
-	}
-	var clock sim.Clock
-	var f *amoebot.Forest
-	clock.Phase("sequential", func() {
-		f = core.ForestSequential(&clock, amoebot.WholeRegion(s), srcs, ds)
+	return runOnce(s, nil, engine.Query{
+		Algo:    engine.AlgoSequential,
+		Sources: sources,
+		Dests:   dests,
 	})
-	return &Result{Forest: f, Stats: statsOf(&clock)}, nil
 }
 
 // BFSForest computes an S-shortest path forest with the plain-model
 // breadth-first wavefront (Θ(diam) rounds), the related-work baseline the
 // polylogarithmic algorithms are compared against.
 func BFSForest(s *amoebot.Structure, sources []amoebot.Coord) (*Result, error) {
-	if err := validate(s); err != nil {
-		return nil, err
-	}
-	srcs, err := resolve(s, sources, "source")
-	if err != nil {
-		return nil, err
-	}
-	var clock sim.Clock
-	var f *amoebot.Forest
-	clock.Phase("bfs", func() {
-		f = baseline.BFSForest(&clock, amoebot.WholeRegion(s), srcs)
+	return runOnce(s, nil, engine.Query{
+		Algo:    engine.AlgoBFS,
+		Sources: sources,
 	})
-	return &Result{Forest: f, Stats: statsOf(&clock)}, nil
 }
 
 // Verify checks the five (S,D)-shortest-path-forest properties of a forest
 // against a centralized reference solver; it returns nil iff the forest is
 // a correct (S,D)-SPF of the structure.
 func Verify(s *amoebot.Structure, sources, dests []amoebot.Coord, f *amoebot.Forest) error {
-	if err := validate(s); err != nil {
-		return err
-	}
-	srcs, err := resolve(s, sources, "source")
+	e, err := engine.New(s, nil)
 	if err != nil {
 		return err
 	}
-	ds, err := resolve(s, dests, "destination")
-	if err != nil {
-		return err
-	}
-	return verify.Forest(s, srcs, ds, f)
+	return e.Verify(sources, dests, f)
 }
 
 // Distances returns, for every amoebot (indexed as in s.Coords()), the
 // graph distance to the nearest source, computed by the centralized
 // reference solver.
 func Distances(s *amoebot.Structure, sources []amoebot.Coord) ([]int, error) {
-	if err := validate(s); err != nil {
-		return nil, err
-	}
-	srcs, err := resolve(s, sources, "source")
+	e, err := engine.New(s, nil)
 	if err != nil {
 		return nil, err
 	}
-	d, _ := baseline.Exact(amoebot.WholeRegion(s), srcs)
-	out := make([]int, len(d))
-	for i, v := range d {
-		out[i] = int(v)
-	}
-	return out, nil
+	return e.Distances(sources)
 }
 
 // ElectLeader runs the randomized leader election of Theorem 2 and returns
 // the elected amoebot with the rounds it took (Θ(log n) w.h.p.).
 func ElectLeader(s *amoebot.Structure, seed int64) (amoebot.Coord, Stats, error) {
-	if err := validate(s); err != nil {
+	e, err := engine.New(s, &engine.Config{Seed: seed})
+	if err != nil {
 		return amoebot.Coord{}, Stats{}, err
 	}
-	var clock sim.Clock
-	l := leader.Elect(&clock, amoebot.WholeRegion(s), rand.New(rand.NewSource(seed)))
-	return s.Coord(l), statsOf(&clock), nil
+	ldr, stats := e.Leader()
+	return ldr, stats, nil
 }
