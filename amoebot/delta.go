@@ -1,0 +1,345 @@
+package amoebot
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Delta describes a mutation of a structure: a set of coordinates to add
+// and a set of coordinates to remove. Deltas are the unit of change of
+// dynamic programmable matter — amoebots joining, leaving or relocating
+// during shape reconfiguration — and are applied with Structure.Apply.
+type Delta struct {
+	// Add lists unoccupied coordinates to occupy.
+	Add []Coord
+	// Remove lists occupied coordinates to vacate.
+	Remove []Coord
+}
+
+// IsEmpty reports whether the delta changes nothing.
+func (d Delta) IsEmpty() bool { return len(d.Add) == 0 && len(d.Remove) == 0 }
+
+// Size returns the number of coordinates the delta touches.
+func (d Delta) Size() int { return len(d.Add) + len(d.Remove) }
+
+// Move returns the delta that relocates one amoebot.
+func Move(from, to Coord) Delta {
+	return Delta{Add: []Coord{to}, Remove: []Coord{from}}
+}
+
+func (d Delta) String() string {
+	return fmt.Sprintf("Delta(+%d -%d)", len(d.Add), len(d.Remove))
+}
+
+// NeighborArcs counts, for coordinate c under the given occupancy, the
+// occupied neighbors of c (deg) and the number of maximal runs they form in
+// the cyclic order of the six directions (arcs). The occupancy of c itself
+// is irrelevant.
+//
+// The pair decides local mutability on connected hole-free structures: a
+// cell with 1 ≤ deg ≤ 5 occupied neighbors forming a single arc can be
+// removed (if occupied) or added (if empty) without breaking connectivity
+// or creating a hole — see Structure.Apply.
+func NeighborArcs(occ func(Coord) bool, c Coord) (deg, arcs int) {
+	prev := occ(c.Neighbor(NumDirections - 1))
+	for d := Direction(0); d < NumDirections; d++ {
+		cur := occ(c.Neighbor(d))
+		if cur {
+			deg++
+			if !prev {
+				arcs++
+			}
+		}
+		prev = cur
+	}
+	return deg, arcs
+}
+
+// Apply builds the structure obtained by removing d.Remove and adding
+// d.Add, leaving the receiver untouched. The new structure is built
+// copy-on-write: the canonical coordinate order is produced by an O(n)
+// merge and the adjacency rows of amoebots not neighboring any delta cell
+// are index-remapped from the old rows instead of being recomputed.
+//
+// Apply requires the result to satisfy the paper's preconditions
+// (connected and hole-free) and returns an error otherwise. When the base
+// structure is itself valid, the check is incremental: the Euler
+// characteristic is updated from the edges and triangles incident to the
+// delta (O(|d|)), and connectivity is established by peeling the delta one
+// cell at a time with an O(1) local rule — a cell whose occupied neighbors
+// form a single cyclic arc of length 1–5 can be added or removed while
+// preserving validity. Only when no peeling order exists does Apply fall
+// back to one full connectivity pass. The verdict agrees exactly with
+// Validate on the result (differentially tested).
+//
+// An empty delta returns the receiver. Malformed deltas — duplicate
+// coordinates, adding an occupied or removing an unoccupied cell, a
+// coordinate both added and removed, removing every amoebot — are
+// rejected before any structure is built.
+func (s *Structure) Apply(d Delta) (*Structure, error) {
+	if d.IsEmpty() {
+		return s, nil
+	}
+	removeSet := make(map[Coord]bool, len(d.Remove))
+	for _, c := range d.Remove {
+		if !s.Occupied(c) {
+			return nil, fmt.Errorf("amoebot: delta removes unoccupied %v", c)
+		}
+		if removeSet[c] {
+			return nil, fmt.Errorf("amoebot: delta removes %v twice", c)
+		}
+		removeSet[c] = true
+	}
+	addSet := make(map[Coord]bool, len(d.Add))
+	for _, c := range d.Add {
+		if !c.Valid() {
+			return nil, fmt.Errorf("amoebot: delta adds invalid coordinate %v (X+Y+Z != 0)", c)
+		}
+		if s.Occupied(c) {
+			return nil, fmt.Errorf("amoebot: delta adds occupied %v", c)
+		}
+		if removeSet[c] {
+			return nil, fmt.Errorf("amoebot: delta both adds and removes %v", c)
+		}
+		if addSet[c] {
+			return nil, fmt.Errorf("amoebot: delta adds %v twice", c)
+		}
+		addSet[c] = true
+	}
+	n2 := s.N() + len(d.Add) - len(d.Remove)
+	if n2 == 0 {
+		return nil, errors.New("amoebot: delta removes every amoebot")
+	}
+
+	ns := s.applyCOW(d, addSet, removeSet, n2)
+
+	// Validity: incremental when the base is valid, full otherwise.
+	if s.Validate() != nil {
+		if err := ns.Validate(); err != nil {
+			return nil, fmt.Errorf("amoebot: delta result invalid: %w", err)
+		}
+		return ns, nil
+	}
+	if !s.eulerAfter(addSet, removeSet, ns) {
+		// χ ≠ 1 rules validity out without touching the n untouched
+		// amoebots; the full pass only runs to name the failure.
+		return nil, fmt.Errorf("amoebot: delta result invalid: %w", ns.Validate())
+	}
+	// χ = 1 leaves connectivity: c − holes = 1, so connected ⇒ hole-free.
+	if s.peelDelta(addSet, removeSet) {
+		ns.markValid()
+	} else if ns.IsConnected() {
+		ns.markValid()
+	} else {
+		return nil, fmt.Errorf("amoebot: delta result invalid: %w", ns.Validate())
+	}
+	return ns, nil
+}
+
+// applyCOW builds the mutated structure: merged canonical coordinates,
+// fresh index, and adjacency rows remapped from the old structure wherever
+// no neighbor changed.
+func (s *Structure) applyCOW(d Delta, addSet, removeSet map[Coord]bool, n2 int) *Structure {
+	adds := make([]Coord, 0, len(addSet))
+	for c := range addSet {
+		adds = append(adds, c)
+	}
+	sort.Slice(adds, func(i, j int) bool { return lessCoord(adds[i], adds[j]) })
+
+	coords2 := make([]Coord, 0, n2)
+	remap := make([]int32, s.N()) // old index -> new index, None for removed
+	oldOf := make([]int32, 0, n2) // new index -> old index, None for added
+	ai := 0
+	for i, c := range s.coords {
+		for ai < len(adds) && lessCoord(adds[ai], c) {
+			oldOf = append(oldOf, None)
+			coords2 = append(coords2, adds[ai])
+			ai++
+		}
+		if removeSet[c] {
+			remap[i] = None
+			continue
+		}
+		remap[i] = int32(len(coords2))
+		oldOf = append(oldOf, int32(i))
+		coords2 = append(coords2, c)
+	}
+	for ; ai < len(adds); ai++ {
+		oldOf = append(oldOf, None)
+		coords2 = append(coords2, adds[ai])
+	}
+
+	ns := &Structure{
+		coords: coords2,
+		index:  make(map[Coord]int32, n2),
+		nbr:    make([][NumDirections]int32, n2),
+	}
+	for i, c := range coords2 {
+		ns.index[c] = int32(i)
+	}
+
+	// Amoebots adjacent to a delta cell need their row recomputed; every
+	// other surviving row is the old row with indices remapped.
+	touched := make([]bool, n2)
+	markAround := func(c Coord) {
+		if j, ok := ns.index[c]; ok {
+			touched[j] = true
+		}
+		for dir := Direction(0); dir < NumDirections; dir++ {
+			if j, ok := ns.index[c.Neighbor(dir)]; ok {
+				touched[j] = true
+			}
+		}
+	}
+	for c := range addSet {
+		markAround(c)
+	}
+	for c := range removeSet {
+		markAround(c)
+	}
+	for i := range coords2 {
+		if old := oldOf[i]; old != None && !touched[i] {
+			for dir := Direction(0); dir < NumDirections; dir++ {
+				if j := s.nbr[old][dir]; j != None {
+					ns.nbr[i][dir] = remap[j]
+				} else {
+					ns.nbr[i][dir] = None
+				}
+			}
+			continue
+		}
+		c := coords2[i]
+		for dir := Direction(0); dir < NumDirections; dir++ {
+			if j, ok := ns.index[c.Neighbor(dir)]; ok {
+				ns.nbr[i][dir] = j
+			} else {
+				ns.nbr[i][dir] = None
+			}
+		}
+	}
+	return ns
+}
+
+// eulerAfter reports whether the mutated structure has Euler characteristic
+// V − E + T = 1 (the value of every connected hole-free structure),
+// computed from the base's χ = 1 and only the edges and triangles incident
+// to the delta.
+func (s *Structure) eulerAfter(addSet, removeSet map[Coord]bool, ns *Structure) bool {
+	dV := len(addSet) - len(removeSet)
+
+	// Edges and triangles of the new structure incident to added cells.
+	dE, dT := 0, 0
+	for c := range addSet {
+		for dir := Direction(0); dir < NumDirections; dir++ {
+			n := c.Neighbor(dir)
+			if !ns.Occupied(n) {
+				continue
+			}
+			// Count each added–added edge once, at its lesser endpoint.
+			if !addSet[n] || lessCoord(c, n) {
+				dE++
+			}
+			// The unit triangle (c, n, c.Neighbor(dir.CCW())): count it at
+			// its added corner of least coordinate.
+			t := c.Neighbor(dir.CCW())
+			if ns.Occupied(t) && leastAddedCorner(addSet, c, n, t) {
+				dT++
+			}
+		}
+	}
+	// Edges and triangles of the old structure incident to removed cells.
+	for c := range removeSet {
+		for dir := Direction(0); dir < NumDirections; dir++ {
+			n := c.Neighbor(dir)
+			if !s.Occupied(n) {
+				continue
+			}
+			if !removeSet[n] || lessCoord(c, n) {
+				dE--
+			}
+			t := c.Neighbor(dir.CCW())
+			if s.Occupied(t) && leastAddedCorner(removeSet, c, n, t) {
+				dT--
+			}
+		}
+	}
+	return 1+dV-dE+dT == 1
+}
+
+// leastAddedCorner reports whether c is the in-set corner of least
+// coordinate among the triangle corners (c, n, t), so each changed triangle
+// is counted exactly once.
+func leastAddedCorner(set map[Coord]bool, c, n, t Coord) bool {
+	if set[n] && lessCoord(n, c) {
+		return false
+	}
+	if set[t] && lessCoord(t, c) {
+		return false
+	}
+	return true
+}
+
+// lessCoord is the canonical row-major order of Structure.coords (it must
+// match the sort in NewStructure).
+func lessCoord(a, b Coord) bool {
+	if a.Z != b.Z {
+		return a.Z < b.Z
+	}
+	return a.X < b.X
+}
+
+// peelDelta tries to order the delta cells so that every single-cell step
+// preserves validity: on a connected hole-free structure, removing or
+// adding a cell whose occupied neighbors form one cyclic arc of length 1–5
+// keeps the structure connected and hole-free (the arc keeps the former
+// neighbors mutually reachable, and the Euler characteristic — which the
+// step changes by deg − triangles ± 1 = 0 for a single arc — keeps it
+// hole-free). It returns true when every delta cell was applied this way,
+// proving the final structure valid in O(|delta|²) neighbor probes; false
+// means the local rules could not decide and the caller must check
+// connectivity directly.
+func (s *Structure) peelDelta(addSet, removeSet map[Coord]bool) bool {
+	applied := make(map[Coord]bool, len(addSet)+len(removeSet))
+	occ := func(c Coord) bool {
+		if applied[c] {
+			return addSet[c] // applied add: on; applied remove: off
+		}
+		return s.Occupied(c)
+	}
+	pending := make([]Coord, 0, len(addSet)+len(removeSet))
+	for c := range removeSet {
+		pending = append(pending, c)
+	}
+	for c := range addSet {
+		pending = append(pending, c)
+	}
+	cur := s.N()
+	for len(pending) > 0 {
+		progress := false
+		next := pending[:0]
+		for _, c := range pending {
+			deg, arcs := NeighborArcs(occ, c)
+			ok := deg >= 1 && deg <= 5 && arcs == 1
+			if removeSet[c] {
+				ok = ok && cur > 1
+			}
+			if !ok {
+				next = append(next, c)
+				continue
+			}
+			applied[c] = true
+			if removeSet[c] {
+				cur--
+			} else {
+				cur++
+			}
+			progress = true
+		}
+		pending = next
+		if !progress {
+			return false
+		}
+	}
+	return true
+}

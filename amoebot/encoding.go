@@ -3,6 +3,9 @@ package amoebot
 import (
 	"bufio"
 	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"fmt"
 	"sort"
 	"strings"
@@ -17,6 +20,26 @@ func (s *Structure) MarshalText() ([]byte, error) {
 		fmt.Fprintf(&b, "%d %d\n", c.X, c.Z)
 	}
 	return b.Bytes(), nil
+}
+
+// Fingerprint returns a stable content hash of the structure's coordinate
+// set (128 hex-encoded bits of SHA-256 over the canonical coordinate
+// order). Structures with equal coordinate sets have equal fingerprints
+// regardless of construction order; the fingerprint is the pooling key of
+// the service layer. It is computed once and memoized.
+func (s *Structure) Fingerprint() string {
+	s.fpOnce.Do(func() {
+		h := sha256.New()
+		var buf [16]byte
+		for _, c := range s.coords {
+			binary.LittleEndian.PutUint64(buf[0:8], uint64(c.X))
+			binary.LittleEndian.PutUint64(buf[8:16], uint64(c.Z))
+			h.Write(buf[:])
+		}
+		sum := h.Sum(nil)
+		s.fp = hex.EncodeToString(sum[:16])
+	})
+	return s.fp
 }
 
 // ParseStructure decodes the canonical text form produced by MarshalText:

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // None marks the absence of a node index (no neighbor, no parent, ...).
@@ -16,6 +17,14 @@ type Structure struct {
 	coords []Coord
 	index  map[Coord]int32
 	nbr    [][NumDirections]int32
+
+	// Validity and fingerprint are derived from the immutable coordinate
+	// set, so both are computed at most once. Apply primes validOnce on
+	// structures it proved valid incrementally, skipping the O(n) pass.
+	validOnce sync.Once
+	validErr  error
+	fpOnce    sync.Once
+	fp        string
 }
 
 // NewStructure builds a structure from the given coordinates. Duplicates are
@@ -189,8 +198,15 @@ func (s *Structure) Holes() int {
 func (s *Structure) IsHoleFree() bool { return s.Holes() == 0 }
 
 // Validate checks the preconditions of the paper's algorithms: the structure
-// must be connected and hole-free.
+// must be connected and hole-free. The verdict is memoized — structures are
+// immutable — so repeated validation (one engine per query stream, pooled
+// engines, delta chains) pays the O(n) pass at most once per structure.
 func (s *Structure) Validate() error {
+	s.validOnce.Do(func() { s.validErr = s.validate() })
+	return s.validErr
+}
+
+func (s *Structure) validate() error {
 	if !s.IsConnected() {
 		return errors.New("amoebot: structure is not connected")
 	}
@@ -198,6 +214,12 @@ func (s *Structure) Validate() error {
 		return fmt.Errorf("amoebot: structure has %d hole(s)", h)
 	}
 	return nil
+}
+
+// markValid primes the validity memo of a structure that was proven
+// connected and hole-free by incremental means (see Apply).
+func (s *Structure) markValid() {
+	s.validOnce.Do(func() { s.validErr = nil })
 }
 
 // Bounds returns the inclusive axial bounding box of the structure in

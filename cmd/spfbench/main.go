@@ -1,6 +1,6 @@
 // Command spfbench regenerates every experiment table of EXPERIMENTS.md:
-// one table per quantitative claim of the paper (see DESIGN.md §4 for the
-// per-experiment index E1–E13). Usage:
+// one table per quantitative claim of the paper plus the E14 dynamic-churn
+// workload (see DESIGN.md §4 for the per-experiment index E1–E14). Usage:
 //
 //	spfbench              # run everything
 //	spfbench -run E4      # run tables whose id contains "E4"
@@ -43,6 +43,7 @@ import (
 	"spforest/internal/sim"
 	"spforest/internal/treeprim"
 	"spforest/internal/verify"
+	"spforest/service"
 )
 
 var (
@@ -113,6 +114,7 @@ func main() {
 		{"E11", "leader election rounds vs n (Theorem 2: Θ(log n) w.h.p.)", e11},
 		{"E12", "PASC iterations (Lemma 4, Corollaries 5/6)", e12},
 		{"E13", "ablation: centroid-decomposition merge schedule vs plain bottom-up", e13},
+		{"E14", "dynamic churn: fresh rebuild vs incremental Apply vs pooled service", e14},
 	}
 	for _, e := range experiments {
 		if *runFilter != "" && !strings.Contains(e.id, *runFilter) {
@@ -587,4 +589,119 @@ func e12() {
 			clock.Rounds(), clock.Beeps(), time.Since(start))
 		printf("%8d %6d %12d %8d\n", m, w, run.Iterations(), clock.Rounds())
 	}
+}
+
+// e14 measures the dynamic-structure churn workload: a chain of random
+// validity-preserving deltas, a forest query after every mutation, served
+// three ways — a fresh engine rebuilt from scratch per step (re-validate,
+// re-elect), an incremental Engine.Apply chain (leader and distance cache
+// carried across deltas), and the pooled service (Mutate + Query). Rounds
+// differ by the re-elections the incremental paths skip; wall time adds
+// the host-side savings of copy-on-write mutation and cache migration.
+func e14() {
+	n, steps := 4000, 16
+	if *quick {
+		n, steps = 1000, 6
+	}
+	const k = 4
+	rng := rand.New(rand.NewSource(41))
+	s0 := shapes.RandomBlob(rng, n)
+	srcIdx := shapes.RandomSubset(rng, s0, k)
+	sources := make([]amoebot.Coord, k)
+	for i, idx := range srcIdx {
+		sources[i] = s0.Coord(idx)
+	}
+
+	// The incremental and pooled engines elect deterministically (seed 0)
+	// on s0; sparing that amoebot from removals keeps the leader alive for
+	// the whole chain. Probed outside all timings.
+	ldr, _ := mustEngine(s0, nil).Leader()
+	keep := append(append([]amoebot.Coord(nil), sources...), ldr)
+
+	// Pre-generate the mutation chain outside all timings, so the three
+	// modes serve the identical structures and queries.
+	structs := []*amoebot.Structure{s0}
+	var deltas []amoebot.Delta
+	for i := 0; i < steps; i++ {
+		d := shapes.RandomDelta(rng, structs[i], 6, 6, keep...)
+		ns, err := structs[i].Apply(d)
+		die(err)
+		deltas = append(deltas, d)
+		structs = append(structs, ns)
+	}
+	queryFor := func(s *amoebot.Structure) engine.Query {
+		return engine.Query{Algo: engine.AlgoForest, Sources: sources, Dests: s.Coords()}
+	}
+	params := map[string]int64{"n": int64(s0.N()), "steps": int64(steps), "k": k}
+
+	type tally struct {
+		rounds, beeps, elections int64
+		wall                     time.Duration
+	}
+	account := func(t *tally, res *spforest.Result) {
+		t.rounds += res.Stats.Rounds
+		t.beeps += res.Stats.Beeps
+		t.elections += res.Stats.Phases["preprocess"]
+	}
+
+	// Fresh: every step rebuilds the structure and its engine from raw
+	// coordinates — per-step validation and election.
+	var fresh tally
+	start := time.Now()
+	for i := 0; i <= steps; i++ {
+		rs, err := amoebot.NewStructure(structs[i].Coords())
+		die(err)
+		eng := mustEngine(rs, nil)
+		res, err := eng.Run(queryFor(rs))
+		die(err)
+		account(&fresh, res)
+	}
+	fresh.wall = time.Since(start)
+	emit("churn-fresh", params, fresh.rounds, fresh.beeps, fresh.wall)
+
+	// Incremental: one engine, mutated along the chain with Apply.
+	var incr tally
+	start = time.Now()
+	eng := mustEngine(s0, nil)
+	res, err := eng.Run(queryFor(s0))
+	die(err)
+	account(&incr, res)
+	for i, d := range deltas {
+		eng, err = eng.Apply(d)
+		die(err)
+		res, err = eng.Run(queryFor(structs[i+1]))
+		die(err)
+		account(&incr, res)
+	}
+	incr.wall = time.Since(start)
+	emit("churn-incremental", params, incr.rounds, incr.beeps, incr.wall)
+
+	// Pooled: the service derives and pools engines across the chain.
+	var pooled tally
+	start = time.Now()
+	svc := service.New(nil)
+	s := s0
+	pres, err := svc.Query(s, queryFor(s))
+	die(err)
+	account(&pooled, pres)
+	for _, d := range deltas {
+		ns, err := svc.Mutate(s, d)
+		die(err)
+		pres, err = svc.Query(ns, queryFor(ns))
+		die(err)
+		account(&pooled, pres)
+		s = ns
+	}
+	pooled.wall = time.Since(start)
+	emit("churn-pooled", params, pooled.rounds, pooled.beeps, pooled.wall)
+
+	st := svc.Stats()
+	printf("blob n=%d, %d deltas (±6 cells), forest query (k=%d) after every mutation\n",
+		s0.N(), steps, k)
+	printf("mode          total rounds   election rounds       wall\n")
+	printf("fresh        %13d %17d %10v\n", fresh.rounds, fresh.elections, fresh.wall.Round(time.Millisecond))
+	printf("incremental  %13d %17d %10v\n", incr.rounds, incr.elections, incr.wall.Round(time.Millisecond))
+	printf("pooled       %13d %17d %10v\n", pooled.rounds, pooled.elections, pooled.wall.Round(time.Millisecond))
+	printf("pool: %d engines, %d hits, %d misses, %d evictions\n",
+		st.Engines, st.Hits, st.Misses, st.Evictions)
 }

@@ -7,6 +7,10 @@
 //	spfviz -shape blob -size 120 -seed 3 -mode portals -axis y
 //	spfviz -shape parallelogram -w 14 -h 7 -mode spt
 //	spfviz -shape comb -w 5 -h 6 -mode forest -k 3
+//
+// All algorithmic output is produced through one engine bound to the
+// rendered structure, so every mode shares the engine's cached
+// preprocessing (validation, portal decompositions, the elected leader).
 package main
 
 import (
@@ -16,8 +20,7 @@ import (
 
 	"spforest"
 	"spforest/amoebot"
-	"spforest/internal/core"
-	"spforest/internal/portal"
+	"spforest/engine"
 )
 
 var (
@@ -35,21 +38,33 @@ var (
 func main() {
 	flag.Parse()
 	s := buildShape()
-	switch *mode {
-	case "structure":
+	if *mode == "structure" {
+		// The only mode with no algorithmic output; no engine needed.
 		fmt.Print(s.Render(func(i int32) rune { return 'o' }))
+		return
+	}
+	eng, err := engine.New(s, nil)
+	if err != nil {
+		die(err)
+	}
+	switch *mode {
 	case "portals":
-		renderPortals(s)
+		renderPortals(eng)
 	case "spt":
-		renderSPT(s)
+		renderSPT(eng)
 	case "forest":
-		renderForest(s)
+		renderForest(eng)
 	case "regions":
-		renderRegions(s)
+		renderRegions(eng)
 	default:
 		fmt.Fprintln(os.Stderr, "unknown mode", *mode)
 		os.Exit(2)
 	}
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
 }
 
 func buildShape() *amoebot.Structure {
@@ -73,7 +88,7 @@ func buildShape() *amoebot.Structure {
 	}
 }
 
-func renderPortals(s *amoebot.Structure) {
+func renderPortals(eng *engine.Engine) {
 	var ax amoebot.Axis
 	switch *axis {
 	case "x":
@@ -86,21 +101,28 @@ func renderPortals(s *amoebot.Structure) {
 		fmt.Fprintln(os.Stderr, "unknown axis", *axis)
 		os.Exit(2)
 	}
-	ports := portal.Compute(amoebot.WholeRegion(s), ax)
+	ports, err := eng.Portals(ax)
+	if err != nil {
+		die(err)
+	}
 	fmt.Printf("%d %s-portals; portal graph is a tree: %v\n",
-		ports.Len(), ax, ports.IsPortalGraphTree())
-	fmt.Print(s.Render(func(i int32) rune {
+		ports.Count, ax, ports.IsTree)
+	fmt.Print(eng.Structure().Render(func(i int32) rune {
 		return rune('a' + ports.ID[i]%26)
 	}))
 }
 
-func renderSPT(s *amoebot.Structure) {
+func renderSPT(eng *engine.Engine) {
+	s := eng.Structure()
 	src := s.Coord(0)
 	dests := spforest.RandomCoords(*seed, s, min(*l, s.N()))
-	res, err := spforest.ShortestPathTree(s, src, dests)
+	res, err := eng.Run(engine.Query{
+		Algo:    engine.AlgoSPT,
+		Sources: []amoebot.Coord{src},
+		Dests:   dests,
+	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		die(err)
 	}
 	fmt.Printf("SPT from %v to %d destinations: %d rounds\n", src, len(dests), res.Stats.Rounds)
 	isDest := map[int32]bool{}
@@ -123,13 +145,16 @@ func renderSPT(s *amoebot.Structure) {
 	}))
 }
 
-func renderForest(s *amoebot.Structure) {
+func renderForest(eng *engine.Engine) {
+	s := eng.Structure()
 	sources := spforest.RandomCoords(*seed, s, min(*k, s.N()))
-	res, err := spforest.ShortestPathForest(s, sources, s.Coords(),
-		&spforest.Options{Leader: &sources[0]})
+	res, err := eng.Run(engine.Query{
+		Algo:    engine.AlgoForest,
+		Sources: sources,
+		Dests:   s.Coords(),
+	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		die(err)
 	}
 	fmt.Printf("forest with %d sources: %d rounds\n", len(sources), res.Stats.Rounds)
 	// Each amoebot shows the tree it belongs to (letter per source).
@@ -154,13 +179,13 @@ func renderForest(s *amoebot.Structure) {
 // renderRegions shows the §5.4.1 base-region decomposition (paper Fig. 15):
 // digits identify regions (amoebots in several regions show '+'), and Q'
 // portal amoebots that are still marked show '!'.
-func renderRegions(s *amoebot.Structure) {
+func renderRegions(eng *engine.Engine) {
+	s := eng.Structure()
 	sources := spforest.RandomCoords(*seed, s, min(*k, s.N()))
-	srcIdx := make([]int32, len(sources))
-	for i, c := range sources {
-		srcIdx[i], _ = s.Index(c)
+	info, err := eng.BaseRegions(sources)
+	if err != nil {
+		die(err)
 	}
-	info := core.SplitRegions(amoebot.WholeRegion(s), srcIdx, srcIdx[0])
 	fmt.Printf("%d sources -> %d base regions\n", len(sources), len(info.Regions))
 	count := make([]int, s.N())
 	label := make([]rune, s.N())

@@ -1,0 +1,132 @@
+package engine
+
+import (
+	"spforest/amoebot"
+	"spforest/internal/baseline"
+)
+
+// Apply derives a new engine for the structure obtained by applying the
+// delta, reusing the receiver's memoized preprocessing wherever it
+// survives the mutation instead of rebuilding from scratch:
+//
+//   - the structure itself is mutated with amoebot.Structure.Apply
+//     (copy-on-write adjacency, incremental validation — no O(n)
+//     re-validate on the common path);
+//   - the leader survives whenever its amoebot does: the derived engine is
+//     primed with it and no query is ever charged a re-election. Only a
+//     delta that removes the leader (or a configured Config.Leader) sends
+//     the derived engine back to lazy election;
+//   - every memoized exact-distance entry whose source set survives is
+//     remapped onto the new indexing and incrementally repaired
+//     (baseline.RepairExact); only entries that lost a source are evicted.
+//
+// The receiver is unchanged and remains usable; both engines may serve
+// queries concurrently. The derived engine's CacheStats records the
+// migration (DistKept, DistEvicted, RepairWrites) and its Generation is
+// the receiver's plus one. An empty delta returns the receiver itself.
+func (e *Engine) Apply(d amoebot.Delta) (*Engine, error) {
+	ns, err := e.s.Apply(d)
+	if err != nil {
+		return nil, err
+	}
+	if ns == e.s {
+		return e, nil
+	}
+	ne := &Engine{
+		s:         ns,
+		region:    amoebot.WholeRegion(ns),
+		cfg:       e.cfg,
+		workers:   e.workers,
+		gen:       e.gen + 1,
+		distCache: make(map[string]*distEntry),
+	}
+
+	// Leader survival: a configured leader that was removed falls back to
+	// lazy election; an elected (or inherited) leader is carried over by
+	// coordinate whenever it still exists. The election cost stays with
+	// the ancestor that paid it — no query on the derived engine is
+	// charged preprocessing.
+	if e.cfg.Leader != nil {
+		if i, ok := ns.Index(*e.cfg.Leader); ok {
+			ne.setLeader(i)
+		} else {
+			ne.cfg.Leader = nil
+		}
+	} else if e.leaderKnown.Load() {
+		if i, ok := ns.Index(e.s.Coord(e.leaderIdx)); ok {
+			ne.setLeader(i)
+		}
+	}
+
+	ne.migrateDistances(e, d)
+	return ne, nil
+}
+
+// migrateDistances carries the parent's exact-distance memo across the
+// delta: entries whose sources all survive are remapped to the new
+// indexing and repaired around the delta; entries that lost a source are
+// evicted.
+func (ne *Engine) migrateDistances(e *Engine, d amoebot.Delta) {
+	ns := ne.s
+	e.distMu.Lock()
+	entries := make([]*distEntry, 0, len(e.distCache))
+	for _, ent := range e.distCache {
+		entries = append(entries, ent)
+	}
+	e.distMu.Unlock()
+	if len(entries) == 0 {
+		return
+	}
+
+	// Index translation and the repair frontier are shared by all entries.
+	remap := make([]int32, e.s.N())
+	for i := range remap {
+		if j, ok := ns.Index(e.s.Coord(int32(i))); ok {
+			remap[i] = j
+		} else {
+			remap[i] = amoebot.None
+		}
+	}
+	var suspects, added []int32
+	for _, c := range d.Remove {
+		for dir := amoebot.Direction(0); dir < amoebot.NumDirections; dir++ {
+			if j, ok := ns.Index(c.Neighbor(dir)); ok {
+				suspects = append(suspects, j)
+			}
+		}
+	}
+	for _, c := range d.Add {
+		if j, ok := ns.Index(c); ok {
+			added = append(added, j)
+		}
+	}
+
+	for _, ent := range entries {
+		newSrcs := make([]int32, len(ent.srcs))
+		lost := false
+		for i, src := range ent.srcs {
+			if remap[src] == amoebot.None {
+				lost = true
+				break
+			}
+			newSrcs[i] = remap[src]
+		}
+		if lost {
+			ne.distStats.DistEvicted++
+			continue
+		}
+		nd := make([]int32, ns.N())
+		for i := range nd {
+			nd[i] = baseline.Unknown
+		}
+		for i, j := range remap {
+			if j != amoebot.None {
+				nd[j] = ent.dist[i]
+			}
+		}
+		writes := baseline.RepairExact(ne.region, newSrcs, nd, suspects, added)
+		ne.distCache[sourceKey(newSrcs)] = &distEntry{srcs: newSrcs, dist: nd}
+		ne.distStats.DistKept++
+		ne.distStats.RepairWrites += int64(writes)
+	}
+}

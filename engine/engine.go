@@ -25,6 +25,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"spforest/amoebot"
 	"spforest/internal/baseline"
@@ -57,13 +58,25 @@ type Engine struct {
 	region  *amoebot.Region
 	cfg     Config
 	workers int
+	gen     uint64 // 0 for New; parent+1 along an Apply chain
 
-	leaderOnce sync.Once
-	leaderIdx  int32
-	prepStats  Stats // cost of the lazy election; zero when Leader was given
+	leaderOnce  sync.Once
+	leaderIdx   int32
+	leaderKnown atomic.Bool // true once leaderIdx is settled (set, given or inherited)
+	prepStats   Stats       // cost of the lazy election; zero when Leader was given
 
 	distMu    sync.Mutex
-	distCache map[string][]int32
+	distCache map[string]*distEntry
+	distStats CacheStats // counters under distMu; Generation/DistEntries filled on read
+
+	inspect inspectState // memoized portal decompositions (see inspect.go)
+}
+
+// distEntry is one memoized exact-distance computation. The source indices
+// are retained so Apply can remap the entry onto a mutated structure.
+type distEntry struct {
+	srcs []int32
+	dist []int32
 }
 
 // New validates the structure once and binds an engine to it. All later
@@ -79,7 +92,7 @@ func New(s *amoebot.Structure, cfg *Config) (*Engine, error) {
 	e := &Engine{
 		s:         s,
 		region:    amoebot.WholeRegion(s),
-		distCache: make(map[string][]int32),
+		distCache: make(map[string]*distEntry),
 	}
 	if cfg != nil {
 		e.cfg = *cfg
@@ -93,11 +106,23 @@ func New(s *amoebot.Structure, cfg *Config) (*Engine, error) {
 		if !ok {
 			return nil, fmt.Errorf("engine: leader %v is not part of the structure", *e.cfg.Leader)
 		}
-		e.leaderIdx = i
-		e.leaderOnce.Do(func() {}) // election pre-empted by the given leader
+		e.setLeader(i) // election pre-empted by the given leader
 	}
 	return e, nil
 }
+
+// setLeader settles the engine's leader without an election (a configured
+// Config.Leader, or a leader inherited across Apply).
+func (e *Engine) setLeader(i int32) {
+	e.leaderOnce.Do(func() {
+		e.leaderIdx = i
+		e.leaderKnown.Store(true)
+	})
+}
+
+// Generation returns the engine's position on its Apply chain: 0 for an
+// engine built by New, parent+1 for an engine derived with Apply.
+func (e *Engine) Generation() uint64 { return e.gen }
 
 // Structure returns the structure the engine is bound to.
 func (e *Engine) Structure() *amoebot.Structure { return e.s }
@@ -153,6 +178,7 @@ func (e *Engine) leaderFor(clock *sim.Clock) int32 {
 			Beeps:  after.Beeps - before.Beeps,
 			Phases: map[string]int64{"preprocess": rounds},
 		}
+		e.leaderKnown.Store(true)
 	})
 	return e.leaderIdx
 }
@@ -211,12 +237,17 @@ const maxDistCacheEntries = 64
 func (e *Engine) exactDistances(srcs []int32) []int32 {
 	key := sourceKey(srcs)
 	e.distMu.Lock()
-	d, hit := e.distCache[key]
+	ent, hit := e.distCache[key]
+	if hit {
+		e.distStats.DistHits++
+	} else {
+		e.distStats.DistMisses++
+	}
 	e.distMu.Unlock()
 	if hit {
-		return d
+		return ent.dist
 	}
-	d, _ = baseline.Exact(e.region, srcs)
+	d, _ := baseline.Exact(e.region, srcs)
 	e.distMu.Lock()
 	if _, dup := e.distCache[key]; !dup && len(e.distCache) >= maxDistCacheEntries {
 		for k := range e.distCache {
@@ -224,9 +255,38 @@ func (e *Engine) exactDistances(srcs []int32) []int32 {
 			break
 		}
 	}
-	e.distCache[key] = d
+	e.distCache[key] = &distEntry{srcs: append([]int32(nil), srcs...), dist: d}
 	e.distMu.Unlock()
 	return d
+}
+
+// CacheStats reports the engine's generation-tracked cache counters: hits
+// and misses of the exact-distance memo on this engine, and — for engines
+// derived with Apply — how the parent's entries fared in the migration.
+func (e *Engine) CacheStats() CacheStats {
+	e.distMu.Lock()
+	st := e.distStats
+	st.DistEntries = len(e.distCache)
+	e.distMu.Unlock()
+	st.Generation = e.gen
+	return st
+}
+
+// CacheStats summarizes an engine's memoization behavior.
+type CacheStats struct {
+	// Generation is the engine's position on its Apply chain.
+	Generation uint64
+	// DistEntries is the current number of memoized exact-distance entries.
+	DistEntries int
+	// DistHits and DistMisses count exactDistances lookups on this engine.
+	DistHits, DistMisses int64
+	// DistKept and DistEvicted count the parent's entries that survived
+	// (incrementally repaired) or were dropped (a source was removed) by
+	// the Apply that built this engine.
+	DistKept, DistEvicted int64
+	// RepairWrites counts the distance values the migrations rewrote;
+	// small values mean the deltas barely disturbed the cached entries.
+	RepairWrites int64
 }
 
 func sourceKey(srcs []int32) string {

@@ -1,0 +1,79 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"spforest/amoebot"
+	"spforest/internal/core"
+	"spforest/internal/portal"
+	"spforest/internal/sim"
+)
+
+// PortalInfo describes the memoized portal decomposition of the engine's
+// structure along one axis (paper §2.2, Lemmas 9/11): which portal every
+// amoebot belongs to and whether the portal graph is a tree (it always is
+// for valid structures; the flag is exposed for inspection).
+type PortalInfo struct {
+	// Axis is the decomposition axis.
+	Axis amoebot.Axis
+	// Count is the number of portals.
+	Count int
+	// IsTree reports whether the portal graph is a tree (Lemma 9).
+	IsTree bool
+	// ID maps each node index to its portal id. The slice is shared across
+	// callers and must not be modified.
+	ID []int32
+}
+
+// inspectState holds the lazily built per-structure decompositions the
+// engine memoizes alongside leader and distances. Portal decompositions
+// are pure preprocessing (they depend only on the structure), so one
+// computation serves every later call.
+type inspectState struct {
+	portalOnce [amoebot.NumAxes]sync.Once
+	portals    [amoebot.NumAxes]*PortalInfo
+}
+
+// Portals returns the memoized portal decomposition along the given axis,
+// computing it on first use.
+func (e *Engine) Portals(axis amoebot.Axis) (*PortalInfo, error) {
+	if axis < 0 || axis >= amoebot.NumAxes {
+		return nil, fmt.Errorf("engine: invalid axis %d", axis)
+	}
+	e.inspect.portalOnce[axis].Do(func() {
+		p := portal.Compute(e.region, axis)
+		e.inspect.portals[axis] = &PortalInfo{
+			Axis:   axis,
+			Count:  p.Len(),
+			IsTree: p.IsPortalGraphTree(),
+			ID:     p.ID,
+		}
+	})
+	return e.inspect.portals[axis], nil
+}
+
+// Decomposition exposes the §5.4.1 base-region split of the structure for
+// a source set (the paper's Figure 15): the overlapping base regions the
+// divide-and-conquer forest algorithm recurses on, and the still-marked
+// connector amoebots.
+type Decomposition struct {
+	// Regions are the base regions, overlapping on portal segments.
+	Regions []*amoebot.Region
+	// Marks are the still-marked connector amoebots.
+	Marks []int32
+}
+
+// BaseRegions computes the base-region decomposition the forest algorithm
+// would use for the given sources, rooted at the engine's memoized leader
+// (electing it on first need; the simulated cost is accounted exactly as
+// by Engine.Leader).
+func (e *Engine) BaseRegions(sources []amoebot.Coord) (*Decomposition, error) {
+	srcs, err := e.resolve(sources, "source")
+	if err != nil {
+		return nil, err
+	}
+	var clock sim.Clock
+	info := core.SplitRegions(e.region, srcs, e.leaderFor(&clock))
+	return &Decomposition{Regions: info.Regions, Marks: info.Marks}, nil
+}

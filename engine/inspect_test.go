@@ -1,0 +1,71 @@
+package engine_test
+
+import (
+	"testing"
+
+	"spforest"
+	"spforest/amoebot"
+	"spforest/engine"
+)
+
+// TestPortalsMemoized: portal decompositions are computed once per axis
+// and shared, and describe trees on valid structures (Lemma 9).
+func TestPortalsMemoized(t *testing.T) {
+	s := spforest.RandomBlob(5, 150)
+	e, err := engine.New(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for axis := amoebot.Axis(0); axis < amoebot.NumAxes; axis++ {
+		p1, err := e.Portals(axis)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !p1.IsTree {
+			t.Fatalf("axis %v: portal graph not a tree", axis)
+		}
+		if p1.Count <= 0 || len(p1.ID) != s.N() {
+			t.Fatalf("axis %v: malformed portal info %+v", axis, p1)
+		}
+		p2, err := e.Portals(axis)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p2 != p1 {
+			t.Fatalf("axis %v: Portals not memoized", axis)
+		}
+	}
+	if _, err := e.Portals(amoebot.NumAxes); err == nil {
+		t.Fatal("invalid axis accepted")
+	}
+}
+
+func TestBaseRegionsCoverStructure(t *testing.T) {
+	s := spforest.RandomBlob(7, 120)
+	e, err := engine.New(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sources := spforest.RandomCoords(2, s, 3)
+	info, err := e.BaseRegions(sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Regions) == 0 {
+		t.Fatal("no base regions")
+	}
+	covered := make([]bool, s.N())
+	for _, reg := range info.Regions {
+		for _, u := range reg.Nodes() {
+			covered[u] = true
+		}
+	}
+	for i, ok := range covered {
+		if !ok {
+			t.Fatalf("node %d not covered by any base region", i)
+		}
+	}
+	if _, err := e.BaseRegions(nil); err == nil {
+		t.Fatal("empty source set accepted")
+	}
+}

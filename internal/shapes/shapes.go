@@ -180,6 +180,64 @@ func fillHoles(occupied map[amoebot.Coord]bool) *amoebot.Structure {
 	return amoebot.MustStructure(cs)
 }
 
+// RandomDelta returns a validity-preserving random delta of up to the
+// requested number of additions and removals: every cell is chosen by the
+// single-arc local rule (see amoebot.NeighborArcs), so applying the delta
+// to s always yields a connected hole-free structure. Protected
+// coordinates are never removed. A delta smaller than requested (possibly
+// empty) is returned when no suitable cells are found.
+func RandomDelta(rng *rand.Rand, s *amoebot.Structure, adds, removes int, protect ...amoebot.Coord) amoebot.Delta {
+	occupied := make(map[amoebot.Coord]bool, s.N())
+	cells := s.Coords()
+	for _, c := range cells {
+		occupied[c] = true
+	}
+	prot := make(map[amoebot.Coord]bool, len(protect))
+	for _, c := range protect {
+		prot[c] = true
+	}
+	occ := func(c amoebot.Coord) bool { return occupied[c] }
+	mutable := func(c amoebot.Coord) bool {
+		deg, arcs := amoebot.NeighborArcs(occ, c)
+		return deg >= 1 && deg <= 5 && arcs == 1
+	}
+	for op := 0; op < adds+removes; op++ {
+		doAdd := op < adds
+		for attempt := 0; attempt < 32; attempt++ {
+			j := rng.Intn(len(cells))
+			if doAdd {
+				c := cells[j].Neighbor(amoebot.Direction(rng.Intn(int(amoebot.NumDirections))))
+				if occupied[c] || !mutable(c) {
+					continue
+				}
+				occupied[c] = true
+				cells = append(cells, c)
+			} else {
+				c := cells[j]
+				if prot[c] || len(cells) <= 1 || !mutable(c) {
+					continue
+				}
+				occupied[c] = false
+				cells[j] = cells[len(cells)-1]
+				cells = cells[:len(cells)-1]
+			}
+			break
+		}
+	}
+	var d amoebot.Delta
+	for c := range occupied {
+		if occupied[c] && !s.Occupied(c) {
+			d.Add = append(d.Add, c)
+		}
+	}
+	for _, c := range s.Coords() {
+		if !occupied[c] {
+			d.Remove = append(d.Remove, c)
+		}
+	}
+	return d
+}
+
 // RandomSubset picks k distinct node indices of s uniformly at random,
 // sorted ascending. It panics if k exceeds the structure size.
 func RandomSubset(rng *rand.Rand, s *amoebot.Structure, k int) []int32 {

@@ -1,0 +1,244 @@
+// Package service turns the per-structure query engine into a
+// traffic-serving system: a sharded pool of engines keyed by structure
+// fingerprint, safe for concurrent use by many goroutines.
+//
+// Where engine.Engine amortizes preprocessing over the queries against one
+// structure, Service amortizes engines over the structures of a whole
+// workload: queries against a structure the pool has seen reuse its engine
+// (and everything the engine memoizes — validation, region, leader, exact
+// distances), and mutations derive the successor engine incrementally with
+// Engine.Apply instead of rebuilding. Shards bound lock contention and a
+// per-shard LRU bounds memory; hit, miss and eviction counters expose the
+// pool's behavior.
+//
+//	svc := service.New(nil)
+//	res, err := svc.Query(s, engine.Query{Sources: srcs, Dests: dests})
+//	s2, err := svc.Mutate(s, amoebot.Delta{Add: grown, Remove: shed})
+//	res2, err := svc.Query(s2, ...) // pooled: no re-validation, no re-election
+package service
+
+import (
+	"container/list"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+
+	"spforest/amoebot"
+	"spforest/engine"
+)
+
+// Config tunes a Service.
+type Config struct {
+	// Shards is the number of independently locked pool shards; structures
+	// hash to shards by fingerprint. Zero or negative means 8.
+	Shards int
+	// MaxEnginesPerShard bounds each shard's engine count; the least
+	// recently used engine is evicted when a shard overflows. Zero or
+	// negative means 32.
+	MaxEnginesPerShard int
+	// Engine is the configuration handed to every engine the pool builds.
+	// Engine.Leader is almost always nil here: a fixed leader coordinate
+	// rarely exists in every structure of a workload.
+	Engine engine.Config
+}
+
+// Service is a concurrent multi-structure query service. Construct with
+// New; the zero value is unusable. All methods are safe for concurrent
+// use.
+type Service struct {
+	cfg    Config
+	shards []*shard
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+type shard struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+	lru     *list.List // front = most recently used; values are *entry
+}
+
+// entry is one pooled engine. Construction happens outside the shard lock
+// behind the sync.Once, so a slow engine build (validation, O(n) setup)
+// never blocks the shard.
+type entry struct {
+	fp   string
+	elem *list.Element
+	once sync.Once
+	eng  *engine.Engine
+	err  error
+}
+
+// New builds an empty service. A nil config uses the defaults.
+func New(cfg *Config) *Service {
+	sv := &Service{}
+	if cfg != nil {
+		sv.cfg = *cfg
+	}
+	if sv.cfg.Shards <= 0 {
+		sv.cfg.Shards = 8
+	}
+	if sv.cfg.MaxEnginesPerShard <= 0 {
+		sv.cfg.MaxEnginesPerShard = 32
+	}
+	sv.shards = make([]*shard, sv.cfg.Shards)
+	for i := range sv.shards {
+		sv.shards[i] = &shard{entries: make(map[string]*entry), lru: list.New()}
+	}
+	return sv
+}
+
+func (sv *Service) shardFor(fp string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(fp))
+	return sv.shards[h.Sum32()%uint32(len(sv.shards))]
+}
+
+// lookup returns the pooled entry for fp, optionally creating a
+// placeholder, and maintains the LRU order. The caller completes the
+// entry's once outside the lock. counted decides whether the hit/miss
+// counters see this lookup (engine registration by Mutate is bookkeeping,
+// not a cache query).
+func (sv *Service) lookup(fp string, create, counted bool) *entry {
+	sh := sv.shardFor(fp)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if en, ok := sh.entries[fp]; ok {
+		sh.lru.MoveToFront(en.elem)
+		if counted {
+			sv.hits.Add(1)
+		}
+		return en
+	}
+	if !create {
+		if counted {
+			sv.misses.Add(1)
+		}
+		return nil
+	}
+	if counted {
+		sv.misses.Add(1)
+	}
+	for sh.lru.Len() >= sv.cfg.MaxEnginesPerShard {
+		oldest := sh.lru.Back()
+		sh.lru.Remove(oldest)
+		delete(sh.entries, oldest.Value.(*entry).fp)
+		sv.evictions.Add(1)
+	}
+	en := &entry{fp: fp}
+	en.elem = sh.lru.PushFront(en)
+	sh.entries[fp] = en
+	return en
+}
+
+// insert pools a ready-made engine (built by Mutate), replacing any
+// placeholder racing under the same fingerprint. It does not touch the
+// hit/miss counters.
+func (sv *Service) insert(eng *engine.Engine) {
+	fp := eng.Structure().Fingerprint()
+	en := sv.lookup(fp, true, false)
+	en.once.Do(func() { en.eng = eng })
+}
+
+// engineFor returns the pooled engine for s, building and pooling it on
+// the first encounter of s's fingerprint.
+func (sv *Service) engineFor(s *amoebot.Structure) (*engine.Engine, error) {
+	en := sv.lookup(s.Fingerprint(), true, true)
+	en.once.Do(func() { en.eng, en.err = engine.New(s, &sv.cfg.Engine) })
+	return en.eng, en.err
+}
+
+// Leader returns the leader of s's pooled engine and the simulated cost
+// of electing it, electing (and pooling the engine) on first need — the
+// pool-level analogue of Engine.Leader. Calling it before a churn loop
+// both pre-pays the election and names the amoebot to spare from
+// removals so the whole chain keeps its leader.
+func (sv *Service) Leader(s *amoebot.Structure) (amoebot.Coord, engine.Stats, error) {
+	eng, err := sv.engineFor(s)
+	if err != nil {
+		return amoebot.Coord{}, engine.Stats{}, err
+	}
+	ldr, stats := eng.Leader()
+	return ldr, stats, nil
+}
+
+// Query answers one query against s through the pooled engine.
+func (sv *Service) Query(s *amoebot.Structure, q engine.Query) (*engine.Result, error) {
+	eng, err := sv.engineFor(s)
+	if err != nil {
+		return nil, err
+	}
+	return eng.Run(q)
+}
+
+// Batch answers a query batch against s through the pooled engine (see
+// Engine.Batch for concurrency and result-ordering semantics).
+func (sv *Service) Batch(s *amoebot.Structure, qs []engine.Query) (*engine.BatchResult, error) {
+	eng, err := sv.engineFor(s)
+	if err != nil {
+		return nil, err
+	}
+	return eng.Batch(qs), nil
+}
+
+// Mutate applies the delta to s and returns the mutated structure. When
+// the pool holds an engine for s, the successor engine is derived
+// incrementally with Engine.Apply — carrying the surviving leader and the
+// repaired distance entries — and pooled under the new fingerprint, so the
+// next Query on the result pays no preprocessing. Without a pooled engine
+// the delta is applied to the structure alone (still incrementally
+// validated) and an engine is built on first query. The engine for s
+// itself stays pooled; interleaved queries against old and new shapes both
+// hit.
+func (sv *Service) Mutate(s *amoebot.Structure, d amoebot.Delta) (*amoebot.Structure, error) {
+	if en := sv.lookup(s.Fingerprint(), false, true); en != nil {
+		en.once.Do(func() { en.eng, en.err = engine.New(s, &sv.cfg.Engine) })
+		if en.err == nil {
+			derived, err := en.eng.Apply(d)
+			if err != nil {
+				return nil, err
+			}
+			if derived != en.eng {
+				sv.insert(derived)
+			}
+			return derived.Structure(), nil
+		}
+	}
+	return s.Apply(d)
+}
+
+// Len returns the number of pooled engines (including entries still being
+// built).
+func (sv *Service) Len() int {
+	n := 0
+	for _, sh := range sv.shards {
+		sh.mu.Lock()
+		n += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Stats is a point-in-time snapshot of the pool counters.
+type Stats struct {
+	// Engines is the number of pooled engines.
+	Engines int
+	// Hits counts lookups that found a pooled engine; Misses counts
+	// lookups that found none (Query and Batch then build one; Mutate
+	// falls back to mutating the structure alone).
+	Hits, Misses int64
+	// Evictions counts engines dropped by the per-shard LRU bound.
+	Evictions int64
+}
+
+// Stats returns a snapshot of the pool counters.
+func (sv *Service) Stats() Stats {
+	return Stats{
+		Engines:   sv.Len(),
+		Hits:      sv.hits.Load(),
+		Misses:    sv.misses.Load(),
+		Evictions: sv.evictions.Load(),
+	}
+}

@@ -1,0 +1,270 @@
+package service_test
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"spforest"
+	"spforest/amoebot"
+	"spforest/engine"
+	"spforest/internal/shapes"
+	"spforest/service"
+)
+
+func TestQueryPoolsEngines(t *testing.T) {
+	sv := service.New(nil)
+	a := spforest.Hexagon(3)
+	b := amoebot.MustStructure(a.Coords()) // same cells, separate structure
+	src := []amoebot.Coord{amoebot.XZ(-3, 0)}
+
+	if _, err := sv.Query(a, engine.Query{Algo: engine.AlgoSSSP, Sources: src}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sv.Query(b, engine.Query{Algo: engine.AlgoSSSP, Sources: src}); err != nil {
+		t.Fatal(err)
+	}
+	st := sv.Stats()
+	if st.Misses != 1 || st.Hits != 1 || st.Engines != 1 {
+		t.Fatalf("stats = %+v, want 1 miss, 1 hit, 1 engine", st)
+	}
+}
+
+func TestQueryInvalidStructure(t *testing.T) {
+	sv := service.New(nil)
+	var ring []amoebot.Coord
+	for d := amoebot.Direction(0); d < amoebot.NumDirections; d++ {
+		ring = append(ring, amoebot.Coord{}.Neighbor(d))
+	}
+	holed := amoebot.MustStructure(ring)
+	for i := 0; i < 2; i++ {
+		if _, err := sv.Query(holed, engine.Query{Sources: ring[:1], Dests: ring[1:]}); err == nil {
+			t.Fatal("holed structure accepted")
+		}
+	}
+	// The failure is pooled too: second attempt is a hit, not a rebuild.
+	if st := sv.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want the error cached", st)
+	}
+}
+
+// TestMutateDerivesIncrementally: after a first query elected the pooled
+// engine's leader, the first query against a mutated structure is served
+// by the derived engine with zero preprocessing.
+func TestMutateDerivesIncrementally(t *testing.T) {
+	sv := service.New(nil)
+	s := spforest.RandomBlob(4, 200)
+	sources := spforest.RandomCoords(5, s, 3)
+	q := engine.Query{Sources: sources, Dests: s.Coords()}
+
+	first, err := sv.Query(s, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Stats.Phases["preprocess"] == 0 {
+		t.Fatal("first query on a fresh pool charged no election")
+	}
+	d := shapes.RandomDelta(rand.New(rand.NewSource(2)), s, 3, 3, sources...)
+	ns, err := sv.Mutate(s, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sv.Query(ns, engine.Query{Sources: sources, Dests: ns.Coords()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := res.Stats.Phases["preprocess"]; p != 0 {
+		t.Fatalf("first query on the mutated structure charged %d preprocess rounds", p)
+	}
+	if st := sv.Stats(); st.Engines != 2 {
+		t.Fatalf("pool has %d engines, want 2 (old and new shape)", st.Engines)
+	}
+}
+
+// TestMutateWithoutPooledEngine: mutating a structure the pool has never
+// seen still works — the delta is applied and the engine is built lazily.
+func TestMutateWithoutPooledEngine(t *testing.T) {
+	sv := service.New(nil)
+	s := spforest.Hexagon(2)
+	ns, err := sv.Mutate(s, amoebot.Delta{Add: []amoebot.Coord{amoebot.XZ(3, 0)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns.N() != s.N()+1 {
+		t.Fatalf("mutation not applied: %d amoebots", ns.N())
+	}
+	if _, err := sv.Query(ns, engine.Query{Algo: engine.AlgoSSSP, Sources: ns.Coords()[:1]}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPooledMatchesFresh: a pooled mutate/query chain returns results
+// identical to building a fresh engine for every step's structure.
+func TestPooledMatchesFresh(t *testing.T) {
+	sv := service.New(nil)
+	rng := rand.New(rand.NewSource(6))
+	s := spforest.RandomBlob(6, 180)
+	sources := spforest.RandomCoords(7, s, 3)
+
+	for step := 0; step < 8; step++ {
+		d := shapes.RandomDelta(rng, s, 2+rng.Intn(3), 2+rng.Intn(3), sources...)
+		ns, err := sv.Mutate(s, d)
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		q := engine.Query{Algo: engine.AlgoExact, Sources: sources, Dests: ns.Coords()}
+		pooled, err := sv.Query(ns, q)
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		freshEng, err := engine.New(amoebot.MustStructure(ns.Coords()), nil)
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		fresh, err := freshEng.Run(q)
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		got, _ := pooled.Forest.MarshalText()
+		want, _ := fresh.Forest.MarshalText()
+		if !bytes.Equal(got, want) {
+			t.Fatalf("step %d: pooled exact forest differs from fresh run", step)
+		}
+		// The distributed algorithm is verified on both paths too.
+		dq := engine.Query{Algo: engine.AlgoForest, Sources: sources, Dests: ns.Coords()}
+		dres, err := sv.Query(ns, dq)
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		if err := spforest.Verify(ns, sources, ns.Coords(), dres.Forest); err != nil {
+			t.Fatalf("step %d: pooled forest fails verification: %v", step, err)
+		}
+		s = ns
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	sv := service.New(&service.Config{Shards: 1, MaxEnginesPerShard: 2})
+	structures := []*amoebot.Structure{
+		spforest.Hexagon(1), spforest.Hexagon(2), spforest.Hexagon(3),
+	}
+	for _, s := range structures {
+		if _, err := sv.Query(s, engine.Query{Algo: engine.AlgoSSSP, Sources: s.Coords()[:1]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := sv.Stats()
+	if st.Evictions != 1 || st.Engines != 2 {
+		t.Fatalf("stats = %+v, want 1 eviction and 2 engines", st)
+	}
+	// The evicted (least recently used) engine was the first one: querying
+	// it again is a miss; the most recent is still a hit.
+	if _, err := sv.Query(structures[2], engine.Query{Algo: engine.AlgoSSSP, Sources: structures[2].Coords()[:1]}); err != nil {
+		t.Fatal(err)
+	}
+	if got := sv.Stats().Hits; got != st.Hits+1 {
+		t.Fatal("recent engine was evicted")
+	}
+	if _, err := sv.Query(structures[0], engine.Query{Algo: engine.AlgoSSSP, Sources: structures[0].Coords()[:1]}); err != nil {
+		t.Fatal(err)
+	}
+	if got := sv.Stats().Misses; got != st.Misses+1 {
+		t.Fatal("evicted engine still pooled")
+	}
+}
+
+// TestServiceLeader: the pool-level leader accessor elects once and
+// memoizes; later queries on the same structure pay no preprocessing.
+func TestServiceLeader(t *testing.T) {
+	sv := service.New(nil)
+	s := spforest.RandomBlob(9, 120)
+	ldr, stats, err := sv.Leader(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Occupied(ldr) {
+		t.Fatal("leader not in structure")
+	}
+	if stats.Rounds == 0 {
+		t.Fatal("first Leader call charged no election")
+	}
+	ldr2, stats2, err := sv.Leader(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ldr2 != ldr || stats2.Rounds != stats.Rounds {
+		t.Fatal("Leader not memoized through the pool")
+	}
+	sources := spforest.RandomCoords(1, s, 2)
+	res, err := sv.Query(s, engine.Query{Sources: sources, Dests: s.Coords()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := res.Stats.Phases["preprocess"]; p != 0 {
+		t.Fatalf("query after Leader pre-pay charged %d preprocess rounds", p)
+	}
+}
+
+func TestServiceBatch(t *testing.T) {
+	sv := service.New(nil)
+	s := spforest.Comb(6, 20)
+	sources := spforest.RandomCoords(3, s, 2)
+	batch, err := sv.Batch(s, []engine.Query{
+		{Algo: engine.AlgoForest, Sources: sources, Dests: s.Coords()},
+		{Algo: engine.AlgoBFS, Sources: sources},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range batch.Results {
+		if r.Err != nil {
+			t.Fatalf("query %d: %v", i, r.Err)
+		}
+	}
+}
+
+// TestConcurrentQueryMutate hammers one service from many goroutines —
+// pooled queries against a shared base plus independent mutation chains —
+// and must be clean under -race.
+func TestConcurrentQueryMutate(t *testing.T) {
+	sv := service.New(&service.Config{Shards: 4, MaxEnginesPerShard: 8})
+	base := spforest.RandomBlob(12, 120)
+	sources := spforest.RandomCoords(13, base, 3)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(2)
+		go func(seed int64) { // query workers on the shared base
+			defer wg.Done()
+			for i := 0; i < 6; i++ {
+				if _, err := sv.Query(base, engine.Query{Sources: sources, Dests: base.Coords()}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(int64(g))
+		go func(seed int64) { // mutation chains branching off the base
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			s := base
+			for i := 0; i < 5; i++ {
+				d := shapes.RandomDelta(rng, s, 2, 2, sources...)
+				ns, err := sv.Mutate(s, d)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := sv.Query(ns, engine.Query{Sources: sources, Dests: ns.Coords()}); err != nil {
+					t.Error(err)
+					return
+				}
+				s = ns
+			}
+		}(int64(100 + g))
+	}
+	wg.Wait()
+	if st := sv.Stats(); st.Hits == 0 || st.Misses == 0 {
+		t.Fatalf("stats = %+v, want both hits and misses", st)
+	}
+}
