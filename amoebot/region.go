@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math/bits"
 	"sort"
+
+	"spforest/internal/dense"
 )
 
 // Region is a subset of a Structure's amoebots. The divide-and-conquer
@@ -151,23 +153,24 @@ func (r *Region) IsConnected() bool {
 // Components returns the connected components of the region as regions,
 // ordered by their smallest node index.
 func (r *Region) Components() []*Region {
-	seen := make(map[int32]bool, len(r.nodes))
+	seen := dense.Shared.BitSet(r.s.N())
+	defer dense.Shared.PutBitSet(seen)
 	var comps []*Region
 	var stack []int32
 	for _, start := range r.nodes {
-		if seen[start] {
+		if seen.Has(start) {
 			continue
 		}
 		var comp []int32
-		seen[start] = true
+		seen.Add(start)
 		stack = append(stack[:0], start)
 		for len(stack) > 0 {
 			u := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
 			comp = append(comp, u)
 			for d := Direction(0); d < NumDirections; d++ {
-				if v := r.Neighbor(u, d); v != None && !seen[v] {
-					seen[v] = true
+				if v := r.Neighbor(u, d); v != None && !seen.Has(v) {
+					seen.Add(v)
 					stack = append(stack, v)
 				}
 			}

@@ -33,11 +33,14 @@ func (e *Engine) Apply(d amoebot.Delta) (*Engine, error) {
 		return e, nil
 	}
 	ne := &Engine{
-		s:         ns,
-		region:    amoebot.WholeRegion(ns),
-		cfg:       e.cfg,
-		workers:   e.workers,
-		gen:       e.gen + 1,
+		s:       ns,
+		region:  amoebot.WholeRegion(ns),
+		cfg:     e.cfg,
+		workers: e.workers,
+		gen:     e.gen + 1,
+		// The scratch arena adapts to the new structure size on first use,
+		// so the Apply chain keeps recycling one pool.
+		arena:     e.arena,
 		distCache: make(map[string]*distEntry),
 	}
 

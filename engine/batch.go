@@ -72,6 +72,14 @@ type BatchResult struct {
 // re-validated, and at most one query pays for leader election. Results
 // come back in input order; individual failures are reported per query.
 func (e *Engine) Batch(queries []Query) *BatchResult {
+	if len(queries) == 0 {
+		// Degenerate batch (nil or empty slice): consistent zero-value
+		// stats, no worker pool, no wall-clock noise.
+		return &BatchResult{
+			Results: []QueryResult{},
+			Stats:   BatchStats{Phases: map[string]int64{}},
+		}
+	}
 	start := time.Now()
 	out := &BatchResult{Results: make([]QueryResult, len(queries))}
 	workers := e.workers

@@ -1,0 +1,175 @@
+package engine_test
+
+import (
+	"sync"
+	"testing"
+
+	"spforest/amoebot"
+	"spforest/engine"
+	"spforest/internal/shapes"
+)
+
+// TestLeaderStatsShape pins the normalized Leader() stats: a configured
+// leader and an elected leader report the same shape — a non-nil phase map
+// carrying a "preprocess" entry — differing only in the rounds charged.
+func TestLeaderStatsShape(t *testing.T) {
+	s := shapes.Hexagon(3)
+	fixed := s.Coord(0)
+
+	efixed, err := engine.New(s, &engine.Config{Leader: &fixed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st := efixed.Leader()
+	if st.Rounds != 0 || st.Beeps != 0 {
+		t.Fatalf("fixed leader charged %d rounds / %d beeps, want 0/0", st.Rounds, st.Beeps)
+	}
+	if st.Phases == nil {
+		t.Fatal("fixed leader stats have nil Phases")
+	}
+	if v, ok := st.Phases["preprocess"]; !ok || v != 0 {
+		t.Fatalf(`fixed leader Phases["preprocess"] = %d,%v, want 0,true`, v, ok)
+	}
+
+	elected, err := engine.New(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st2 := elected.Leader()
+	if st2.Rounds <= 0 {
+		t.Fatalf("elected leader charged %d rounds, want > 0", st2.Rounds)
+	}
+	if st2.Phases == nil || st2.Phases["preprocess"] != st2.Rounds {
+		t.Fatalf("elected leader Phases = %v, want preprocess=%d", st2.Phases, st2.Rounds)
+	}
+
+	// The returned phase map is a copy: callers cannot corrupt the memo.
+	st2.Phases["preprocess"] = -999
+	if _, st3 := elected.Leader(); st3.Phases["preprocess"] != st2.Rounds {
+		t.Fatal("mutating returned Phases corrupted the engine's memoized stats")
+	}
+}
+
+// TestConcurrentLeaderNeverDoubleCharged races Leader() against the first
+// forest query on fresh engines: the election must be charged exactly once
+// — either to the query's clock or to Leader's — never to both, and the
+// memoized cost must match whichever side paid.
+func TestConcurrentLeaderNeverDoubleCharged(t *testing.T) {
+	s := shapes.Hexagon(4)
+	src := []amoebot.Coord{s.Coord(0)}
+	q := engine.Query{Algo: engine.AlgoForest, Sources: src, Dests: s.Coords()}
+
+	for trial := 0; trial < 20; trial++ {
+		e, err := engine.New(s, &engine.Config{Seed: int64(trial)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		var res *engine.Result
+		var runErr error
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			res, runErr = e.Run(q)
+		}()
+		go func() {
+			defer wg.Done()
+			e.Leader()
+		}()
+		wg.Wait()
+		if runErr != nil {
+			t.Fatal(runErr)
+		}
+		_, prep := e.Leader()
+		if prep.Rounds <= 0 {
+			t.Fatalf("trial %d: memoized election cost %d, want > 0", trial, prep.Rounds)
+		}
+		charged := res.Stats.Phases["preprocess"]
+		if charged != 0 && charged != prep.Rounds {
+			t.Fatalf("trial %d: query charged %d preprocess rounds, want 0 or %d (the election ran twice?)",
+				trial, charged, prep.Rounds)
+		}
+		// A second query must never pay again.
+		res2, err := e.Run(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res2.Stats.Phases["preprocess"] != 0 {
+			t.Fatalf("trial %d: second query re-charged the election", trial)
+		}
+	}
+}
+
+// TestBatchDegenerate pins Engine.Batch on nil and empty inputs: zero-value
+// stats with a usable (non-nil) phase map and an empty result slice.
+func TestBatchDegenerate(t *testing.T) {
+	s := shapes.Hexagon(2)
+	e, err := engine.New(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, queries := range [][]engine.Query{nil, {}} {
+		b := e.Batch(queries)
+		if b == nil || b.Results == nil || len(b.Results) != 0 {
+			t.Fatalf("Batch(%v): results = %v, want empty non-nil slice", queries, b.Results)
+		}
+		st := b.Stats
+		if st.Queries != 0 || st.Failed != 0 || st.Rounds != 0 || st.Beeps != 0 || st.MaxRounds != 0 {
+			t.Fatalf("Batch(%v): stats = %+v, want zero values", queries, st)
+		}
+		if st.Phases == nil || len(st.Phases) != 0 {
+			t.Fatalf("Batch(%v): phases = %v, want empty non-nil map", queries, st.Phases)
+		}
+	}
+}
+
+// TestSingleAmoebotAllSolvers drives a one-amoebot structure through every
+// registered solver: each must return the trivial forest (the amoebot as a
+// root) without panicking, with whatever constant round count its
+// construction charges.
+func TestSingleAmoebotAllSolvers(t *testing.T) {
+	s := amoebot.MustStructure([]amoebot.Coord{amoebot.XZ(0, 0)})
+	c := s.Coord(0)
+	leader := c
+	e, err := engine.New(s, &engine.Config{Leader: &leader})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		algo  string
+		dests []amoebot.Coord
+	}{
+		{engine.AlgoForest, []amoebot.Coord{c}},
+		{engine.AlgoSPT, []amoebot.Coord{c}},
+		{engine.AlgoSPSP, []amoebot.Coord{c}},
+		{engine.AlgoSSSP, nil},
+		{engine.AlgoSequential, []amoebot.Coord{c}},
+		{engine.AlgoBFS, nil},
+		{engine.AlgoExact, []amoebot.Coord{c}},
+	}
+	seen := map[string]bool{}
+	for _, tc := range cases {
+		seen[tc.algo] = true
+		t.Run(tc.algo, func(t *testing.T) {
+			res, err := e.Run(engine.Query{Algo: tc.algo, Sources: []amoebot.Coord{c}, Dests: tc.dests})
+			if err != nil {
+				t.Fatal(err)
+			}
+			f := res.Forest
+			if !f.Member(0) || f.Parent(0) != amoebot.None {
+				t.Fatalf("%s: single amoebot is not a bare root", tc.algo)
+			}
+			if f.Size() != 1 {
+				t.Fatalf("%s: forest size = %d, want 1", tc.algo, f.Size())
+			}
+			if res.Stats.Rounds < 0 {
+				t.Fatalf("%s: negative rounds", tc.algo)
+			}
+		})
+	}
+	for _, algo := range engine.Solvers() {
+		if !seen[algo] {
+			t.Errorf("solver %q not covered by the single-amoebot table", algo)
+		}
+	}
+}

@@ -29,6 +29,7 @@ import (
 
 	"spforest/amoebot"
 	"spforest/internal/baseline"
+	"spforest/internal/dense"
 	"spforest/internal/leader"
 	"spforest/internal/sim"
 	"spforest/internal/verify"
@@ -58,7 +59,8 @@ type Engine struct {
 	region  *amoebot.Region
 	cfg     Config
 	workers int
-	gen     uint64 // 0 for New; parent+1 along an Apply chain
+	gen     uint64       // 0 for New; parent+1 along an Apply chain
+	arena   *dense.Arena // per-engine scratch pool, shared down Apply chains
 
 	leaderOnce  sync.Once
 	leaderIdx   int32
@@ -92,6 +94,7 @@ func New(s *amoebot.Structure, cfg *Config) (*Engine, error) {
 	e := &Engine{
 		s:         s,
 		region:    amoebot.WholeRegion(s),
+		arena:     dense.NewArena(),
 		distCache: make(map[string]*distEntry),
 	}
 	if cfg != nil {
@@ -112,10 +115,13 @@ func New(s *amoebot.Structure, cfg *Config) (*Engine, error) {
 }
 
 // setLeader settles the engine's leader without an election (a configured
-// Config.Leader, or a leader inherited across Apply).
+// Config.Leader, or a leader inherited across Apply). The preprocessing
+// stats take the same shape as an elected leader's — a "preprocess" phase
+// of zero rounds — so Leader() reports one consistent shape either way.
 func (e *Engine) setLeader(i int32) {
 	e.leaderOnce.Do(func() {
 		e.leaderIdx = i
+		e.prepStats = Stats{Phases: map[string]int64{"preprocess": 0}}
 		e.leaderKnown.Store(true)
 	})
 }
@@ -188,10 +194,19 @@ func (e *Engine) leaderFor(clock *sim.Clock) int32 {
 // call (or the first forest query) runs the election and later calls return
 // the memoized result. Calling Leader before a query stream pre-pays the
 // preprocessing so no query is charged for it.
+//
+// The returned stats always carry a "preprocess" phase (zero rounds for a
+// configured or inherited leader), and the phase map is a copy — mutating
+// it does not corrupt the engine's memoized accounting.
 func (e *Engine) Leader() (amoebot.Coord, Stats) {
 	var clock sim.Clock
 	idx := e.leaderFor(&clock)
-	return e.s.Coord(idx), e.prepStats
+	st := e.prepStats
+	st.Phases = make(map[string]int64, len(e.prepStats.Phases))
+	for k, v := range e.prepStats.Phases {
+		st.Phases[k] = v
+	}
+	return e.s.Coord(idx), st
 }
 
 // Verify checks the five (S,D)-shortest-path-forest properties of f
@@ -312,14 +327,15 @@ func (e *Engine) resolve(cs []amoebot.Coord, what string) ([]int32, error) {
 		return nil, fmt.Errorf("engine: no %ss given", what)
 	}
 	out := make([]int32, 0, len(cs))
-	seen := make(map[int32]bool, len(cs))
+	seen := e.arena.BitSet(e.s.N())
+	defer e.arena.PutBitSet(seen)
 	for _, c := range cs {
 		i, ok := e.s.Index(c)
 		if !ok {
 			return nil, fmt.Errorf("engine: %s %v is not part of the structure", what, c)
 		}
-		if !seen[i] {
-			seen[i] = true
+		if !seen.Has(i) {
+			seen.Add(i)
 			out = append(out, i)
 		}
 	}

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"spforest/amoebot"
+	"spforest/internal/dense"
 	"spforest/internal/sim"
 )
 
@@ -23,6 +24,12 @@ type Context struct {
 
 // Region returns the whole-structure region the engine memoizes.
 func (ctx *Context) Region() *amoebot.Region { return ctx.Engine.Region() }
+
+// Arena returns the engine's scratch arena. Solvers draw their dense
+// index-space scratch (bitsets, flat int32 maps) from it so that repeated
+// queries against one engine recycle the same backing arrays; everything
+// taken from the arena must be returned to it before Solve finishes.
+func (ctx *Context) Arena() *dense.Arena { return ctx.Engine.arena }
 
 // Solver is one shortest-path-forest algorithm behind the engine. Solvers
 // must be safe for concurrent use: Solve may be called from many goroutines

@@ -39,7 +39,7 @@ func (forestSolver) Solve(ctx *Context) (*amoebot.Forest, error) {
 	ldr := ctx.Engine.leaderFor(ctx.Clock)
 	var f *amoebot.Forest
 	ctx.Clock.Phase("forest", func() {
-		f = core.Forest(ctx.Clock, ctx.Region(), ctx.Sources, ctx.Dests, ldr)
+		f = core.ForestArena(ctx.Arena(), ctx.Clock, ctx.Region(), ctx.Sources, ctx.Dests, ldr, core.ScheduleCentroid)
 	})
 	return f, nil
 }
@@ -76,7 +76,7 @@ func (t treeSolver) Solve(ctx *Context) (*amoebot.Forest, error) {
 	}
 	var f *amoebot.Forest
 	ctx.Clock.Phase("spt", func() {
-		f = core.SPT(ctx.Clock, ctx.Region(), ctx.Sources[0], dests)
+		f = core.SPTArena(ctx.Arena(), ctx.Clock, ctx.Region(), ctx.Sources[0], dests)
 	})
 	return f, nil
 }
@@ -92,7 +92,7 @@ func (sequentialSolver) Solve(ctx *Context) (*amoebot.Forest, error) {
 	}
 	var f *amoebot.Forest
 	ctx.Clock.Phase("sequential", func() {
-		f = core.ForestSequential(ctx.Clock, ctx.Region(), ctx.Sources, ctx.Dests)
+		f = core.ForestSequentialArena(ctx.Arena(), ctx.Clock, ctx.Region(), ctx.Sources, ctx.Dests)
 	})
 	return f, nil
 }

@@ -1,6 +1,9 @@
 package baseline
 
-import "spforest/amoebot"
+import (
+	"spforest/amoebot"
+	"spforest/internal/dense"
+)
 
 // Unknown marks a distance entry that the caller cannot vouch for after a
 // structure mutation (newly added nodes). RepairExact restores every
@@ -27,9 +30,11 @@ const Unknown = int32(1) << 30
 // return value counts the distance writes the repair performed; 0 means
 // the mutation did not move any distance.
 func RepairExact(r *amoebot.Region, srcs []int32, dist []int32, suspects, added []int32) int {
-	isSource := make(map[int32]bool, len(srcs))
+	n := r.Structure().N()
+	isSource := dense.Shared.BitSet(n)
+	defer dense.Shared.PutBitSet(isSource)
 	for _, s := range srcs {
-		isSource[s] = true
+		isSource.Add(s)
 	}
 
 	// Downward pass: a non-source node is supported iff some neighbor sits
@@ -51,7 +56,7 @@ func RepairExact(r *amoebot.Region, srcs []int32, dist []int32, suspects, added 
 		if !ok {
 			break
 		}
-		if dist[u] != d || isSource[u] {
+		if dist[u] != d || isSource.Has(u) {
 			continue // stale queue entry, or a source (always supported)
 		}
 		supported := false
@@ -79,12 +84,13 @@ func RepairExact(r *amoebot.Region, srcs []int32, dist []int32, suspects, added 
 	// cells start Unknown, so shortcuts they create propagate here too,
 	// lowering settled distances where a new path is shorter.
 	var q2 bucketQueue
-	seeded := make(map[int32]bool, len(unknown))
+	seeded := dense.Shared.BitSet(n)
+	defer dense.Shared.PutBitSet(seeded)
 	for _, u := range unknown {
 		for dir := amoebot.Direction(0); dir < amoebot.NumDirections; dir++ {
 			v := r.Neighbor(u, dir)
-			if v != amoebot.None && dist[v] < Unknown && !seeded[v] {
-				seeded[v] = true
+			if v != amoebot.None && dist[v] < Unknown && !seeded.Has(v) {
+				seeded.Add(v)
 				q2.push(dist[v], v)
 			}
 		}

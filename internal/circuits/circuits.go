@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"spforest/amoebot"
+	"spforest/internal/dense"
 	"spforest/internal/sim"
 )
 
@@ -37,7 +38,7 @@ type Net struct {
 	edgeLinks map[edgeKey]int8
 	maxLinks  int8
 
-	beeped    map[int32]bool // circuit root -> beep pending this round
+	beeped    dense.BitSet // circuit roots with a beep pending this round
 	sent      int64
 	delivered bool
 }
@@ -48,7 +49,6 @@ type edgeKey struct{ a, b int32 }
 func New() *Net {
 	return &Net{
 		edgeLinks: make(map[edgeKey]int8),
-		beeped:    make(map[int32]bool),
 	}
 }
 
@@ -59,6 +59,7 @@ func (n *Net) NewPartitionSet(owner int32) PS {
 	n.owner = append(n.owner, owner)
 	n.parent = append(n.parent, int32(ps))
 	n.rank = append(n.rank, 0)
+	n.beeped.Extend(len(n.parent))
 	return ps
 }
 
@@ -121,7 +122,7 @@ func (n *Net) Beep(ps PS) {
 		panic("circuits: beep after delivery; call NextRound first")
 	}
 	n.sent++
-	n.beeped[n.find(int32(ps))] = true
+	n.beeped.Add(n.find(int32(ps)))
 }
 
 // Deliver ends the beep round: it charges one synchronous round (and the
@@ -141,7 +142,7 @@ func (n *Net) Received(ps PS) bool {
 	if !n.delivered {
 		panic("circuits: Received before Deliver")
 	}
-	return n.beeped[n.find(int32(ps))]
+	return n.beeped.Has(n.find(int32(ps)))
 }
 
 // NextRound clears beep state so the same pin configuration can carry
@@ -149,9 +150,7 @@ func (n *Net) Received(ps PS) bool {
 func (n *Net) NextRound() {
 	n.delivered = false
 	n.sent = 0
-	for k := range n.beeped {
-		delete(n.beeped, k)
-	}
+	n.beeped.Reset()
 }
 
 func (n *Net) String() string {
@@ -160,37 +159,31 @@ func (n *Net) String() string {
 
 // RegionCircuit builds the standard "one circuit spanning the region"
 // configuration: every amoebot of the region contributes one partition set
-// covering all its pins toward region-internal neighbors. The returned map
-// yields each node's partition set. Uses 1 link per region-internal edge.
-func RegionCircuit(n *Net, r *amoebot.Region) map[int32]PS {
-	ps := make(map[int32]PS, r.Len())
-	for _, u := range r.Nodes() {
-		ps[u] = n.NewPartitionSet(u)
-	}
-	for _, u := range r.Nodes() {
-		for d := amoebot.Direction(0); d < amoebot.NumDirections; d++ {
-			if v := r.Neighbor(u, d); v != amoebot.None && u < v {
-				n.Link(ps[u], ps[v])
-			}
-		}
-	}
-	return ps
+// covering all its pins toward region-internal neighbors. The returned
+// slice, indexed by structure node, yields each region node's partition set
+// (NoPS outside the region). Uses 1 link per region-internal edge.
+func RegionCircuit(n *Net, r *amoebot.Region) []PS {
+	return NodeSetCircuit(n, r.Structure(), r.Nodes())
 }
 
 // NodeSetCircuit builds one circuit spanning an arbitrary node set (one
 // partition set per node, links along all structure edges inside the set).
-func NodeSetCircuit(n *Net, s *amoebot.Structure, nodes []int32) map[int32]PS {
-	in := make(map[int32]bool, len(nodes))
-	ps := make(map[int32]PS, len(nodes))
+// The returned slice is indexed by structure node, NoPS outside the set.
+func NodeSetCircuit(n *Net, s *amoebot.Structure, nodes []int32) []PS {
+	ps := make([]PS, s.N())
+	for i := range ps {
+		ps[i] = NoPS
+	}
+	uniq := make([]int32, 0, len(nodes))
 	for _, u := range nodes {
-		if !in[u] {
-			in[u] = true
+		if ps[u] == NoPS {
 			ps[u] = n.NewPartitionSet(u)
+			uniq = append(uniq, u)
 		}
 	}
-	for u := range ps {
+	for _, u := range uniq {
 		for d := amoebot.Direction(0); d < amoebot.NumDirections; d++ {
-			if v := s.Neighbor(u, d); v != amoebot.None && in[v] && u < v {
+			if v := s.Neighbor(u, d); v != amoebot.None && ps[v] != NoPS && u < v {
 				n.Link(ps[u], ps[v])
 			}
 		}

@@ -167,8 +167,11 @@ func TestNodeSetCircuit(t *testing.T) {
 	s := line(4)
 	n := New()
 	ps := NodeSetCircuit(n, s, []int32{1, 2, 2}) // duplicate tolerated
-	if len(ps) != 2 {
-		t.Fatalf("partition sets = %d", len(ps))
+	if n.Len() != 2 {
+		t.Fatalf("partition sets = %d", n.Len())
+	}
+	if ps[0] != NoPS || ps[3] != NoPS {
+		t.Error("nodes outside the set received partition sets")
 	}
 	if !n.SameCircuit(ps[1], ps[2]) {
 		t.Error("node set circuit not connected")

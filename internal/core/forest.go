@@ -7,6 +7,7 @@ import (
 
 	"spforest/amoebot"
 	"spforest/internal/counter"
+	"spforest/internal/dense"
 	"spforest/internal/portal"
 	"spforest/internal/sim"
 )
@@ -49,11 +50,18 @@ const (
 // ForestWithSchedule is Forest with an explicit merge schedule (see
 // Schedule; ScheduleTreeDepth exists for the ablation study).
 func ForestWithSchedule(clock *sim.Clock, region *amoebot.Region, sources, dests []int32, leader int32, sched Schedule) *amoebot.Forest {
+	return ForestArena(dense.Shared, clock, region, sources, dests, leader, sched)
+}
+
+// ForestArena is ForestWithSchedule drawing its index-space scratch from
+// the arena; the engine threads its per-engine arena through here so a
+// query stream reuses the same scratch arrays.
+func ForestArena(ar *dense.Arena, clock *sim.Clock, region *amoebot.Region, sources, dests []int32, leader int32, sched Schedule) *amoebot.Forest {
 	if len(sources) == 0 {
 		panic("core: no sources")
 	}
 	if len(sources) == 1 {
-		return SPT(clock, region, sources[0], dests)
+		return SPTArena(ar, clock, region, sources[0], dests)
 	}
 	s := region.Structure()
 
@@ -77,7 +85,7 @@ func ForestWithSchedule(clock *sim.Clock, region *amoebot.Region, sources, dests
 			qpCount++
 		}
 	}
-	sp := buildSplit(region, ports, inQP, rpQ)
+	sp := buildSplit(region, ports, inQP, rpQ, ar)
 	clock.Tick(1) // unmark the westernmost marked amoebot per portal (Lemma 52)
 
 	// ---- §5.4.2 preprocessing: elect R' and root the portal tree at it.
@@ -95,7 +103,7 @@ func ForestWithSchedule(clock *sim.Clock, region *amoebot.Region, sources, dests
 	branches := make([]*sim.Clock, len(sp.regions))
 	runParallel(len(sp.regions), func(i int) {
 		branches[i] = clock.Fork()
-		states[i] = baseCase(branches[i], s, sp, sp.regions[i], rPrime, rpQP, sources)
+		states[i] = baseCase(branches[i], s, sp, sp.regions[i], rPrime, rpQP, sources, ar)
 	})
 	clock.JoinMax(branches...)
 
@@ -164,7 +172,7 @@ func ForestWithSchedule(clock *sim.Clock, region *amoebot.Region, sources, dests
 		for _, p := range level {
 			branch := clock.Fork()
 			lb = append(lb, branch)
-			states = mergeAlongPortal(branch, s, sp, p, states)
+			states = mergeAlongPortal(branch, s, sp, p, states, ar)
 		}
 		clock.JoinMax(lb...)
 	}
@@ -181,7 +189,7 @@ func ForestWithSchedule(clock *sim.Clock, region *amoebot.Region, sources, dests
 		}
 	}
 	// ---- Corollary 57: prune every tree to its destinations.
-	return pruneToDestinations(clock, full, sources, dests)
+	return pruneToDestinations(clock, full, sources, dests, ar)
 }
 
 // regionState is one current region with its (S∩region)-forest.
@@ -194,21 +202,23 @@ type regionState struct {
 // line algorithm on the region's LCA portal segment, propagation into the
 // region; if the region meets a second Q' portal, the same from there and a
 // merge.
-func baseCase(clock *sim.Clock, s *amoebot.Structure, sp *splitRegions, br *baseRegion, rPrime int32, rpQP *portal.RootPruneResult, sources []int32) *regionState {
-	isSource := make(map[int32]bool, len(sources))
+func baseCase(clock *sim.Clock, s *amoebot.Structure, sp *splitRegions, br *baseRegion, rPrime int32, rpQP *portal.RootPruneResult, sources []int32, ar *dense.Arena) *regionState {
+	isSource := ar.BitSet(s.N())
+	defer ar.PutBitSet(isSource)
 	for _, src := range sources {
-		isSource[src] = true
+		isSource.Add(src)
 	}
 	// Identify the LCA portal among the region's Q' portals (Lemma 53):
 	// it is R' or its parent portal does not intersect the region.
-	inRegionPortal := map[int32]bool{}
+	inRegionPortal := ar.BitSet(sp.ports.Len())
+	defer ar.PutBitSet(inRegionPortal)
 	for _, u := range br.nodes.Nodes() {
-		inRegionPortal[sp.ports.ID[u]] = true
+		inRegionPortal.Add(sp.ports.ID[u])
 	}
 	ordered := make([]int32, 0, 2)
 	var lca int32 = -1
 	for _, id := range br.qpPortals {
-		if id == rPrime || !inRegionPortal[rpQP.Parent[id]] {
+		if id == rPrime || rpQP.Parent[id] < 0 || !inRegionPortal.Has(rpQP.Parent[id]) {
 			lca = id
 			break
 		}
@@ -230,16 +240,16 @@ func baseCase(clock *sim.Clock, s *amoebot.Structure, sp *splitRegions, br *base
 		pnodes := sp.portalNodesIn(br, id)
 		var segSources []int32
 		for _, u := range pnodes {
-			if isSource[u] {
+			if isSource.Has(u) {
 				segSources = append(segSources, u)
 			}
 		}
-		f := LineForest(clock, s, pnodes, segSources)
-		f = propagateBothSides(clock, br.nodes, pnodes, f)
+		f := LineForestArena(ar, clock, s, pnodes, segSources)
+		f = propagateBothSides(clock, br.nodes, pnodes, f, ar)
 		if i == 0 {
 			acc = f
 		} else {
-			acc = Merge(clock, acc, f)
+			acc = MergeArena(ar, clock, acc, f)
 		}
 	}
 	return &regionState{region: br.nodes, forest: acc}
@@ -247,16 +257,17 @@ func baseCase(clock *sim.Clock, s *amoebot.Structure, sp *splitRegions, br *base
 
 // propagateBothSides extends a forest living on the portal run pnodes to
 // the sides of the run present in the region.
-func propagateBothSides(clock *sim.Clock, region *amoebot.Region, pnodes []int32, f *amoebot.Forest) *amoebot.Forest {
-	inP := make(map[int32]bool, len(pnodes))
+func propagateBothSides(clock *sim.Clock, region *amoebot.Region, pnodes []int32, f *amoebot.Forest, ar *dense.Arena) *amoebot.Forest {
+	inP := ar.BitSet(region.Structure().N())
 	for _, p := range pnodes {
-		inP[p] = true
+		inP.Add(p)
 	}
 	for side := amoebot.Side(0); side < amoebot.NumSides; side++ {
 		if len(sideNodes(region, pnodes, inP, side)) > 0 {
-			f = Propagate(clock, region, pnodes, f, side)
+			f = PropagateArena(ar, clock, region, pnodes, f, side)
 		}
 	}
+	ar.PutBitSet(inP)
 	return f
 }
 
@@ -265,11 +276,12 @@ func propagateBothSides(clock *sim.Clock, region *amoebot.Region, pnodes []int32
 // amoebots (one PASC-parity iteration per round of pairings), merging each
 // pair through its separating cut amoebot (SPT propagation + merging);
 // phase 2 joins the two sides with two propagations and a merge.
-func mergeAlongPortal(clock *sim.Clock, s *amoebot.Structure, sp *splitRegions, p int32, states []*regionState) []*regionState {
+func mergeAlongPortal(clock *sim.Clock, s *amoebot.Structure, sp *splitRegions, p int32, states []*regionState, ar *dense.Arena) []*regionState {
 	pnodes := sp.ports.NodesOf[p]
-	inP := make(map[int32]bool, len(pnodes))
+	inP := ar.BitSet(s.N())
+	defer ar.PutBitSet(inP)
 	for _, u := range pnodes {
-		inP[u] = true
+		inP.Add(u)
 	}
 	var touching []*regionState
 	var rest []*regionState
@@ -288,7 +300,7 @@ func mergeAlongPortal(clock *sim.Clock, s *amoebot.Structure, sp *splitRegions, 
 	}
 	// Classify each touching region to a side of p: the side of its
 	// non-portal body adjacent to p.
-	bySide := map[amoebot.Side][]*regionState{}
+	var bySide [amoebot.NumSides][]*regionState
 	for _, st := range touching {
 		side, ok := regionSideOf(st.region, pnodes, inP)
 		if !ok {
@@ -337,7 +349,7 @@ func mergeAlongPortal(clock *sim.Clock, s *amoebot.Structure, sp *splitRegions, 
 				}
 				branch := clock.Fork()
 				branches = append(branches, branch)
-				merged := mergePairAtCut(branch, s, a, b, m)
+				merged := mergePairAtCut(branch, s, a, b, m, ar)
 				var next []*regionState
 				for _, st := range regions {
 					if st != a && st != b {
@@ -369,9 +381,9 @@ func mergeAlongPortal(clock *sim.Clock, s *amoebot.Structure, sp *splitRegions, 
 		whole := north.region.Union(south.region).Union(amoebot.NewRegion(s, pnodes))
 		fN := extendAlongPortal(clock, s, north.forest, pnodes)
 		fS := extendAlongPortal(clock, s, south.forest, pnodes)
-		f1 := Propagate(clock, whole, pnodes, fN, amoebot.SideB)
-		f2 := Propagate(clock, whole, pnodes, fS, amoebot.SideA)
-		out = &regionState{region: whole, forest: Merge(clock, f1, f2)}
+		f1 := PropagateArena(ar, clock, whole, pnodes, fN, amoebot.SideB)
+		f2 := PropagateArena(ar, clock, whole, pnodes, fS, amoebot.SideA)
+		out = &regionState{region: whole, forest: MergeArena(ar, clock, f1, f2)}
 	}
 	return append(rest, out)
 }
@@ -390,7 +402,7 @@ func collapseSame(regions []*regionState) *regionState {
 
 // regionSideOf classifies a region to the side of the portal its body lies
 // on. ok=false when the region consists of portal nodes only.
-func regionSideOf(r *amoebot.Region, pnodes []int32, inP map[int32]bool) (amoebot.Side, bool) {
+func regionSideOf(r *amoebot.Region, pnodes []int32, inP *dense.BitSet) (amoebot.Side, bool) {
 	for _, u := range pnodes {
 		if !r.Contains(u) {
 			continue
@@ -400,7 +412,7 @@ func regionSideOf(r *amoebot.Region, pnodes []int32, inP map[int32]bool) (amoebo
 				continue
 			}
 			v := r.Neighbor(u, d)
-			if v == amoebot.None || inP[v] {
+			if v == amoebot.None || inP.Has(v) {
 				continue
 			}
 			side, _ := amoebot.AxisX.SideOf(d)
@@ -414,7 +426,7 @@ func regionSideOf(r *amoebot.Region, pnodes []int32, inP map[int32]bool) (amoebo
 // (§5.4.3, phase 1, third step): every shortest path between the regions
 // passes m, so each side's forest extends into the other side by an SPT
 // rooted at m, and the merging algorithm combines the two extensions.
-func mergePairAtCut(clock *sim.Clock, s *amoebot.Structure, a, b *regionState, m int32) *regionState {
+func mergePairAtCut(clock *sim.Clock, s *amoebot.Structure, a, b *regionState, m int32, ar *dense.Arena) *regionState {
 	union := a.region.Union(b.region)
 	extend := func(own *regionState, other *amoebot.Region) *amoebot.Forest {
 		if own.forest.Size() == 0 {
@@ -422,7 +434,7 @@ func mergePairAtCut(clock *sim.Clock, s *amoebot.Structure, a, b *regionState, m
 		}
 		out := own.forest.Clone()
 		if other.Len() > 1 {
-			sub := SPT(clock, other, m, other.Nodes())
+			sub := SPTArena(ar, clock, other, m, other.Nodes())
 			for _, u := range other.Nodes() {
 				if u == m || out.Member(u) {
 					continue // the pair overlaps only on m
@@ -436,7 +448,7 @@ func mergePairAtCut(clock *sim.Clock, s *amoebot.Structure, a, b *regionState, m
 	}
 	fA := extend(a, b.region)
 	fB := extend(b, a.region)
-	return &regionState{region: union, forest: Merge(clock, fA, fB)}
+	return &regionState{region: union, forest: MergeArena(ar, clock, fA, fB)}
 }
 
 // extendAlongPortal completes a forest over the portal run: uncovered
@@ -511,15 +523,21 @@ func extendAlongPortal(clock *sim.Clock, s *amoebot.Structure, f *amoebot.Forest
 // as the O(k log n) baseline (§5 introduction): one SPT per source, merged
 // sequentially, then the final prune to the destinations.
 func ForestSequential(clock *sim.Clock, region *amoebot.Region, sources, dests []int32) *amoebot.Forest {
+	return ForestSequentialArena(dense.Shared, clock, region, sources, dests)
+}
+
+// ForestSequentialArena is ForestSequential drawing its index-space scratch
+// from the arena.
+func ForestSequentialArena(ar *dense.Arena, clock *sim.Clock, region *amoebot.Region, sources, dests []int32) *amoebot.Forest {
 	if len(sources) == 0 {
 		panic("core: no sources")
 	}
 	ordered := append([]int32(nil), sources...)
 	sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
-	acc := SPT(clock, region, ordered[0], region.Nodes())
+	acc := SPTArena(ar, clock, region, ordered[0], region.Nodes())
 	for _, src := range ordered[1:] {
-		next := SPT(clock, region, src, region.Nodes())
-		acc = Merge(clock, acc, next)
+		next := SPTArena(ar, clock, region, src, region.Nodes())
+		acc = MergeArena(ar, clock, acc, next)
 	}
-	return pruneToDestinations(clock, acc, sources, dests)
+	return pruneToDestinations(clock, acc, sources, dests, ar)
 }

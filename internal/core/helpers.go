@@ -21,6 +21,7 @@ import (
 	"sync"
 
 	"spforest/amoebot"
+	"spforest/internal/dense"
 	"spforest/internal/ett"
 	"spforest/internal/pasc"
 	"spforest/internal/sim"
@@ -60,26 +61,28 @@ func runParallel(n int, fn func(i int)) {
 }
 
 // forestComponent returns the members of f reachable from start via
-// parent/child links, or nil if start is not a member.
-func forestComponent(f *amoebot.Forest, start int32) []int32 {
+// parent/child links, or nil if start is not a member. children must be
+// f.Children() (hoisted by the caller so repeated component walks share it).
+func forestComponent(f *amoebot.Forest, children [][]int32, start int32, ar *dense.Arena) []int32 {
 	if !f.Member(start) {
 		return nil
 	}
-	children := f.Children()
-	seen := map[int32]bool{start: true}
+	seen := ar.BitSet(f.Structure().N())
+	defer ar.PutBitSet(seen)
+	seen.Add(start)
 	stack := []int32{start}
 	var nodes []int32
 	for len(stack) > 0 {
 		u := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		nodes = append(nodes, u)
-		if p := f.Parent(u); p != amoebot.None && !seen[p] {
-			seen[p] = true
+		if p := f.Parent(u); p != amoebot.None && !seen.Has(p) {
+			seen.Add(p)
 			stack = append(stack, p)
 		}
 		for _, c := range children[u] {
-			if !seen[c] {
-				seen[c] = true
+			if !seen.Has(c) {
+				seen.Add(c)
 				stack = append(stack, c)
 			}
 		}
@@ -90,45 +93,51 @@ func forestComponent(f *amoebot.Forest, start int32) []int32 {
 // forestTree builds an ett.Tree over the given forest members (which must
 // form one tree component), with neighbor order following the grid's
 // counterclockwise direction order. Returns the tree and the local index of
-// each global node.
-func forestTree(f *amoebot.Forest, members []int32) (*ett.Tree, map[int32]int32) {
+// each global node; the caller releases the index with ar.PutIndex.
+func forestTree(f *amoebot.Forest, members []int32, ar *dense.Arena) (*ett.Tree, *dense.Index) {
 	s := f.Structure()
-	toLocal := make(map[int32]int32, len(members))
+	toLocal := ar.Index(s.N())
 	for li, g := range members {
-		toLocal[g] = int32(li)
+		toLocal.Set(g, int32(li))
 	}
 	isLink := func(u, v int32) bool {
 		return f.Parent(u) == v || f.Parent(v) == u
 	}
+	// The neighbor lists share one flat backing array: a tree over m
+	// members has exactly 2(m-1) directed edges.
+	flat := make([]int32, 0, 2*len(members))
 	nbrs := make([][]int32, len(members))
 	for li, g := range members {
+		start := len(flat)
 		for d := amoebot.Direction(0); d < amoebot.NumDirections; d++ {
 			v := s.Neighbor(g, d)
 			if v == amoebot.None {
 				continue
 			}
-			lv, ok := toLocal[v]
+			lv, ok := toLocal.Get(v)
 			if !ok || !isLink(g, v) {
 				continue
 			}
-			nbrs[li] = append(nbrs[li], lv)
+			flat = append(flat, lv)
 		}
+		nbrs[li] = flat[start:len(flat):len(flat)]
 	}
 	return ett.MustTree(nbrs), toLocal
 }
 
 // forestPASC builds a multi-root tree-distance PASC over all members of f:
 // slot i corresponds to members[i]; roots are the forest roots. Each
-// member's streamed value is its tree depth = dist(S, ·).
-func forestPASC(f *amoebot.Forest, members []int32) (*pasc.Run, map[int32]int32) {
-	toLocal := make(map[int32]int32, len(members))
+// member's streamed value is its tree depth = dist(S, ·). The caller
+// releases the local index with ar.PutIndex.
+func forestPASC(f *amoebot.Forest, members []int32, ar *dense.Arena) (*pasc.Run, *dense.Index) {
+	toLocal := ar.Index(f.Structure().N())
 	for li, g := range members {
-		toLocal[g] = int32(li)
+		toLocal.Set(g, int32(li))
 	}
 	parent := make([]int32, len(members))
 	for li, g := range members {
 		if p := f.Parent(g); p != amoebot.None {
-			lp, ok := toLocal[p]
+			lp, ok := toLocal.Get(p)
 			if !ok {
 				panic(fmt.Sprintf("core: member %d has parent outside member set", g))
 			}
@@ -145,16 +154,14 @@ func forestPASC(f *amoebot.Forest, members []int32) (*pasc.Run, map[int32]int32)
 // always stay as roots). Connected components of chosen-parent graphs that
 // contain no source receive no signal and prune themselves entirely.
 // Rounds: the primitive runs on all trees in parallel.
-func pruneToDestinations(clock *sim.Clock, f *amoebot.Forest, sources, dests []int32) *amoebot.Forest {
+func pruneToDestinations(clock *sim.Clock, f *amoebot.Forest, sources, dests []int32, ar *dense.Arena) *amoebot.Forest {
 	s := f.Structure()
-	isDest := make([]bool, s.N())
+	isDest := ar.BitSet(s.N())
+	defer ar.PutBitSet(isDest)
 	for _, d := range dests {
-		isDest[d] = true
+		isDest.Add(d)
 	}
-	isSource := make([]bool, s.N())
-	for _, src := range sources {
-		isSource[src] = true
-	}
+	children := f.Children() // shared read-only by the per-tree walks
 	out := amoebot.NewForest(s)
 	branches := make([]*sim.Clock, len(sources))
 	// The trees are vertex-disjoint, so the per-tree prunes run on worker
@@ -165,15 +172,16 @@ func pruneToDestinations(clock *sim.Clock, f *amoebot.Forest, sources, dests []i
 			out.SetRoot(src)
 			return
 		}
-		members := forestComponent(f, src)
+		members := forestComponent(f, children, src, ar)
 		branch := clock.Fork()
 		branches[si] = branch
-		tree, toLocal := forestTree(f, members)
+		tree, toLocal := forestTree(f, members, ar)
+		defer ar.PutIndex(toLocal)
 		inQ := make([]bool, len(members))
 		for li, g := range members {
-			inQ[li] = isDest[g]
+			inQ[li] = isDest.Has(g)
 		}
-		rp := treeprim.RootAndPrune(branch, tree, toLocal[src], inQ)
+		rp := treeprim.RootAndPrune(branch, tree, toLocal.At(src), inQ)
 		for li, g := range members {
 			if rp.InVQ[li] {
 				if g == src {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"spforest/amoebot"
+	"spforest/internal/dense"
 	"spforest/internal/portal"
 	"spforest/internal/sim"
 )
@@ -36,18 +37,15 @@ func SplitRegions(region *amoebot.Region, sources []int32, leader int32) *SplitI
 	for id := range inQP {
 		inQP[id] = inQ[id] || aq[id]
 	}
-	sp := buildSplit(region, ports, inQP, rpQ)
+	sp := buildSplit(region, ports, inQP, rpQ, dense.Shared)
 	info := &SplitInfo{}
 	for _, br := range sp.regions {
 		info.Regions = append(info.Regions, br.nodes)
 		info.QPPortals = append(info.QPPortals, br.qpPortals)
 	}
-	for id, marks := range sp.marksOf {
-		_ = id
-		info.Marks = append(info.Marks, marks...)
-	}
 	for id := int32(0); id < int32(ports.Len()); id++ {
 		if inQP[id] {
+			info.Marks = append(info.Marks, sp.marksOf[id]...)
 			info.QPrimeNodes = append(info.QPrimeNodes, ports.NodesOf[id]...)
 		}
 	}

@@ -3,6 +3,7 @@ package core
 import (
 	"spforest/amoebot"
 	"spforest/internal/bitstream"
+	"spforest/internal/dense"
 	"spforest/internal/pasc"
 	"spforest/internal/sim"
 )
@@ -17,18 +18,25 @@ import (
 // chain lists the amoebot node ids in chain order; sources must be a subset
 // of the chain. Runs in O(log n) rounds.
 func LineForest(clock *sim.Clock, s *amoebot.Structure, chain []int32, sources []int32) *amoebot.Forest {
+	return LineForestArena(dense.Shared, clock, s, chain, sources)
+}
+
+// LineForestArena is LineForest drawing its index-space scratch from the
+// arena.
+func LineForestArena(ar *dense.Arena, clock *sim.Clock, s *amoebot.Structure, chain []int32, sources []int32) *amoebot.Forest {
 	n := len(chain)
 	f := amoebot.NewForest(s)
 	if n == 0 {
 		return f
 	}
 	isSource := make([]bool, n)
-	pos := make(map[int32]int, n)
+	pos := ar.Index(s.N())
+	defer ar.PutIndex(pos)
 	for i, g := range chain {
-		pos[g] = i
+		pos.Set(g, int32(i))
 	}
 	for _, src := range sources {
-		i, ok := pos[src]
+		i, ok := pos.Get(src)
 		if !ok {
 			panic("core: line source outside chain")
 		}

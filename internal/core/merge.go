@@ -3,6 +3,7 @@ package core
 import (
 	"spforest/amoebot"
 	"spforest/internal/bitstream"
+	"spforest/internal/dense"
 	"spforest/internal/pasc"
 	"spforest/internal/sim"
 )
@@ -17,6 +18,11 @@ import (
 // is meaningful when every relevant amoebot is covered by at least one
 // side. Runs in O(log n) rounds; 4 links per edge (2 per forest).
 func Merge(clock *sim.Clock, f1, f2 *amoebot.Forest) *amoebot.Forest {
+	return MergeArena(dense.Shared, clock, f1, f2)
+}
+
+// MergeArena is Merge drawing its index-space scratch from the arena.
+func MergeArena(ar *dense.Arena, clock *sim.Clock, f1, f2 *amoebot.Forest) *amoebot.Forest {
 	s := f1.Structure()
 	if f2.Structure() != s {
 		panic("core: merging forests of different structures")
@@ -28,23 +34,31 @@ func Merge(clock *sim.Clock, f1, f2 *amoebot.Forest) *amoebot.Forest {
 	if len(m2) == 0 {
 		return f1.Clone()
 	}
-	run1, local1 := forestPASC(f1, m1)
-	run2, local2 := forestPASC(f2, m2)
-	cmps := make(map[int32]*bitstream.Comparator)
+	run1, local1 := forestPASC(f1, m1, ar)
+	defer ar.PutIndex(local1)
+	run2, local2 := forestPASC(f2, m2, ar)
+	defer ar.PutIndex(local2)
+	// Amoebots covered by both forests hold the O(1)-state comparators;
+	// cmpOf maps such a node to its comparator slot.
+	cmpOf := ar.Index(s.N())
+	defer ar.PutIndex(cmpOf)
+	var both []int32
 	for _, g := range m1 {
 		if f2.Member(g) {
-			cmps[g] = &bitstream.Comparator{}
+			cmpOf.Set(g, int32(len(both)))
+			both = append(both, g)
 		}
 	}
+	cmps := make([]bitstream.Comparator, len(both))
 	for !pasc.AllDone(run1, run2) {
 		bits := pasc.StepRound(clock, run1, run2)
-		for g, c := range cmps {
-			c.Feed(bits[0][local1[g]], bits[1][local2[g]])
+		for ci, g := range both {
+			cmps[ci].Feed(bits[0][local1.At(g)], bits[1][local2.At(g)])
 		}
 	}
 	out := amoebot.NewForest(s)
 	for _, g := range m1 {
-		if c, both := cmps[g]; both && c.Result() == bitstream.Greater {
+		if ci := cmpOf.At(g); ci >= 0 && cmps[ci].Result() == bitstream.Greater {
 			continue // f2 strictly nearer: handled below
 		}
 		if p := f1.Parent(g); p != amoebot.None {
@@ -54,7 +68,7 @@ func Merge(clock *sim.Clock, f1, f2 *amoebot.Forest) *amoebot.Forest {
 		}
 	}
 	for _, g := range m2 {
-		if c, both := cmps[g]; both && c.Result() != bitstream.Greater {
+		if ci := cmpOf.At(g); ci >= 0 && cmps[ci].Result() != bitstream.Greater {
 			continue // f1 at most as far: already placed
 		}
 		if p := f2.Parent(g); p != amoebot.None {

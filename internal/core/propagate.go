@@ -6,6 +6,7 @@ import (
 
 	"spforest/amoebot"
 	"spforest/internal/bitstream"
+	"spforest/internal/dense"
 	"spforest/internal/pasc"
 	"spforest/internal/portal"
 	"spforest/internal/sim"
@@ -27,6 +28,12 @@ import (
 //
 // Runs in O(log n) rounds. An empty forest propagates to an empty forest.
 func Propagate(clock *sim.Clock, region *amoebot.Region, pnodes []int32, f *amoebot.Forest, into amoebot.Side) *amoebot.Forest {
+	return PropagateArena(dense.Shared, clock, region, pnodes, f, into)
+}
+
+// PropagateArena is Propagate drawing its index-space scratch from the
+// arena.
+func PropagateArena(ar *dense.Arena, clock *sim.Clock, region *amoebot.Region, pnodes []int32, f *amoebot.Forest, into amoebot.Side) *amoebot.Forest {
 	s := region.Structure()
 	if len(pnodes) == 0 {
 		panic("core: empty portal")
@@ -35,12 +42,13 @@ func Propagate(clock *sim.Clock, region *amoebot.Region, pnodes []int32, f *amoe
 		return f.Clone()
 	}
 	zP := s.Coord(pnodes[0]).Z
-	inP := make(map[int32]bool, len(pnodes))
+	inP := ar.BitSet(s.N())
+	defer ar.PutBitSet(inP)
 	for _, p := range pnodes {
 		if s.Coord(p).Z != zP {
 			panic("core: portal nodes not on one row")
 		}
-		inP[p] = true
+		inP.Add(p)
 	}
 
 	// B = components of region \ P on the requested side.
@@ -75,19 +83,20 @@ func Propagate(clock *sim.Clock, region *amoebot.Region, pnodes []int32, f *amoe
 	clock.AddBeeps(2 * int64(len(pnodes)))
 
 	var bothVisible []int32
-	visible := make(map[int32]bool, len(bNodes))
+	visible := ar.BitSet(s.N())
+	defer ar.PutBitSet(visible)
 	for _, u := range bNodes {
 		vy := visYPortal[portsY.ID[u]]
 		vz := visZPortal[portsZ.ID[u]]
 		switch {
 		case vy && vz:
-			visible[u] = true
+			visible.Add(u)
 			bothVisible = append(bothVisible, u)
 		case vy:
-			visible[u] = true
+			visible.Add(u)
 			out.SetParent(u, mustNeighbor(region, u, towardY))
 		case vz:
-			visible[u] = true
+			visible.Add(u)
 			out.SetParent(u, mustNeighbor(region, u, towardZ))
 		}
 	}
@@ -97,7 +106,7 @@ func Propagate(clock *sim.Clock, region *amoebot.Region, pnodes []int32, f *amoe
 	// on the portal circuits in the same cadence).
 	if len(bothVisible) > 0 {
 		members := f.Members()
-		run, toLocal := forestPASC(f, members)
+		run, toLocal := forestPASC(f, members, ar)
 		type probe struct {
 			u            int32
 			projY, projZ int32
@@ -108,7 +117,7 @@ func Propagate(clock *sim.Clock, region *amoebot.Region, pnodes []int32, f *amoe
 			cu := s.Coord(u)
 			py, okY := s.Index(amoebot.Coord{X: -cu.Y - zP, Y: cu.Y, Z: zP})
 			pz, okZ := s.Index(amoebot.XZ(cu.X, zP))
-			if !okY || !okZ || !inP[py] || !inP[pz] {
+			if !okY || !okZ || !inP.Has(py) || !inP.Has(pz) {
 				panic("core: projection of a visible amoebot missed the portal")
 			}
 			probes = append(probes, probe{u: u, projY: py, projZ: pz})
@@ -117,9 +126,10 @@ func Propagate(clock *sim.Clock, region *amoebot.Region, pnodes []int32, f *amoe
 			bits := pasc.StepRound(clock, run)[0]
 			for i := range probes {
 				pr := &probes[i]
-				pr.cmp.Feed(bits[toLocal[pr.projY]], bits[toLocal[pr.projZ]])
+				pr.cmp.Feed(bits[toLocal.At(pr.projY)], bits[toLocal.At(pr.projZ)])
 			}
 		}
+		ar.PutIndex(toLocal)
 		for i := range probes {
 			pr := &probes[i]
 			// n_y if dist(S, proj_y) ≤ dist(S, proj_z), else n_z (Lemma 46).
@@ -137,7 +147,7 @@ func Propagate(clock *sim.Clock, region *amoebot.Region, pnodes []int32, f *amoe
 	// over all components; two rounds for the component circuits/election).
 	var invisible []int32
 	for _, u := range bNodes {
-		if !visible[u] {
+		if !visible.Has(u) {
 			invisible = append(invisible, u)
 		}
 	}
@@ -151,7 +161,7 @@ func Propagate(clock *sim.Clock, region *amoebot.Region, pnodes []int32, f *amoe
 			sz, parent := electComponentRoot(region, z, visible, zP)
 			out.SetParent(sz, parent)
 			if z.Len() > 1 {
-				sub := SPT(branch, z, sz, z.Nodes())
+				sub := SPTArena(ar, branch, z, sz, z.Nodes())
 				for _, u := range z.Nodes() {
 					if u == sz {
 						continue
@@ -173,9 +183,9 @@ func Propagate(clock *sim.Clock, region *amoebot.Region, pnodes []int32, f *amoe
 // x-portal P. Every component of region \ P touches P from exactly one side
 // (the portal graph is a tree); a component touching from the wrong side
 // belongs to A.
-func sideNodes(region *amoebot.Region, pnodes []int32, inP map[int32]bool, side amoebot.Side) []int32 {
+func sideNodes(region *amoebot.Region, pnodes []int32, inP *dense.BitSet, side amoebot.Side) []int32 {
 	s := region.Structure()
-	rest := region.Filter(func(i int32) bool { return !inP[i] })
+	rest := region.Filter(func(i int32) bool { return !inP.Has(i) })
 	var out []int32
 	for _, comp := range amoebot.NewRegion(s, rest).Components() {
 		compSide, found := amoebot.Side(0), false
@@ -217,7 +227,7 @@ func mustNeighbor(region *amoebot.Region, u int32, d amoebot.Direction) int32 {
 // electComponentRoot picks s_Z — the component node adjacent to B' closest
 // to P's row (ties towards smaller X) — and its parent: the adjacent
 // B'-node closest to P's row.
-func electComponentRoot(region *amoebot.Region, z *amoebot.Region, visible map[int32]bool, zP int) (sz, parent int32) {
+func electComponentRoot(region *amoebot.Region, z *amoebot.Region, visible *dense.BitSet, zP int) (sz, parent int32) {
 	s := region.Structure()
 	absDelta := func(u int32) int {
 		d := s.Coord(u).Z - zP
@@ -230,7 +240,7 @@ func electComponentRoot(region *amoebot.Region, z *amoebot.Region, visible map[i
 	for _, u := range z.Nodes() {
 		adjacent := false
 		for d := amoebot.Direction(0); d < amoebot.NumDirections; d++ {
-			if v := region.Neighbor(u, d); v != amoebot.None && visible[v] {
+			if v := region.Neighbor(u, d); v != amoebot.None && visible.Has(v) {
 				adjacent = true
 				break
 			}
@@ -249,7 +259,7 @@ func electComponentRoot(region *amoebot.Region, z *amoebot.Region, visible map[i
 	parent = amoebot.None
 	for d := amoebot.Direction(0); d < amoebot.NumDirections; d++ {
 		v := region.Neighbor(sz, d)
-		if v == amoebot.None || !visible[v] {
+		if v == amoebot.None || !visible.Has(v) {
 			continue
 		}
 		if parent == amoebot.None || absDelta(v) < absDelta(parent) ||

@@ -6,6 +6,7 @@ import (
 
 	"spforest/amoebot"
 	"spforest/internal/baseline"
+	"spforest/internal/dense"
 	"spforest/internal/portal"
 	"spforest/internal/shapes"
 	"spforest/internal/sim"
@@ -23,9 +24,9 @@ func propagateSetup(t *testing.T, rng *rand.Rand, s *amoebot.Structure, portalId
 		return nil, nil, nil, nil, false
 	}
 	pnodes = ports.NodesOf[int32(portalIdx)]
-	inP := make(map[int32]bool)
+	inP := dense.NewBitSet(s.N())
 	for _, p := range pnodes {
-		inP[p] = true
+		inP.Add(p)
 	}
 	// A∪P = region minus the components on the `into` side (the exact set
 	// Propagate will extend into).

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"spforest/amoebot"
+	"spforest/internal/dense"
 	"spforest/internal/portal"
 )
 
@@ -47,7 +48,7 @@ type segCopy struct {
 // paper's construction: split the structure at every Q' portal (the portal
 // joining both sides), then split further at the marked amoebots, so that
 // every region meets at most two portals of Q' (Lemma 52).
-func buildSplit(region *amoebot.Region, ports *portal.Portals, inQP []bool, rp *portal.RootPruneResult) *splitRegions {
+func buildSplit(region *amoebot.Region, ports *portal.Portals, inQP []bool, rp *portal.RootPruneResult, ar *dense.Arena) *splitRegions {
 	s := region.Structure()
 	sp := &splitRegions{
 		ports:      ports,
@@ -56,42 +57,46 @@ func buildSplit(region *amoebot.Region, ports *portal.Portals, inQP []bool, rp *
 		segmentsOf: make(map[int32][][]int32),
 	}
 	// Marks: every Q' portal marks its connector towards each V_Q neighbor,
-	// then unmarks the westernmost mark.
+	// then unmarks the westernmost mark. markSeen deduplicates connectors
+	// (one amoebot can connect towards several neighbors); its bits are
+	// removed again after each portal so the set never needs a full reset.
+	markSeen := ar.BitSet(s.N())
 	for id := int32(0); id < int32(ports.Len()); id++ {
 		if !inQP[id] {
 			continue
 		}
-		markSet := map[int32]bool{}
+		var marks []int32
 		for _, nb := range ports.Nbr[id] {
 			// The edge to nb survives pruning iff nb is the parent (id is
 			// in V_Q as a Q' member) or nb is a surviving child.
 			if nb == rp.Parent[id] || (rp.Parent[nb] == id && rp.InVQ[nb]) {
-				markSet[ports.Connector(id, nb)] = true
+				if m := ports.Connector(id, nb); !markSeen.Has(m) {
+					markSeen.Add(m)
+					marks = append(marks, m)
+				}
 			}
-		}
-		marks := make([]int32, 0, len(markSet))
-		for m := range markSet {
-			marks = append(marks, m)
 		}
 		sort.Slice(marks, func(a, b int) bool {
 			return s.Coord(marks[a]).X < s.Coord(marks[b]).X
 		})
+		for _, m := range marks {
+			markSeen.Remove(m)
+		}
 		if len(marks) > 0 {
 			marks = marks[1:] // unmark the westernmost
 		}
 		sp.marksOf[id] = marks
 		// Segments: the portal's node run split at the marks, marks
-		// belonging to both sides.
+		// belonging to both sides. The run and the marks are both in
+		// ascending x order, so one cursor walks them in lockstep.
 		run := ports.NodesOf[id]
-		markPos := map[int32]bool{}
-		for _, m := range marks {
-			markPos[m] = true
-		}
+		mi := 0
 		var segs [][]int32
 		cur := []int32{}
 		for _, u := range run {
 			cur = append(cur, u)
-			if markPos[u] {
+			if mi < len(marks) && marks[mi] == u {
+				mi++
 				segs = append(segs, cur)
 				cur = []int32{u}
 			}
@@ -99,21 +104,26 @@ func buildSplit(region *amoebot.Region, ports *portal.Portals, inQP []bool, rp *
 		segs = append(segs, cur)
 		sp.segmentsOf[id] = segs
 	}
+	ar.PutBitSet(markSeen)
 
 	// H-graph: vertices are the blobs (components of region minus Q'
 	// portal nodes) and the side copies of the segments; edges follow the
 	// crossing edges incident to Q' portal nodes. Base regions are the
 	// connected components of H.
-	qpNode := make(map[int32][2]int32) // node -> (portal, segment index); marks map to the western segment
-	for id, segs := range sp.segmentsOf {
-		for si, seg := range segs {
-			for _, u := range seg {
-				qpNode[u] = [2]int32{id, int32(si)}
-			}
+	qpPortalOf := ar.Index(s.N()) // node -> its Q' portal id
+	defer ar.PutIndex(qpPortalOf)
+	var qpNodes []int32
+	for id := int32(0); id < int32(ports.Len()); id++ {
+		if !inQP[id] {
+			continue
+		}
+		for _, u := range ports.NodesOf[id] {
+			qpPortalOf.Set(u, id)
+			qpNodes = append(qpNodes, u)
 		}
 	}
-	// Marks belong to two segments; qpNode keeps the eastern one (later
-	// overwrite). Fix: record both via explicit lookup.
+	// Marks belong to two segments; segOf resolves them via explicit
+	// lookup.
 	segOf := func(id int32, u int32) []int32 {
 		var out []int32
 		for si, seg := range sp.segmentsOf[id] {
@@ -127,12 +137,13 @@ func buildSplit(region *amoebot.Region, ports *portal.Portals, inQP []bool, rp *
 		return out
 	}
 
-	rest := region.Filter(func(i int32) bool { _, qp := qpNode[i]; return !qp })
+	rest := region.Filter(func(i int32) bool { return !qpPortalOf.Has(i) })
 	blobs := amoebot.NewRegion(s, rest).Components()
-	blobOf := make(map[int32]int, len(rest))
+	blobOf := ar.Index(s.N())
+	defer ar.PutIndex(blobOf)
 	for bi, b := range blobs {
 		for _, u := range b.Nodes() {
-			blobOf[u] = bi
+			blobOf.Set(u, int32(bi))
 		}
 	}
 
@@ -168,8 +179,8 @@ func buildSplit(region *amoebot.Region, ports *portal.Portals, inQP []bool, rp *
 		parent[find(a)] = find(b)
 	}
 
-	for u, ps := range qpNode {
-		id := ps[0]
+	for _, u := range qpNodes {
+		id := qpPortalOf.At(u)
 		for d := amoebot.Direction(0); d < amoebot.NumDirections; d++ {
 			if d.Axis() == amoebot.AxisX {
 				continue
@@ -181,15 +192,15 @@ func buildSplit(region *amoebot.Region, ports *portal.Portals, inQP []bool, rp *
 			side, _ := amoebot.AxisX.SideOf(d)
 			for _, si := range segOf(id, u) {
 				from := idxOf(segCopy{portal: id, seg: si, side: side})
-				if bi, isBlob := blobOf[v]; isBlob {
-					union(from, bi)
+				if bi, isBlob := blobOf.Get(v); isBlob {
+					union(from, int(bi))
 				} else {
 					// v belongs to another Q' portal: connect the two
 					// segment copies (their facing sides).
-					vp := qpNode[v]
+					vp := qpPortalOf.At(v)
 					oside, _ := amoebot.AxisX.SideOf(d.Opposite())
-					for _, vsi := range segOf(vp[0], v) {
-						union(from, idxOf(segCopy{portal: vp[0], seg: vsi, side: oside}))
+					for _, vsi := range segOf(vp, v) {
+						union(from, idxOf(segCopy{portal: vp, seg: vsi, side: oside}))
 					}
 				}
 			}
@@ -197,8 +208,8 @@ func buildSplit(region *amoebot.Region, ports *portal.Portals, inQP []bool, rp *
 	}
 	// Make sure both side copies of every segment exist, so no amoebot is
 	// left uncovered.
-	for id, segs := range sp.segmentsOf {
-		for si := range segs {
+	for id := int32(0); id < int32(ports.Len()); id++ {
+		for si := range sp.segmentsOf[id] {
 			idxOf(segCopy{portal: id, seg: int32(si), side: amoebot.SideA})
 			idxOf(segCopy{portal: id, seg: int32(si), side: amoebot.SideB})
 		}
@@ -215,7 +226,8 @@ func buildSplit(region *amoebot.Region, ports *portal.Portals, inQP []bool, rp *
 		for i := 0; i < len(blobs); i++ {
 			group[find(i)] = append(group[find(i)], i)
 		}
-		for _, i := range copyIdx {
+		for ci := range copies {
+			i := len(blobs) + ci
 			group[find(i)] = append(group[find(i)], i)
 		}
 	}
@@ -266,35 +278,47 @@ func buildSplit(region *amoebot.Region, ports *portal.Portals, inQP []bool, rp *
 		roots = append(roots, root)
 	}
 	sort.Ints(roots)
+	nodeSeen := ar.BitSet(s.N())
+	defer ar.PutBitSet(nodeSeen)
 	for _, root := range roots {
 		members := group[root]
-		nodeSet := map[int32]bool{}
-		qpSet := map[int32]bool{}
+		var nodes []int32
+		var qps []int32
 		var segs [][2]int32
+		addNode := func(u int32) {
+			if !nodeSeen.Has(u) {
+				nodeSeen.Add(u)
+				nodes = append(nodes, u)
+			}
+		}
 		for _, m := range members {
 			if m < len(blobs) {
 				for _, u := range blobs[m].Nodes() {
-					nodeSet[u] = true
+					addNode(u)
 				}
 				continue
 			}
 			c := copies[m-len(blobs)]
-			qpSet[c.portal] = true
+			qpKnown := false
+			for _, q := range qps {
+				if q == c.portal {
+					qpKnown = true
+					break
+				}
+			}
+			if !qpKnown {
+				qps = append(qps, c.portal)
+			}
 			segs = append(segs, [2]int32{c.portal, c.seg})
 			for _, u := range sp.segmentsOf[c.portal][c.seg] {
-				nodeSet[u] = true
+				addNode(u)
 			}
 		}
-		if len(nodeSet) == 0 {
+		for _, u := range nodes {
+			nodeSeen.Remove(u) // targeted cleanup keeps the set reusable
+		}
+		if len(nodes) == 0 {
 			continue
-		}
-		nodes := make([]int32, 0, len(nodeSet))
-		for u := range nodeSet {
-			nodes = append(nodes, u)
-		}
-		var qps []int32
-		for id := range qpSet {
-			qps = append(qps, id)
 		}
 		sort.Slice(qps, func(a, b int) bool { return qps[a] < qps[b] })
 		sp.regions = append(sp.regions, &baseRegion{
@@ -328,20 +352,23 @@ func dedupeSegs(segs [][2]int32) [][2]int32 {
 // belong to the region (its segments within the region), ascending in x.
 func (sp *splitRegions) portalNodesIn(br *baseRegion, id int32) []int32 {
 	var out []int32
-	seen := map[int32]bool{}
 	for _, sg := range br.segs {
 		if sg[0] != id {
 			continue
 		}
-		for _, u := range sp.segmentsOf[id][sg[1]] {
-			if !seen[u] {
-				seen[u] = true
-				out = append(out, u)
-			}
-		}
+		out = append(out, sp.segmentsOf[id][sg[1]]...)
 	}
 	s := sp.ports.Region.Structure()
 	sort.Slice(out, func(a, b int) bool { return s.Coord(out[a]).X < s.Coord(out[b]).X })
+	// Adjacent segments share their splitting mark; drop the duplicates the
+	// sort brought together.
+	dedup := out[:0]
+	for i, u := range out {
+		if i == 0 || u != out[i-1] {
+			dedup = append(dedup, u)
+		}
+	}
+	out = dedup
 	for i := 1; i < len(out); i++ {
 		if s.Coord(out[i]).X != s.Coord(out[i-1]).X+1 {
 			panic("core: region's portal segments are not contiguous")

@@ -2,6 +2,7 @@ package core
 
 import (
 	"spforest/amoebot"
+	"spforest/internal/dense"
 	"spforest/internal/portal"
 	"spforest/internal/sim"
 )
@@ -16,6 +17,11 @@ import (
 // The region must be connected and hole-free, the source and destinations
 // must lie inside it.
 func SPT(clock *sim.Clock, region *amoebot.Region, source int32, dests []int32) *amoebot.Forest {
+	return SPTArena(dense.Shared, clock, region, source, dests)
+}
+
+// SPTArena is SPT drawing its index-space scratch from the arena.
+func SPTArena(ar *dense.Arena, clock *sim.Clock, region *amoebot.Region, source int32, dests []int32) *amoebot.Forest {
 	s := region.Structure()
 	if !region.Contains(source) {
 		panic("core: source outside region")
@@ -23,12 +29,10 @@ func SPT(clock *sim.Clock, region *amoebot.Region, source int32, dests []int32) 
 	if len(dests) == 0 {
 		panic("core: no destinations")
 	}
-	isDest := make([]bool, s.N())
 	for _, d := range dests {
 		if !region.Contains(d) {
 			panic("core: destination outside region")
 		}
-		isDest[d] = true
 	}
 
 	// Per axis: root the portal tree at portal_d(s) and prune subtrees
@@ -91,5 +95,5 @@ func SPT(clock *sim.Clock, region *amoebot.Region, source int32, dests []int32) 
 	// usable tree structure, then the final root-and-prune with (s, D)
 	// extracts the destination tree and silences stray components (§4).
 	discoverChildren(clock, chosen)
-	return pruneToDestinations(clock, chosen, []int32{source}, dests)
+	return pruneToDestinations(clock, chosen, []int32{source}, dests, ar)
 }

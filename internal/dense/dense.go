@@ -1,0 +1,183 @@
+// Package dense provides allocation-free set and map scratch structures
+// over dense int32 index spaces, plus a pooling Arena that recycles them
+// across queries.
+//
+// Every hot loop of the solver stack operates on node or portal indices
+// that are already dense identifiers in [0, n): structure nodes, portal
+// ids, local tree slots. Hash sets (map[int32]bool) and hash maps
+// (map[int32]int32) over such keys pay hashing and per-entry allocation
+// for nothing — a bitset answers membership in one AND and a flat slice
+// answers lookup in one load. The BitSet and Index types here are those
+// replacements; the Arena recycles their backing arrays through
+// sync.Pools so a long-lived engine serves repeated queries with near-zero
+// steady-state allocation in the index-space scratch.
+package dense
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// BitSet is a set of int32 ids in [0, n), backed by a word array. The zero
+// value is an empty set of capacity 0; size it with Grow or obtain one from
+// an Arena.
+type BitSet struct {
+	words []uint64
+}
+
+// NewBitSet returns an empty set with capacity for ids in [0, n).
+func NewBitSet(n int) *BitSet {
+	b := &BitSet{}
+	b.Grow(n)
+	return b
+}
+
+// Grow re-sizes the set to hold ids in [0, n) and clears it.
+func (b *BitSet) Grow(n int) {
+	w := (n + 63) / 64
+	if cap(b.words) < w {
+		b.words = make([]uint64, w)
+		return
+	}
+	b.words = b.words[:w]
+	clear(b.words)
+}
+
+// Add inserts id i.
+func (b *BitSet) Add(i int32) { b.words[i>>6] |= 1 << uint(i&63) }
+
+// Remove deletes id i.
+func (b *BitSet) Remove(i int32) { b.words[i>>6] &^= 1 << uint(i&63) }
+
+// Has reports whether id i is in the set.
+func (b *BitSet) Has(i int32) bool { return b.words[i>>6]&(1<<uint(i&63)) != 0 }
+
+// Reset clears the set, keeping its capacity.
+func (b *BitSet) Reset() { clear(b.words) }
+
+// Extend grows the set to hold ids in [0, n), preserving its contents
+// (unlike Grow, which clears).
+func (b *BitSet) Extend(n int) {
+	w := (n + 63) / 64
+	for len(b.words) < w {
+		b.words = append(b.words, 0)
+	}
+}
+
+// Count returns the number of ids in the set.
+func (b *BitSet) Count() int {
+	n := 0
+	for _, w := range b.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Index is a map from int32 keys in [0, n) to int32 values ≥ 0, backed by a
+// flat slice. Internally values are stored shifted by one so that the zero
+// word means "absent" and Reset is a single memclr. The zero value is an
+// empty index of capacity 0; size it with Grow or obtain one from an Arena.
+type Index struct {
+	vals []int32 // stored value + 1; 0 = absent
+}
+
+// NewIndex returns an empty index with capacity for keys in [0, n).
+func NewIndex(n int) *Index {
+	x := &Index{}
+	x.Grow(n)
+	return x
+}
+
+// Grow re-sizes the index to hold keys in [0, n) and clears it.
+func (x *Index) Grow(n int) {
+	if cap(x.vals) < n {
+		x.vals = make([]int32, n)
+		return
+	}
+	x.vals = x.vals[:n]
+	clear(x.vals)
+}
+
+// Set maps key k to value v (which must be ≥ 0).
+func (x *Index) Set(k, v int32) {
+	if v < 0 {
+		panic("dense: Index values must be non-negative")
+	}
+	x.vals[k] = v + 1
+}
+
+// Delete removes key k.
+func (x *Index) Delete(k int32) { x.vals[k] = 0 }
+
+// Get returns the value mapped to k and whether k is present.
+func (x *Index) Get(k int32) (int32, bool) {
+	v := x.vals[k]
+	return v - 1, v != 0
+}
+
+// At returns the value mapped to k, or -1 when k is absent.
+func (x *Index) At(k int32) int32 { return x.vals[k] - 1 }
+
+// Has reports whether key k is present.
+func (x *Index) Has(k int32) bool { return x.vals[k] != 0 }
+
+// Reset clears the index, keeping its capacity.
+func (x *Index) Reset() { clear(x.vals) }
+
+// Arena recycles BitSets and Indexes through sync.Pools. Engines hold one
+// arena each and thread it through their query contexts, so a stream of
+// queries against one engine reuses the same scratch arrays instead of
+// reallocating them; the free-function entry points use a per-call arena,
+// which still amortizes the scratch inside one invocation. All methods are
+// safe for concurrent use, and a nil *Arena degrades to plain allocation,
+// so call sites never need to branch.
+type Arena struct {
+	bitsets sync.Pool
+	indexes sync.Pool
+}
+
+// NewArena returns an empty arena. The zero value is also ready to use.
+func NewArena() *Arena { return &Arena{} }
+
+// BitSet returns a cleared set with capacity for ids in [0, n).
+func (a *Arena) BitSet(n int) *BitSet {
+	if a == nil {
+		return NewBitSet(n)
+	}
+	if b, ok := a.bitsets.Get().(*BitSet); ok {
+		b.Grow(n)
+		return b
+	}
+	return NewBitSet(n)
+}
+
+// PutBitSet returns a set obtained from BitSet to the arena.
+func (a *Arena) PutBitSet(b *BitSet) {
+	if a != nil && b != nil {
+		a.bitsets.Put(b)
+	}
+}
+
+// Index returns a cleared index with capacity for keys in [0, n).
+func (a *Arena) Index(n int) *Index {
+	if a == nil {
+		return NewIndex(n)
+	}
+	if x, ok := a.indexes.Get().(*Index); ok {
+		x.Grow(n)
+		return x
+	}
+	return NewIndex(n)
+}
+
+// PutIndex returns an index obtained from Index to the arena.
+func (a *Arena) PutIndex(x *Index) {
+	if a != nil && x != nil {
+		a.indexes.Put(x)
+	}
+}
+
+// Shared is the process-wide fallback arena used by code without an engine
+// in scope (Region.Components, leader election, the free-function solver
+// entry points).
+var Shared = NewArena()

@@ -1,0 +1,135 @@
+package dense
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestBitSetBasics(t *testing.T) {
+	b := NewBitSet(130)
+	if b.Has(0) || b.Has(129) || b.Count() != 0 {
+		t.Fatal("new set not empty")
+	}
+	b.Add(0)
+	b.Add(63)
+	b.Add(64)
+	b.Add(129)
+	for _, i := range []int32{0, 63, 64, 129} {
+		if !b.Has(i) {
+			t.Fatalf("missing %d", i)
+		}
+	}
+	if b.Count() != 4 {
+		t.Fatalf("count = %d, want 4", b.Count())
+	}
+	b.Remove(63)
+	if b.Has(63) || b.Count() != 3 {
+		t.Fatal("remove failed")
+	}
+	b.Reset()
+	if b.Count() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestBitSetGrowClears(t *testing.T) {
+	b := NewBitSet(200)
+	b.Add(150)
+	b.Grow(40) // shrink: capacity retained, contents cleared
+	if b.Has(20) {
+		t.Fatal("shrunken set not empty")
+	}
+	b.Grow(200) // re-grow within capacity: stale bit at 150 must be gone
+	if b.Has(150) {
+		t.Fatal("stale bit survived Grow")
+	}
+}
+
+func TestIndexBasics(t *testing.T) {
+	x := NewIndex(10)
+	if x.Has(3) || x.At(3) != -1 {
+		t.Fatal("new index not empty")
+	}
+	x.Set(3, 0)
+	x.Set(7, 42)
+	if v, ok := x.Get(3); !ok || v != 0 {
+		t.Fatalf("Get(3) = %d,%v", v, ok)
+	}
+	if x.At(7) != 42 {
+		t.Fatalf("At(7) = %d", x.At(7))
+	}
+	x.Delete(3)
+	if x.Has(3) {
+		t.Fatal("delete failed")
+	}
+	x.Reset()
+	if x.Has(7) {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestIndexRejectsNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Set(-1) did not panic")
+		}
+	}()
+	NewIndex(4).Set(0, -1)
+}
+
+func TestArenaReuseAndNil(t *testing.T) {
+	a := NewArena()
+	b := a.BitSet(100)
+	b.Add(99)
+	a.PutBitSet(b)
+	b2 := a.BitSet(50)
+	if b2.Has(30) {
+		t.Fatal("recycled set not cleared")
+	}
+	a.PutBitSet(b2)
+
+	x := a.Index(100)
+	x.Set(10, 5)
+	a.PutIndex(x)
+	x2 := a.Index(100)
+	if x2.Has(10) {
+		t.Fatal("recycled index not cleared")
+	}
+
+	var nilA *Arena
+	nb := nilA.BitSet(8)
+	nb.Add(3)
+	nilA.PutBitSet(nb) // must not panic
+	nx := nilA.Index(8)
+	nx.Set(1, 1)
+	nilA.PutIndex(nx)
+}
+
+func TestArenaConcurrent(t *testing.T) {
+	a := NewArena()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				n := 64 + (g+i)%512
+				b := a.BitSet(n)
+				x := a.Index(n)
+				for j := int32(0); j < int32(n); j += 7 {
+					b.Add(j)
+					x.Set(j, j)
+				}
+				for j := int32(0); j < int32(n); j++ {
+					if b.Has(j) != (j%7 == 0) || x.Has(j) != (j%7 == 0) {
+						t.Errorf("goroutine %d: corrupted scratch at %d", g, j)
+						return
+					}
+				}
+				a.PutBitSet(b)
+				a.PutIndex(x)
+			}
+		}(g)
+	}
+	wg.Wait()
+}

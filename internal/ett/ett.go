@@ -103,34 +103,35 @@ type Tour struct {
 	root int32
 	node []int32 // instance -> operating node; length Edges()+1
 
-	// outInst[u][j] is the instance of u whose outgoing edge goes to
-	// Neighbors[u][j]; inInst[u][j] is the instance of u whose incoming
-	// edge comes from Neighbors[u][j]. Both are -1 only for impossible
-	// combinations (never, on a valid tour, except the root's boundary
-	// instances which are covered too).
-	outInst [][]int32
-	inInst  [][]int32
+	// outInst and inInst hold, per node u and neighbor ordinal j, the
+	// instance of u whose outgoing edge goes to (incoming edge comes from)
+	// Neighbors[u][j]. Both are flat arrays over the directed edges,
+	// indexed off[u]+j — one allocation each instead of one slice per
+	// node.
+	off     []int32
+	outInst []int32
+	inInst  []int32
 }
 
 // BuildTour constructs the Euler tour of t rooted at root, starting along
 // the root's first neighbor.
 func BuildTour(t *Tree, root int32) *Tour {
 	n := t.Len()
+	edges := 2 * (n - 1)
 	tour := &Tour{
 		tree:    t,
 		root:    root,
-		outInst: make([][]int32, n),
-		inInst:  make([][]int32, n),
+		off:     make([]int32, n+1),
+		outInst: make([]int32, edges),
+		inInst:  make([]int32, edges),
 	}
 	for u := 0; u < n; u++ {
-		tour.outInst[u] = make([]int32, t.Degree(int32(u)))
-		tour.inInst[u] = make([]int32, t.Degree(int32(u)))
-		for j := range tour.outInst[u] {
-			tour.outInst[u][j] = -1
-			tour.inInst[u][j] = -1
-		}
+		tour.off[u+1] = tour.off[u] + int32(t.Degree(int32(u)))
 	}
-	edges := 2 * (n - 1)
+	for i := range tour.outInst {
+		tour.outInst[i] = -1
+		tour.inInst[i] = -1
+	}
 	tour.node = make([]int32, 0, edges+1)
 	u := root
 	var jOut int
@@ -142,10 +143,10 @@ func BuildTour(t *Tree, root int32) *Tour {
 	for i := 0; i < edges; i++ {
 		v := t.Neighbors[u][jOut]
 		tour.node = append(tour.node, u)
-		tour.outInst[u][jOut] = int32(i)
+		tour.outInst[tour.off[u]+int32(jOut)] = int32(i)
 		// v's incoming edge from u arrives at instance i+1.
 		jIn := t.ordinal(v, u)
-		tour.inInst[v][jIn] = int32(i + 1)
+		tour.inInst[tour.off[v]+int32(jIn)] = int32(i + 1)
 		// Next outgoing edge at v: the neighbor after u counterclockwise.
 		jOut = (jIn + 1) % t.Degree(v)
 		u = v
@@ -174,11 +175,11 @@ func (t *Tour) Tree() *Tree { return t.tree }
 
 // OutInstance returns the instance of u whose outgoing edge leads to its
 // j-th neighbor.
-func (t *Tour) OutInstance(u int32, j int) int32 { return t.outInst[u][j] }
+func (t *Tour) OutInstance(u int32, j int) int32 { return t.outInst[t.off[u]+int32(j)] }
 
 // InInstance returns the instance of u whose incoming edge arrives from its
 // j-th neighbor.
-func (t *Tour) InInstance(u int32, j int) int32 { return t.inInst[u][j] }
+func (t *Tour) InInstance(u int32, j int) int32 { return t.inInst[t.off[u]+int32(j)] }
 
 // Run is one ETT execution: a prefix-sum PASC over the tour instances with
 // the weight function w_Q (each node of Q marks the outgoing edge of its
@@ -229,8 +230,8 @@ func (r *Run) EdgeBits(u int32, j int) (out, in uint8) {
 	// (covering edges e_0..e_i's weights... w(instance i) = w(e_i)) lives at
 	// slot i+1. The incoming edge e_{i-1} of instance i has prefix sum at
 	// slot i.
-	oi := r.tour.outInst[u][j]
-	ii := r.tour.inInst[u][j]
+	oi := r.tour.OutInstance(u, j)
+	ii := r.tour.InInstance(u, j)
 	return r.bits[oi+1], r.bits[ii]
 }
 

@@ -18,6 +18,7 @@ import (
 
 	"spforest/amoebot"
 	"spforest/internal/circuits"
+	"spforest/internal/dense"
 	"spforest/internal/sim"
 )
 
@@ -30,6 +31,8 @@ const confirmationRounds = 4
 // (2 per phase plus a constant per confirmation).
 func Elect(clock *sim.Clock, region *amoebot.Region, rng *rand.Rand) int32 {
 	candidates := append([]int32(nil), region.Nodes()...)
+	heads := dense.Shared.BitSet(region.Structure().N())
+	defer dense.Shared.PutBitSet(heads)
 	for {
 		if len(candidates) == 1 {
 			clock.Tick(confirmationRounds)
@@ -39,11 +42,11 @@ func Elect(clock *sim.Clock, region *amoebot.Region, rng *rand.Rand) int32 {
 		// circuit; tails candidates hearing a beep withdraw.
 		net := circuits.New()
 		ps := circuits.RegionCircuit(net, region)
-		heads := make(map[int32]bool, len(candidates))
+		heads.Reset()
 		anyHeads := false
 		for _, c := range candidates {
 			if rng.Intn(2) == 0 {
-				heads[c] = true
+				heads.Add(c)
 				anyHeads = true
 				net.Beep(ps[c])
 			}
@@ -52,7 +55,7 @@ func Elect(clock *sim.Clock, region *amoebot.Region, rng *rand.Rand) int32 {
 		if anyHeads {
 			next := candidates[:0]
 			for _, c := range candidates {
-				if heads[c] {
+				if heads.Has(c) {
 					next = append(next, c)
 				}
 			}

@@ -61,27 +61,40 @@ func New(parent []int32, participant []bool) *Run {
 		bits:        make([]uint8, n),
 		arrival:     make([]uint8, n),
 	}
-	// Topological order via iterative root-to-leaf traversal.
-	children := make([][]int32, n)
+	// Topological order via iterative root-to-leaf traversal. The child
+	// lists live in one flat array indexed by a per-slot offset (CSR), so
+	// building them costs three flat allocations instead of one per slot.
+	kidOff := make([]int32, n+1)
 	roots := make([]int32, 0, 1)
 	for i, p := range parent {
 		if p == -1 {
 			roots = append(roots, int32(i))
 			r.participant[i] = false // sources do not count themselves
 		} else {
-			children[p] = append(children[p], int32(i))
+			kidOff[p+1]++
 		}
 	}
 	if len(roots) == 0 {
 		panic("pasc: no root slot")
 	}
+	for i := 0; i < n; i++ {
+		kidOff[i+1] += kidOff[i]
+	}
+	kids := make([]int32, kidOff[n])
+	pos := append([]int32(nil), kidOff[:n]...)
+	for i, p := range parent {
+		if p != -1 {
+			kids[pos[p]] = int32(i)
+			pos[p]++
+		}
+	}
 	r.order = make([]int32, 0, n)
-	stack := append([]int32(nil), roots...)
+	stack := append(pos[:0], roots...) // reuse pos as the DFS stack
 	for len(stack) > 0 {
 		u := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		r.order = append(r.order, u)
-		stack = append(stack, children[u]...)
+		stack = append(stack, kids[kidOff[u]:kidOff[u+1]]...)
 	}
 	if len(r.order) != n {
 		panic("pasc: slot graph is not a forest")

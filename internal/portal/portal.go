@@ -59,11 +59,9 @@ func Compute(region *amoebot.Region, axis amoebot.Axis) *Portals {
 		}
 		p.NodesOf = append(p.NodesOf, run)
 	}
-	// Crossing edges of the implicit tree give the portal adjacency.
-	nbrSet := make([]map[int32]bool, len(p.NodesOf))
-	for i := range nbrSet {
-		nbrSet[i] = make(map[int32]bool)
-	}
+	// Crossing edges of the implicit tree give the portal adjacency. The
+	// conn map already holds exactly one entry per directed adjacent pair,
+	// so the neighbor lists fall out of its keys — no per-portal hash sets.
 	for _, u := range region.Nodes() {
 		for d := amoebot.Direction(0); d < amoebot.NumDirections; d++ {
 			if d.Axis() == axis || !p.IsTreeEdge(u, d) {
@@ -76,14 +74,13 @@ func Compute(region *amoebot.Region, axis amoebot.Axis) *Portals {
 				panic(fmt.Sprintf("portal: two crossing tree edges between portals %d and %d", p1, p2))
 			}
 			p.conn[key] = u
-			nbrSet[p1][p2] = true
 		}
 	}
 	p.Nbr = make([][]int32, len(p.NodesOf))
-	for i, set := range nbrSet {
-		for q := range set {
-			p.Nbr[i] = append(p.Nbr[i], q)
-		}
+	for key := range p.conn {
+		p.Nbr[key[0]] = append(p.Nbr[key[0]], key[1])
+	}
+	for i := range p.Nbr {
 		sort.Slice(p.Nbr[i], func(a, b int) bool { return p.Nbr[i][a] < p.Nbr[i][b] })
 	}
 	return p
@@ -181,9 +178,17 @@ type View struct {
 	IDs    []int32 // portal ids in the view, ascending
 	inView []bool  // indexed by portal id
 
-	nodes   []int32 // union of the portals' amoebots, ascending structure ids
-	toLocal map[int32]int32
-	tree    *ett.Tree
+	nodes []int32 // union of the portals' amoebots, ascending structure ids
+	tree  *ett.Tree
+
+	// Node -> local index, one of two representations: views covering a
+	// dense fraction of the structure (the WholeView of every query) use a
+	// flat slice (local index + 1; 0 = absent) — no hashing on the hot
+	// lookups; sparse views (the per-subtree views of the centroid
+	// decomposition) keep a map sized by the view, so building many small
+	// views stays O(Σ|view|), not O(#views · n).
+	toLocal    []int32
+	toLocalMap map[int32]int32
 }
 
 // WholeView returns the view containing every portal.
@@ -211,24 +216,52 @@ func (p *Portals) SubView(ids []int32) *View {
 		v.nodes = append(v.nodes, p.NodesOf[id]...)
 	}
 	sort.Slice(v.nodes, func(a, b int) bool { return v.nodes[a] < v.nodes[b] })
-	v.toLocal = make(map[int32]int32, len(v.nodes))
-	for li, g := range v.nodes {
-		v.toLocal[g] = int32(li)
+	n := p.Region.Structure().N()
+	if len(v.nodes)*4 >= n {
+		// Dense view: flat slice, shifted by one so the freshly zeroed
+		// allocation already encodes "absent".
+		v.toLocal = make([]int32, n)
+		for li, g := range v.nodes {
+			v.toLocal[g] = int32(li) + 1
+		}
+	} else {
+		v.toLocalMap = make(map[int32]int32, len(v.nodes))
+		for li, g := range v.nodes {
+			v.toLocalMap[g] = int32(li)
+		}
 	}
 	// Implicit tree restricted to the view: axis edges within portals plus
-	// crossing edges between view portals, in CCW direction order.
-	nbrs := make([][]int32, len(v.nodes))
+	// crossing edges between view portals, in CCW direction order. The
+	// neighbor lists share one flat backing array (counted in a first
+	// pass) instead of growing one slice per node.
+	deg := make([]int32, len(v.nodes)+1)
 	for li, g := range v.nodes {
 		for d := amoebot.Direction(0); d < amoebot.NumDirections; d++ {
 			if !p.IsTreeEdge(g, d) {
 				continue
 			}
-			w := p.Region.Neighbor(g, d)
-			if !v.inView[p.ID[w]] {
+			if w := p.Region.Neighbor(g, d); v.inView[p.ID[w]] {
+				deg[li+1]++
+			}
+		}
+	}
+	for li := 0; li < len(v.nodes); li++ {
+		deg[li+1] += deg[li]
+	}
+	flat := make([]int32, deg[len(v.nodes)])
+	nbrs := make([][]int32, len(v.nodes))
+	for li, g := range v.nodes {
+		c := deg[li]
+		for d := amoebot.Direction(0); d < amoebot.NumDirections; d++ {
+			if !p.IsTreeEdge(g, d) {
 				continue
 			}
-			nbrs[li] = append(nbrs[li], v.toLocal[w])
+			if w := p.Region.Neighbor(g, d); v.inView[p.ID[w]] {
+				flat[c] = v.Local(w)
+				c++
+			}
 		}
+		nbrs[li] = flat[deg[li]:c:c]
 	}
 	v.tree = ett.MustTree(nbrs)
 	return v
@@ -243,8 +276,14 @@ func (v *View) Nodes() []int32 { return v.nodes }
 // Tree returns the implicit portal tree of the view over local indices.
 func (v *View) Tree() *ett.Tree { return v.tree }
 
-// Local returns the local index of a structure node in the view.
-func (v *View) Local(g int32) int32 { return v.toLocal[g] }
+// Local returns the local index of a structure node in the view. The node
+// must belong to the view.
+func (v *View) Local(g int32) int32 {
+	if v.toLocal != nil {
+		return v.toLocal[g] - 1
+	}
+	return v.toLocalMap[g]
+}
 
 // Global returns the structure node id of a local index.
 func (v *View) Global(l int32) int32 { return v.nodes[l] }
@@ -255,7 +294,7 @@ func (v *View) Global(l int32) int32 { return v.nodes[l] }
 func (v *View) crossingOrdinal(from, to int32) (local int32, ord int) {
 	u := v.P.Connector(from, to)
 	w := v.P.Connector(to, from)
-	lu, lw := v.toLocal[u], v.toLocal[w]
+	lu, lw := v.Local(u), v.Local(w)
 	for j, x := range v.tree.Neighbors[lu] {
 		if x == lw {
 			return lu, j

@@ -4,6 +4,7 @@ import (
 	"math/bits"
 
 	"spforest/internal/bitstream"
+	"spforest/internal/dense"
 	"spforest/internal/ett"
 	"spforest/internal/sim"
 	"spforest/internal/treeprim"
@@ -340,23 +341,24 @@ type portalComponent struct {
 // splitPortalTree returns the portal-level components of the view minus the
 // given portal, each rooted at its neighbor of the removed portal.
 func splitPortalTree(v *View, removed int32) []portalComponent {
-	seen := make(map[int32]bool, len(v.IDs))
-	seen[removed] = true
+	seen := dense.Shared.BitSet(v.P.Len())
+	defer dense.Shared.PutBitSet(seen)
+	seen.Add(removed)
 	var comps []portalComponent
 	for _, start := range v.P.Nbr[removed] {
-		if !v.inView[start] || seen[start] {
+		if !v.inView[start] || seen.Has(start) {
 			continue
 		}
 		comp := portalComponent{root: start}
 		stack := []int32{start}
-		seen[start] = true
+		seen.Add(start)
 		for len(stack) > 0 {
 			u := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
 			comp.ids = append(comp.ids, u)
 			for _, w := range v.P.Nbr[u] {
-				if v.inView[w] && !seen[w] {
-					seen[w] = true
+				if v.inView[w] && !seen.Has(w) {
+					seen.Add(w)
 					stack = append(stack, w)
 				}
 			}

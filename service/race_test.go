@@ -1,0 +1,179 @@
+package service
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"spforest/amoebot"
+	"spforest/engine"
+	"spforest/internal/shapes"
+)
+
+// TestEvictionSkipsInFlightBuilds pins the pool-race fix: an entry whose
+// engine build is still running must never be evicted (the build would
+// complete into an orphaned entry), even under full eviction pressure; a
+// shard prefers temporary overflow over orphaning a build.
+func TestEvictionSkipsInFlightBuilds(t *testing.T) {
+	sv := New(&Config{Shards: 1, MaxEnginesPerShard: 1})
+
+	// Occupy the only slot with an in-flight placeholder (its once has not
+	// run; ready stays false exactly as during a slow engine.New).
+	inflight := sv.lookup("in-flight", true, false)
+	if inflight.ready.Load() {
+		t.Fatal("placeholder unexpectedly ready")
+	}
+
+	// A second lookup with the shard at capacity must not evict it.
+	other := sv.lookup("other", true, false)
+	sh := sv.shards[0]
+	sh.mu.Lock()
+	_, inflightStays := sh.entries["in-flight"]
+	n := len(sh.entries)
+	sh.mu.Unlock()
+	if !inflightStays {
+		t.Fatal("eviction orphaned an in-flight build")
+	}
+	if n != 2 {
+		t.Fatalf("shard holds %d entries, want temporary overflow of 2", n)
+	}
+	if got := sv.Stats().Evictions; got != 0 {
+		t.Fatalf("evictions = %d, want 0 (in-flight entries are not evictable)", got)
+	}
+
+	// Once both builds finish, the next pressure evicts the LRU one and the
+	// shard returns under its bound.
+	s := shapes.Hexagon(2)
+	inflight.complete(func() (*engine.Engine, error) { return engine.New(s, nil) })
+	other.complete(func() (*engine.Engine, error) { return engine.New(s, nil) })
+	sv.lookup("third", true, false)
+	if got := sv.Stats().Evictions; got == 0 {
+		t.Fatal("ready entries not evicted under pressure")
+	}
+	if n := sv.Len(); n > 2 {
+		t.Fatalf("pool holds %d entries after recovery, want ≤ 2", n)
+	}
+}
+
+// TestInsertMergesRacingPlaceholder pins the insert half of the fix: a
+// ready-made engine inserted while a placeholder for the same fingerprint
+// already completed must not clobber the pooled engine.
+func TestInsertMergesRacingPlaceholder(t *testing.T) {
+	sv := New(&Config{Shards: 1, MaxEnginesPerShard: 4})
+	s := shapes.Hexagon(2)
+
+	first, err := sv.engineFor(s) // pools an engine under s's fingerprint
+	if err != nil {
+		t.Fatal(err)
+	}
+	derived, err := engine.New(s, nil) // a would-be Mutate product
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv.insert(derived)
+	again, err := sv.engineFor(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != first {
+		t.Fatal("insert clobbered the pooled engine of a completed placeholder")
+	}
+	if sv.Len() != 1 {
+		t.Fatalf("pool holds %d entries, want 1", sv.Len())
+	}
+}
+
+// TestMutateEmptyDelta pins the degenerate-mutation path: an empty delta
+// returns the same structure without building an engine, counting a cache
+// lookup, or pooling anything.
+func TestMutateEmptyDelta(t *testing.T) {
+	sv := New(nil)
+	s := shapes.Hexagon(2)
+	out, err := sv.Mutate(s, amoebot.Delta{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != s {
+		t.Fatal("empty delta returned a different structure")
+	}
+	st := sv.Stats()
+	if st.Hits != 0 || st.Misses != 0 || st.Engines != 0 || st.Evictions != 0 {
+		t.Fatalf("empty delta moved the pool counters: %+v", st)
+	}
+}
+
+// TestServicePoolStress hammers one shard with concurrent queries and
+// mutations under heavy eviction pressure; run with -race it pins the pool
+// against the lookup/insert races. Every operation must succeed and the
+// counters must stay coherent.
+func TestServicePoolStress(t *testing.T) {
+	sv := New(&Config{Shards: 1, MaxEnginesPerShard: 2})
+
+	var structs []*amoebot.Structure
+	for i := 0; i < 6; i++ {
+		rng := rand.New(rand.NewSource(int64(100 + i)))
+		structs = append(structs, shapes.RandomBlob(rng, 40+10*i))
+	}
+
+	const goroutines = 8
+	iters := 40
+	if testing.Short() {
+		iters = 10
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < iters; i++ {
+				s := structs[rng.Intn(len(structs))]
+				src := []amoebot.Coord{s.Coord(int32(rng.Intn(s.N())))}
+				switch rng.Intn(3) {
+				case 0:
+					if _, err := sv.Query(s, engine.Query{Algo: engine.AlgoSSSP, Sources: src}); err != nil {
+						errs <- fmt.Errorf("goroutine %d query: %w", g, err)
+						return
+					}
+				case 1:
+					bat, err := sv.Batch(s, []engine.Query{
+						{Algo: engine.AlgoBFS, Sources: src},
+						{Algo: engine.AlgoSSSP, Sources: src},
+					})
+					if err != nil {
+						errs <- fmt.Errorf("goroutine %d batch: %w", g, err)
+						return
+					}
+					if bat.Stats.Failed > 0 {
+						errs <- fmt.Errorf("goroutine %d batch failed", g)
+						return
+					}
+				case 2:
+					d := shapes.RandomDelta(rng, s, 1, 1, src...)
+					if _, err := sv.Mutate(s, d); err != nil {
+						errs <- fmt.Errorf("goroutine %d mutate: %w", g, err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	st := sv.Stats()
+	if st.Hits+st.Misses == 0 {
+		t.Fatal("no counted lookups recorded")
+	}
+	// Temporary overflow is bounded by the number of concurrent in-flight
+	// builds; with all builds finished the pool cannot exceed the LRU bound
+	// plus one overflow slot per goroutine.
+	if st.Engines > 2+goroutines {
+		t.Fatalf("pool holds %d engines after quiescence, want ≤ %d", st.Engines, 2+goroutines)
+	}
+}

@@ -27,6 +27,30 @@ import (
 	"spforest/engine"
 )
 
+// entry is one pooled engine. Construction happens outside the shard lock
+// behind the sync.Once, so a slow engine build (validation, O(n) setup)
+// never blocks the shard. ready flips once the build finished; entries
+// that are still building are never evicted (evicting one would orphan the
+// in-flight build: it completes into an entry no lookup can find, wasting
+// the O(n) setup and skewing the counters).
+type entry struct {
+	fp    string
+	elem  *list.Element
+	once  sync.Once
+	eng   *engine.Engine
+	err   error
+	ready atomic.Bool
+}
+
+// complete runs the entry's build exactly once (losers of the race wait
+// and observe the winner's result).
+func (en *entry) complete(build func() (*engine.Engine, error)) {
+	en.once.Do(func() {
+		en.eng, en.err = build()
+		en.ready.Store(true)
+	})
+}
+
 // Config tunes a Service.
 type Config struct {
 	// Shards is the number of independently locked pool shards; structures
@@ -58,17 +82,6 @@ type shard struct {
 	mu      sync.Mutex
 	entries map[string]*entry
 	lru     *list.List // front = most recently used; values are *entry
-}
-
-// entry is one pooled engine. Construction happens outside the shard lock
-// behind the sync.Once, so a slow engine build (validation, O(n) setup)
-// never blocks the shard.
-type entry struct {
-	fp   string
-	elem *list.Element
-	once sync.Once
-	eng  *engine.Engine
-	err  error
 }
 
 // New builds an empty service. A nil config uses the defaults.
@@ -121,32 +134,65 @@ func (sv *Service) lookup(fp string, create, counted bool) *entry {
 	if counted {
 		sv.misses.Add(1)
 	}
-	for sh.lru.Len() >= sv.cfg.MaxEnginesPerShard {
-		oldest := sh.lru.Back()
-		sh.lru.Remove(oldest)
-		delete(sh.entries, oldest.Value.(*entry).fp)
-		sv.evictions.Add(1)
-	}
+	sv.evictLocked(sh)
 	en := &entry{fp: fp}
 	en.elem = sh.lru.PushFront(en)
 	sh.entries[fp] = en
 	return en
 }
 
-// insert pools a ready-made engine (built by Mutate), replacing any
-// placeholder racing under the same fingerprint. It does not touch the
-// hit/miss counters.
+// evictLocked drops least-recently-used *ready* entries until the shard is
+// below its bound, skipping entries whose builds are still in flight. When
+// every entry is in flight the shard temporarily overflows instead of
+// orphaning a build; the next lookup retries the eviction.
+func (sv *Service) evictLocked(sh *shard) {
+	for sh.lru.Len() >= sv.cfg.MaxEnginesPerShard {
+		evicted := false
+		for el := sh.lru.Back(); el != nil; el = el.Prev() {
+			en := el.Value.(*entry)
+			if !en.ready.Load() {
+				continue // in-flight build: never orphan it
+			}
+			sh.lru.Remove(el)
+			delete(sh.entries, en.fp)
+			sv.evictions.Add(1)
+			evicted = true
+			break
+		}
+		if !evicted {
+			return
+		}
+	}
+}
+
+// insert pools a ready-made engine (built by Mutate). An entry racing
+// under the same fingerprint is merged with, not clobbered: whether its
+// build already finished or is still in flight, the existing entry wins
+// and the ready-made engine is simply not pooled — the caller still holds
+// and returns it, and Mutate never blocks on an unrelated build. It does
+// not touch the hit/miss counters.
 func (sv *Service) insert(eng *engine.Engine) {
 	fp := eng.Structure().Fingerprint()
-	en := sv.lookup(fp, true, false)
-	en.once.Do(func() { en.eng = eng })
+	sh := sv.shardFor(fp)
+	sh.mu.Lock()
+	if en, exists := sh.entries[fp]; exists {
+		sh.lru.MoveToFront(en.elem)
+		sh.mu.Unlock()
+		return
+	}
+	sv.evictLocked(sh)
+	en := &entry{fp: fp}
+	en.elem = sh.lru.PushFront(en)
+	sh.entries[fp] = en
+	sh.mu.Unlock()
+	en.complete(func() (*engine.Engine, error) { return eng, nil })
 }
 
 // engineFor returns the pooled engine for s, building and pooling it on
 // the first encounter of s's fingerprint.
 func (sv *Service) engineFor(s *amoebot.Structure) (*engine.Engine, error) {
 	en := sv.lookup(s.Fingerprint(), true, true)
-	en.once.Do(func() { en.eng, en.err = engine.New(s, &sv.cfg.Engine) })
+	en.complete(func() (*engine.Engine, error) { return engine.New(s, &sv.cfg.Engine) })
 	return en.eng, en.err
 }
 
@@ -193,8 +239,11 @@ func (sv *Service) Batch(s *amoebot.Structure, qs []engine.Query) (*engine.Batch
 // itself stays pooled; interleaved queries against old and new shapes both
 // hit.
 func (sv *Service) Mutate(s *amoebot.Structure, d amoebot.Delta) (*amoebot.Structure, error) {
+	if d.IsEmpty() {
+		return s, nil // nothing to apply: no engine build, no counter traffic
+	}
 	if en := sv.lookup(s.Fingerprint(), false, true); en != nil {
-		en.once.Do(func() { en.eng, en.err = engine.New(s, &sv.cfg.Engine) })
+		en.complete(func() (*engine.Engine, error) { return engine.New(s, &sv.cfg.Engine) })
 		if en.err == nil {
 			derived, err := en.eng.Apply(d)
 			if err != nil {
