@@ -53,6 +53,13 @@ func (c Coord) Dist(d Coord) int {
 // Axial returns the (X, Z) axial pair identifying the coordinate.
 func (c Coord) Axial() (x, z int) { return c.X, c.Z }
 
+// Rotate60 returns c rotated 60° counterclockwise around the origin (the
+// cube-coordinate rotation (x,y,z) → (−y,−z,−x)). Six applications are the
+// identity. Graph distances on the grid are invariant under Rotate60 and
+// Add — the metamorphic properties the scenario harness checks on every
+// generated structure.
+func (c Coord) Rotate60() Coord { return Coord{X: -c.Y, Y: -c.Z, Z: -c.X} }
+
 func (c Coord) String() string {
 	return "(" + strconv.Itoa(c.X) + "," + strconv.Itoa(c.Z) + ")"
 }

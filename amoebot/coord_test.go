@@ -135,6 +135,34 @@ func TestSideOfPartitionsDirections(t *testing.T) {
 	}
 }
 
+func TestRotate60(t *testing.T) {
+	// Rotating a direction's delta 60° CCW yields the next CCW direction's
+	// delta, and six rotations are the identity.
+	for d := Direction(0); d < NumDirections; d++ {
+		if got, want := d.Delta().Rotate60(), d.CCW().Delta(); got != want {
+			t.Errorf("Rotate60(%v delta) = %v, want %v delta %v", d, got, d.CCW(), want)
+		}
+	}
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 100; trial++ {
+		a := XZ(rng.Intn(41)-20, rng.Intn(41)-20)
+		b := XZ(rng.Intn(41)-20, rng.Intn(41)-20)
+		ra, rb := a, b
+		for i := 0; i < 6; i++ {
+			ra, rb = ra.Rotate60(), rb.Rotate60()
+			if !ra.Valid() {
+				t.Fatalf("rotation %d of %v invalid: %v", i+1, a, ra)
+			}
+			if ra.Dist(rb) != a.Dist(b) {
+				t.Fatalf("rotation changed distance: %v-%v vs %v-%v", a, b, ra, rb)
+			}
+		}
+		if ra != a || rb != b {
+			t.Fatalf("six rotations of %v gave %v", a, ra)
+		}
+	}
+}
+
 func TestDistProperties(t *testing.T) {
 	cfg := &quick.Config{
 		MaxCount: 500,

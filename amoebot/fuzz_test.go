@@ -1,0 +1,159 @@
+package amoebot
+
+import (
+	"testing"
+)
+
+// fuzzCoords decodes a byte stream into grid coordinates, two bytes per
+// cell interpreted as int8 axial offsets — small enough that the
+// flood-fill cross-check's bounding box stays tiny.
+func fuzzCoords(data []byte) []Coord {
+	var cs []Coord
+	seen := make(map[Coord]bool)
+	for i := 0; i+1 < len(data); i += 2 {
+		c := XZ(int(int8(data[i])), int(int8(data[i+1])))
+		if !seen[c] {
+			seen[c] = true
+			cs = append(cs, c)
+		}
+	}
+	return cs
+}
+
+// FuzzValidate differentially tests the O(n) Euler-characteristic hole
+// counter and the connectivity check against the brute-force flood fill on
+// arbitrary coordinate sets: Holes must equal holesByFloodFill and
+// Validate must succeed exactly on connected hole-free inputs.
+func FuzzValidate(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 0, 0, 1})                         // small triangle
+	f.Add([]byte{0, 0, 1, 0, 2, 0, 0, 1, 2, 1, 0, 2, 1, 2}) // ring with hole
+	f.Add([]byte{0, 0, 5, 5})                               // disconnected pair
+	f.Add([]byte{1, 255, 255, 1, 0, 0, 254, 254})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cs := fuzzCoords(data)
+		if len(cs) == 0 {
+			return
+		}
+		s, err := NewStructure(cs)
+		if err != nil {
+			t.Fatalf("NewStructure rejected deduplicated valid coords: %v", err)
+		}
+		holes := s.Holes()
+		if brute := s.holesByFloodFill(); holes != brute {
+			t.Fatalf("Holes() = %d, flood fill says %d (n=%d)", holes, brute, s.N())
+		}
+		connected := s.IsConnected()
+		err = s.Validate()
+		if wantOK := connected && holes == 0; (err == nil) != wantOK {
+			t.Fatalf("Validate() = %v with connected=%v holes=%d", err, connected, holes)
+		}
+	})
+}
+
+// fuzzBase is the fixed structure FuzzApplyDelta mutates: a radius-3
+// hexagon built inline (an internal test file cannot import the shapes
+// package without a cycle).
+func fuzzBase() *Structure {
+	var cs []Coord
+	origin := Coord{}
+	for z := -3; z <= 3; z++ {
+		for x := -6; x <= 6; x++ {
+			if c := XZ(x, z); origin.Dist(c) <= 3 {
+				cs = append(cs, c)
+			}
+		}
+	}
+	return MustStructure(cs)
+}
+
+// FuzzApplyDelta differentially tests Structure.Apply — copy-on-write
+// adjacency reuse plus incremental Euler/peeling validation — against a
+// from-scratch rebuild: whenever Apply accepts a delta, the result must
+// equal NewStructure of the mutated coordinate set (same fingerprint, same
+// adjacency) and be valid; whenever Apply rejects a structurally
+// well-formed delta, the rebuilt result must really be invalid.
+func FuzzApplyDelta(f *testing.F) {
+	f.Add([]byte{0, 4, 0})                   // add one east cell
+	f.Add([]byte{1, 0, 0})                   // remove the center
+	f.Add([]byte{0, 4, 0, 1, 3, 0, 1, 0, 3}) // mixed
+	f.Add([]byte{1, 0, 0, 1, 1, 0, 1, 0, 1, 1, 255, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := fuzzBase()
+		var d Delta
+		for i := 0; i+2 < len(data); i += 3 {
+			c := XZ(int(int8(data[i+1]))%8, int(int8(data[i+2]))%8)
+			if data[i]&1 == 0 {
+				d.Add = append(d.Add, c)
+			} else {
+				d.Remove = append(d.Remove, c)
+			}
+		}
+		ns, err := s.Apply(d)
+		if err != nil {
+			if !wellFormed(s, d) {
+				return // malformed deltas must be rejected; nothing to cross-check
+			}
+			// A well-formed delta may only be rejected for an invalid result.
+			rebuilt, nerr := NewStructure(mutatedCoords(s, d))
+			if nerr != nil {
+				return // e.g. every amoebot removed
+			}
+			if rebuilt.Validate() == nil {
+				t.Fatalf("Apply rejected %v but the rebuilt result is valid: %v", d, err)
+			}
+			return
+		}
+		if !wellFormed(s, d) {
+			t.Fatalf("Apply accepted malformed delta %v", d)
+		}
+		if verr := ns.Validate(); verr != nil {
+			t.Fatalf("Apply accepted %v but result invalid: %v", d, verr)
+		}
+		rebuilt := MustStructure(mutatedCoords(s, d))
+		if ns.Fingerprint() != rebuilt.Fingerprint() {
+			t.Fatalf("Apply result differs from rebuild for %v", d)
+		}
+		for i := int32(0); i < int32(ns.N()); i++ {
+			for dir := Direction(0); dir < NumDirections; dir++ {
+				if ns.Neighbor(i, dir) != rebuilt.Neighbor(i, dir) {
+					t.Fatalf("copy-on-write adjacency of node %d dir %v diverged", i, dir)
+				}
+			}
+		}
+	})
+}
+
+// wellFormed reports whether the delta satisfies Apply's documented
+// structural requirements against s (ignoring result validity).
+func wellFormed(s *Structure, d Delta) bool {
+	adds := make(map[Coord]bool, len(d.Add))
+	for _, c := range d.Add {
+		if !c.Valid() || s.Occupied(c) || adds[c] {
+			return false
+		}
+		adds[c] = true
+	}
+	removes := make(map[Coord]bool, len(d.Remove))
+	for _, c := range d.Remove {
+		if !s.Occupied(c) || removes[c] || adds[c] {
+			return false
+		}
+		removes[c] = true
+	}
+	return s.N()+len(adds)-len(removes) > 0
+}
+
+// mutatedCoords returns s's coordinates with the delta applied setwise.
+func mutatedCoords(s *Structure, d Delta) []Coord {
+	removes := make(map[Coord]bool, len(d.Remove))
+	for _, c := range d.Remove {
+		removes[c] = true
+	}
+	var cs []Coord
+	for _, c := range s.Coords() {
+		if !removes[c] {
+			cs = append(cs, c)
+		}
+	}
+	return append(cs, d.Add...)
+}

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// record is one spfbench -json data point.
+type record struct {
+	Experiment string           `json:"experiment"`
+	Label      string           `json:"label"`
+	Params     map[string]int64 `json:"params,omitempty"`
+	Rounds     int64            `json:"rounds"`
+	Beeps      int64            `json:"beeps"`
+	WallNS     int64            `json:"wall_ns"`
+}
+
+// keyOf identifies one comparable data point.
+func keyOf(r record) string {
+	names := make([]string, 0, len(r.Params))
+	for k := range r.Params {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	out := r.Experiment + "/" + r.Label
+	for _, k := range names {
+		out += fmt.Sprintf("/%s=%d", k, r.Params[k])
+	}
+	return out
+}
+
+// index keys the records, dropping per-experiment "total" points (their
+// workload depends on the sweep size).
+func index(recs []record) map[string]record {
+	out := make(map[string]record, len(recs))
+	for _, r := range recs {
+		if r.Label == "total" {
+			continue
+		}
+		out[keyOf(r)] = r
+	}
+	return out
+}
+
+// loadRecords reads and indexes one spfbench -json file.
+func loadRecords(path string) (map[string]record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var recs []record
+	if err := json.Unmarshal(data, &recs); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return index(recs), nil
+}
+
+// comparison is the outcome of matching a current run against a baseline.
+type comparison struct {
+	// Matched counts the data points present in both files.
+	Matched int
+	// BaseWall and CurWall aggregate the matched points' wall times.
+	BaseWall, CurWall int64
+	// PerExp aggregates [baseline, current] wall time per experiment id.
+	PerExp map[string][2]int64
+	// Warnings lists the matched points whose simulated rounds or beeps
+	// changed — deterministic quantities, so a change means the simulated
+	// semantics changed, not the hardware.
+	Warnings []string
+}
+
+// compare matches the two record sets. It errors when nothing matches
+// (comparing disjoint files gates nothing and is always a mistake).
+func compare(base, cur map[string]record) (*comparison, error) {
+	keys := make([]string, 0, len(base))
+	for k := range base {
+		if _, ok := cur[k]; ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	if len(keys) == 0 {
+		return nil, errors.New("no matched data points between the two files")
+	}
+	c := &comparison{Matched: len(keys), PerExp: map[string][2]int64{}}
+	for _, k := range keys {
+		b, cr := base[k], cur[k]
+		c.BaseWall += b.WallNS
+		c.CurWall += cr.WallNS
+		agg := c.PerExp[b.Experiment]
+		agg[0] += b.WallNS
+		agg[1] += cr.WallNS
+		c.PerExp[b.Experiment] = agg
+		if b.Rounds != cr.Rounds || b.Beeps != cr.Beeps {
+			c.Warnings = append(c.Warnings, fmt.Sprintf(
+				"WARN  %-40s rounds/beeps %d/%d -> %d/%d (simulated semantics changed)",
+				k, b.Rounds, b.Beeps, cr.Rounds, cr.Beeps))
+		}
+	}
+	return c, nil
+}
+
+// Ratio returns current/baseline aggregate wall time (0 when the baseline
+// is empty).
+func (c *comparison) Ratio() float64 { return ratio(c.CurWall, c.BaseWall) }
+
+// Table renders the per-experiment and aggregate wall-time comparison.
+func (c *comparison) Table() string {
+	exps := make([]string, 0, len(c.PerExp))
+	for e := range c.PerExp {
+		exps = append(exps, e)
+	}
+	sort.Strings(exps)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %14s %14s %8s\n", "exp", "baseline(ms)", "current(ms)", "ratio")
+	for _, e := range exps {
+		agg := c.PerExp[e]
+		fmt.Fprintf(&b, "%-6s %14.1f %14.1f %8.2f\n",
+			e, float64(agg[0])/1e6, float64(agg[1])/1e6, ratio(agg[1], agg[0]))
+	}
+	fmt.Fprintf(&b, "%-6s %14.1f %14.1f %8.2f   (%d matched points)\n",
+		"all", float64(c.BaseWall)/1e6, float64(c.CurWall)/1e6, c.Ratio(), c.Matched)
+	return b.String()
+}
+
+// Gate applies the CI failure policy: rounds/beeps mismatches fail under
+// strictRounds, and the aggregate matched wall time may not exceed
+// baseline × maxRegress.
+func (c *comparison) Gate(maxRegress float64, strictRounds bool) error {
+	if strictRounds && len(c.Warnings) > 0 {
+		return fmt.Errorf("%d matched points changed rounds/beeps under -strict-rounds", len(c.Warnings))
+	}
+	if float64(c.CurWall) > maxRegress*float64(c.BaseWall) {
+		return fmt.Errorf("wall-time regression %.2fx exceeds tolerance %.2fx", c.Ratio(), maxRegress)
+	}
+	return nil
+}
+
+func ratio(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}

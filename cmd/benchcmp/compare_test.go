@@ -1,0 +1,148 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func rec(exp, label string, params map[string]int64, rounds, beeps, wall int64) record {
+	return record{Experiment: exp, Label: label, Params: params,
+		Rounds: rounds, Beeps: beeps, WallNS: wall}
+}
+
+func TestKeyOfIsOrderIndependent(t *testing.T) {
+	a := rec("E1", "spt", map[string]int64{"n": 100, "l": 4}, 1, 1, 1)
+	b := rec("E1", "spt", map[string]int64{"l": 4, "n": 100}, 2, 2, 2)
+	if keyOf(a) != keyOf(b) {
+		t.Fatalf("param order changed the key: %q vs %q", keyOf(a), keyOf(b))
+	}
+	c := rec("E1", "spt", map[string]int64{"n": 100, "l": 8}, 1, 1, 1)
+	if keyOf(a) == keyOf(c) {
+		t.Fatal("different params collide")
+	}
+}
+
+func TestIndexDropsTotals(t *testing.T) {
+	m := index([]record{
+		rec("E1", "spt", nil, 1, 1, 1),
+		rec("E1", "total", nil, 0, 0, 99),
+	})
+	if len(m) != 1 {
+		t.Fatalf("index kept %d records, want 1 (totals excluded)", len(m))
+	}
+}
+
+func TestCompareRequiresMatchedPoints(t *testing.T) {
+	base := index([]record{rec("E1", "a", nil, 1, 1, 1)})
+	cur := index([]record{rec("E2", "b", nil, 1, 1, 1)})
+	if _, err := compare(base, cur); err == nil {
+		t.Fatal("disjoint files compared without error")
+	}
+}
+
+func TestCompareMatchesOnlySharedPoints(t *testing.T) {
+	base := index([]record{
+		rec("E1", "a", map[string]int64{"n": 1}, 1, 1, 100),
+		rec("E1", "a", map[string]int64{"n": 2}, 1, 1, 200), // only in baseline
+	})
+	cur := index([]record{
+		rec("E1", "a", map[string]int64{"n": 1}, 1, 1, 110),
+		rec("E1", "a", map[string]int64{"n": 3}, 1, 1, 999), // only in current
+	})
+	c, err := compare(base, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Matched != 1 || c.BaseWall != 100 || c.CurWall != 110 {
+		t.Fatalf("matched=%d base=%d cur=%d, want 1/100/110", c.Matched, c.BaseWall, c.CurWall)
+	}
+}
+
+// TestRegressionGate pins the CI policy: ≤25% aggregate wall-time growth
+// passes, anything beyond fails.
+func TestRegressionGate(t *testing.T) {
+	base := index([]record{
+		rec("E1", "a", nil, 1, 1, 1000),
+		rec("E2", "b", nil, 2, 2, 1000),
+	})
+	for _, tc := range []struct {
+		name    string
+		curWall int64
+		wantErr bool
+	}{
+		{"faster", 800, false},
+		{"at-the-bound", 1250, false},
+		{"just-over", 1251, true},
+		{"way-over", 5000, true},
+	} {
+		cur := index([]record{
+			rec("E1", "a", nil, 1, 1, tc.curWall),
+			rec("E2", "b", nil, 2, 2, tc.curWall),
+		})
+		c, err := compare(base, cur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = c.Gate(1.25, false)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("%s (wall %d): Gate err = %v, wantErr %v", tc.name, tc.curWall, err, tc.wantErr)
+		}
+	}
+}
+
+// TestIdenticalRoundsRequirement pins the machine-independent half of the
+// gate: matched points must keep identical simulated rounds and beeps —
+// a warning by default, a failure under -strict-rounds.
+func TestIdenticalRoundsRequirement(t *testing.T) {
+	base := index([]record{rec("E1", "a", nil, 10, 20, 100)})
+
+	same, err := compare(base, index([]record{rec("E1", "a", nil, 10, 20, 100)}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(same.Warnings) != 0 {
+		t.Fatalf("identical rounds warned: %v", same.Warnings)
+	}
+	if err := same.Gate(1.25, true); err != nil {
+		t.Fatalf("strict gate failed on identical rounds: %v", err)
+	}
+
+	for _, cur := range []record{
+		rec("E1", "a", nil, 11, 20, 100), // rounds changed
+		rec("E1", "a", nil, 10, 21, 100), // beeps changed
+	} {
+		c, err := compare(base, index([]record{cur}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(c.Warnings) != 1 || !strings.Contains(c.Warnings[0], "semantics changed") {
+			t.Fatalf("warnings = %v, want one semantics warning", c.Warnings)
+		}
+		if err := c.Gate(1.25, false); err != nil {
+			t.Fatalf("lenient gate failed on rounds mismatch: %v", err)
+		}
+		if err := c.Gate(1.25, true); err == nil {
+			t.Fatal("strict gate passed a rounds mismatch")
+		}
+	}
+}
+
+func TestTableRendersAllExperiments(t *testing.T) {
+	base := index([]record{
+		rec("E1", "a", nil, 1, 1, 1_000_000),
+		rec("E9", "b", nil, 2, 2, 2_000_000),
+	})
+	c, err := compare(base, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := c.Table()
+	for _, want := range []string{"E1", "E9", "all", "ratio", "2 matched points"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+	if c.Ratio() != 1.0 {
+		t.Errorf("self-comparison ratio = %v", c.Ratio())
+	}
+}

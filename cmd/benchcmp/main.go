@@ -12,25 +12,18 @@
 // "total" records are excluded — their workload depends on the sweep size.
 // Simulated rounds and beeps are deterministic for a matched point, so a
 // mismatch there is reported as a warning (it signals a semantic change,
-// which a PR must justify, not a performance regression).
+// which a PR must justify, not a performance regression); -strict-rounds
+// turns the warnings into failures.
+//
+// The comparison itself lives in compare (compare.go) so it is unit
+// tested; main only parses flags, loads the files and renders the result.
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 )
-
-type record struct {
-	Experiment string           `json:"experiment"`
-	Label      string           `json:"label"`
-	Params     map[string]int64 `json:"params,omitempty"`
-	Rounds     int64            `json:"rounds"`
-	Beeps      int64            `json:"beeps"`
-	WallNS     int64            `json:"wall_ns"`
-}
 
 var (
 	baselinePath = flag.String("baseline", "BENCH_PR2.json", "baseline spfbench -json file")
@@ -39,110 +32,28 @@ var (
 	strictRounds = flag.Bool("strict-rounds", false, "treat rounds/beeps mismatches on matched points as failures")
 )
 
-// key identifies one comparable data point.
-func keyOf(r record) string {
-	names := make([]string, 0, len(r.Params))
-	for k := range r.Params {
-		names = append(names, k)
-	}
-	sort.Strings(names)
-	out := r.Experiment + "/" + r.Label
-	for _, k := range names {
-		out += fmt.Sprintf("/%s=%d", k, r.Params[k])
-	}
-	return out
-}
-
-func load(path string) (map[string]record, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	var recs []record
-	if err := json.Unmarshal(data, &recs); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
-	}
-	out := make(map[string]record, len(recs))
-	for _, r := range recs {
-		if r.Label == "total" {
-			continue // whole-experiment wall time depends on the sweep size
-		}
-		out[keyOf(r)] = r
-	}
-	return out, nil
-}
-
 func main() {
 	flag.Parse()
 	if *currentPath == "" {
 		fmt.Fprintln(os.Stderr, "benchcmp: -current is required")
 		os.Exit(2)
 	}
-	base, err := load(*baselinePath)
+	base, err := loadRecords(*baselinePath)
 	die(err)
-	cur, err := load(*currentPath)
+	cur, err := loadRecords(*currentPath)
 	die(err)
 
-	keys := make([]string, 0, len(base))
-	for k := range base {
-		if _, ok := cur[k]; ok {
-			keys = append(keys, k)
-		}
+	cmp, err := compare(base, cur)
+	die(err)
+	for _, w := range cmp.Warnings {
+		fmt.Println(w)
 	}
-	sort.Strings(keys)
-	if len(keys) == 0 {
-		fmt.Fprintln(os.Stderr, "benchcmp: no matched data points between the two files")
-		os.Exit(2)
-	}
+	fmt.Print(cmp.Table())
 
-	var baseWall, curWall int64
-	perExp := map[string][2]int64{}
-	warnings := 0
-	for _, k := range keys {
-		b, c := base[k], cur[k]
-		baseWall += b.WallNS
-		curWall += c.WallNS
-		agg := perExp[b.Experiment]
-		agg[0] += b.WallNS
-		agg[1] += c.WallNS
-		perExp[b.Experiment] = agg
-		if b.Rounds != c.Rounds || b.Beeps != c.Beeps {
-			warnings++
-			fmt.Printf("WARN  %-40s rounds/beeps %d/%d -> %d/%d (simulated semantics changed)\n",
-				k, b.Rounds, b.Beeps, c.Rounds, c.Beeps)
-		}
-	}
-
-	exps := make([]string, 0, len(perExp))
-	for e := range perExp {
-		exps = append(exps, e)
-	}
-	sort.Strings(exps)
-	fmt.Printf("%-6s %14s %14s %8s\n", "exp", "baseline(ms)", "current(ms)", "ratio")
-	for _, e := range exps {
-		agg := perExp[e]
-		fmt.Printf("%-6s %14.1f %14.1f %8.2f\n",
-			e, float64(agg[0])/1e6, float64(agg[1])/1e6, ratio(agg[1], agg[0]))
-	}
-	fmt.Printf("%-6s %14.1f %14.1f %8.2f   (%d matched points, tolerance %.2f)\n",
-		"all", float64(baseWall)/1e6, float64(curWall)/1e6, ratio(curWall, baseWall), len(keys), *maxRegress)
-
-	if *strictRounds && warnings > 0 {
-		fmt.Fprintf(os.Stderr, "benchcmp: %d matched points changed rounds/beeps under -strict-rounds\n", warnings)
+	if err := cmp.Gate(*maxRegress, *strictRounds); err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
 		os.Exit(1)
 	}
-	if float64(curWall) > *maxRegress*float64(baseWall) {
-		fmt.Fprintf(os.Stderr, "benchcmp: wall-time regression %.2fx exceeds tolerance %.2fx\n",
-			ratio(curWall, baseWall), *maxRegress)
-		os.Exit(1)
-	}
-}
-
-func ratio(a, b int64) float64 {
-	if b == 0 {
-		return 0
-	}
-	return float64(a) / float64(b)
 }
 
 func die(err error) {

@@ -39,6 +39,7 @@ import (
 	"spforest/internal/leader"
 	"spforest/internal/pasc"
 	"spforest/internal/portal"
+	"spforest/internal/scenario"
 	"spforest/internal/shapes"
 	"spforest/internal/sim"
 	"spforest/internal/treeprim"
@@ -50,6 +51,7 @@ var (
 	runFilter = flag.String("run", "", "only run experiments whose id contains this substring")
 	quick     = flag.Bool("quick", false, "smaller parameter sweeps")
 	jsonOut   = flag.Bool("json", false, "emit machine-readable JSON records instead of tables")
+	scenarios = flag.String("scenarios", "", "E15: only sweep registry scenarios whose name contains this substring")
 )
 
 // record is one measured data point in -json mode.
@@ -115,6 +117,7 @@ func main() {
 		{"E12", "PASC iterations (Lemma 4, Corollaries 5/6)", e12},
 		{"E13", "ablation: centroid-decomposition merge schedule vs plain bottom-up", e13},
 		{"E14", "dynamic churn: fresh rebuild vs incremental Apply vs pooled service", e14},
+		{"E15", "scenario registry sweep: per-scenario per-solver rounds", e15},
 	}
 	for _, e := range experiments {
 		if *runFilter != "" && !strings.Contains(e.id, *runFilter) {
@@ -704,4 +707,56 @@ func e14() {
 	printf("pooled       %13d %17d %10v\n", pooled.rounds, pooled.elections, pooled.wall.Round(time.Millisecond))
 	printf("pool: %d engines, %d hits, %d misses, %d evictions\n",
 		st.Engines, st.Hits, st.Misses, st.Evictions)
+}
+
+// e15 sweeps the scenario registry: every registered scenario (optionally
+// filtered by -scenarios) × every registered solver, verified against the
+// centralized ground truth as it runs. Hole-free scenarios exercise all
+// solvers; holed scenarios run the hole-tolerant ones (the rest print "-":
+// portal graphs are not trees on holed structures, Lemma 9). Each point
+// emits one -json record labeled "<scenario>/<solver>", extending the
+// BENCH trajectory with per-geometry round counts.
+func e15() {
+	algos := engine.Solvers()
+	printf("scenario registry sweep; sources = the per-scenario pair set\n")
+	printf("%-34s %5s %5s", "scenario", "n", "holes")
+	for _, algo := range algos {
+		printf(" %10s", algo)
+	}
+	printf("\n")
+	for _, sc := range scenario.All() {
+		if *scenarios != "" && !strings.Contains(sc.Name, *scenarios) {
+			continue
+		}
+		if *quick && sc.S.N() > 130 {
+			continue // -quick trims the larger instances, like every other sweep
+		}
+		cfg := &engine.Config{Seed: 1}
+		if sc.Holed() {
+			cfg.AllowHoles = true
+		}
+		eng := mustEngine(sc.S, cfg)
+		sets := sc.SourceSets()
+		srcs, spread, all := sets[1], sets[len(sets)-1], sc.S.Coords()
+		printf("%-34s %5d %5d", sc.Name, sc.S.N(), sc.Holes)
+		for _, algo := range algos {
+			if sc.Holed() && !engine.HoleTolerant(algo) {
+				printf(" %10s", "-")
+				continue
+			}
+			q, verifyDests := scenario.QueryFor(algo, srcs, spread, all)
+			start := time.Now()
+			res, err := eng.Run(q)
+			elapsed := time.Since(start) // solver time only; verification is not measured
+			die(err)
+			die(eng.Verify(q.Sources, verifyDests, res.Forest))
+			emit(sc.Name+"/"+algo, map[string]int64{
+				"n":     int64(sc.S.N()),
+				"holes": int64(sc.Holes),
+				"k":     int64(len(q.Sources)),
+			}, res.Stats.Rounds, res.Stats.Beeps, elapsed)
+			printf(" %10d", res.Stats.Rounds)
+		}
+		printf("\n")
+	}
 }

@@ -49,6 +49,13 @@ type Config struct {
 	// Workers bounds the concurrency of Batch. Zero or negative means
 	// GOMAXPROCS.
 	Workers int
+	// AllowHoles admits structures that are connected but not hole-free.
+	// The paper's portal-based algorithms require hole-free structures
+	// (portal graphs are trees only then, Lemma 9), so on a holed engine
+	// only hole-tolerant solvers (AlgoBFS, AlgoExact — see HoleTolerant)
+	// answer queries; the others fail with a precondition error. Deriving
+	// engines with Apply still requires hole-free results.
+	AllowHoles bool
 }
 
 // Engine answers shortest-path-forest queries against one validated
@@ -61,6 +68,7 @@ type Engine struct {
 	workers int
 	gen     uint64       // 0 for New; parent+1 along an Apply chain
 	arena   *dense.Arena // per-engine scratch pool, shared down Apply chains
+	holed   bool         // structure has holes (admitted via Config.AllowHoles)
 
 	leaderOnce  sync.Once
 	leaderIdx   int32
@@ -84,12 +92,14 @@ type distEntry struct {
 // New validates the structure once and binds an engine to it. All later
 // queries reuse the validation, the whole-structure region, the (lazily
 // elected) leader and the reference-distance cache.
+//
+// Without Config.AllowHoles the structure must satisfy the paper's
+// preconditions (connected and hole-free); with it, connectivity alone is
+// required and only hole-tolerant solvers answer queries (see
+// Config.AllowHoles).
 func New(s *amoebot.Structure, cfg *Config) (*Engine, error) {
 	if s == nil {
 		return nil, errors.New("engine: nil structure")
-	}
-	if err := s.Validate(); err != nil {
-		return nil, err
 	}
 	e := &Engine{
 		s:         s,
@@ -99,6 +109,17 @@ func New(s *amoebot.Structure, cfg *Config) (*Engine, error) {
 	}
 	if cfg != nil {
 		e.cfg = *cfg
+	}
+	if err := s.Validate(); err != nil {
+		if !e.cfg.AllowHoles {
+			return nil, err
+		}
+		// Validate memoizes one verdict for connected+hole-free; a holed
+		// engine needs connectivity alone, checked directly.
+		if !s.IsConnected() {
+			return nil, errors.New("engine: structure is not connected")
+		}
+		e.holed = true
 	}
 	e.workers = e.cfg.Workers
 	if e.workers <= 0 {
@@ -130,6 +151,10 @@ func (e *Engine) setLeader(i int32) {
 // engine built by New, parent+1 for an engine derived with Apply.
 func (e *Engine) Generation() uint64 { return e.gen }
 
+// Holed reports whether the engine's structure has holes (possible only
+// for engines built with Config.AllowHoles).
+func (e *Engine) Holed() bool { return e.holed }
+
 // Structure returns the structure the engine is bound to.
 func (e *Engine) Structure() *amoebot.Structure { return e.s }
 
@@ -146,6 +171,10 @@ func (e *Engine) Run(q Query) (*Result, error) {
 	solver, ok := Lookup(algo)
 	if !ok {
 		return nil, unknownAlgo(algo)
+	}
+	if e.holed && !holeTolerant(solver) {
+		return nil, fmt.Errorf("engine: algorithm %q requires a hole-free structure (%d hole(s); hole-tolerant solvers: %s)",
+			algo, e.s.Holes(), strings.Join(HoleTolerantSolvers(), ", "))
 	}
 	srcs, err := e.resolve(q.Sources, "source")
 	if err != nil {

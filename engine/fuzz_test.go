@@ -1,0 +1,56 @@
+package engine_test
+
+import (
+	"testing"
+
+	"spforest/internal/scenario"
+	"spforest/internal/shapes"
+
+	"math/rand"
+)
+
+// FuzzSolverAgreement drives the scenario differential harness over
+// randomly generated structures: every registered solver must agree
+// bit-exactly with the centralized ground truth (five SPF properties,
+// depth == exact distance) on arbitrary hole-free blobs, and the
+// hole-tolerant battery must hold on arbitrary holed ones. The fuzzer
+// explores the (seed, size, holes) space far beyond the registry's fixed
+// instances.
+func FuzzSolverAgreement(f *testing.F) {
+	f.Add(int64(1), int64(80), int64(0))
+	f.Add(int64(2), int64(120), int64(2))
+	f.Add(int64(3), int64(40), int64(1))
+	f.Add(int64(4), int64(200), int64(5))
+	f.Add(int64(5), int64(1), int64(0))
+	f.Fuzz(func(t *testing.T, seed, n, holes int64) {
+		// Bound the workload so each execution stays in the milliseconds.
+		targetN := int(20 + abs64(n)%230)
+		nHoles := int(abs64(holes) % 5)
+		rng := rand.New(rand.NewSource(seed))
+		if nHoles == 0 {
+			s := shapes.RandomBlob(rng, targetN)
+			if err := scenario.CheckSolvers(s, seed); err != nil {
+				t.Fatalf("n=%d: %v", s.N(), err)
+			}
+			return
+		}
+		s := shapes.RandomHoledBlob(rng, targetN, nHoles)
+		if err := scenario.CheckHoleTolerant(s, seed); err != nil {
+			t.Fatalf("n=%d holes=%d: %v", s.N(), nHoles, err)
+		}
+		filled := shapes.FillHoles(s)
+		if err := scenario.CheckSolvers(filled, seed); err != nil {
+			t.Fatalf("filled n=%d: %v", filled.N(), err)
+		}
+	})
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		if v == -v { // math.MinInt64
+			return 0
+		}
+		return -v
+	}
+	return v
+}

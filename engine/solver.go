@@ -34,11 +34,48 @@ func (ctx *Context) Arena() *dense.Arena { return ctx.Engine.arena }
 // Solver is one shortest-path-forest algorithm behind the engine. Solvers
 // must be safe for concurrent use: Solve may be called from many goroutines
 // at once (with distinct Contexts) against the same Engine.
+//
+// A solver whose algorithm does not depend on the hole-free precondition
+// (Lemma 9: portal graphs are trees only on hole-free structures) may
+// additionally implement
+//
+//	HoleTolerant() bool
+//
+// returning true; such solvers also answer queries on engines built with
+// Config.AllowHoles. Solvers without the method are assumed to require
+// hole-free structures.
 type Solver interface {
 	// Name is the identifier queries select the solver by.
 	Name() string
 	// Solve runs the algorithm, charging simulated rounds to ctx.Clock.
 	Solve(ctx *Context) (*amoebot.Forest, error)
+}
+
+// holeTolerant reports whether the solver declared itself independent of
+// the hole-free precondition.
+func holeTolerant(s Solver) bool {
+	h, ok := s.(interface{ HoleTolerant() bool })
+	return ok && h.HoleTolerant()
+}
+
+// HoleTolerant reports whether the named registered solver answers queries
+// on holed structures (engines built with Config.AllowHoles). Unknown
+// names report false.
+func HoleTolerant(name string) bool {
+	s, ok := Lookup(name)
+	return ok && holeTolerant(s)
+}
+
+// HoleTolerantSolvers returns the names of the registered hole-tolerant
+// solvers in sorted order.
+func HoleTolerantSolvers() []string {
+	var names []string
+	for _, name := range Solvers() {
+		if HoleTolerant(name) {
+			names = append(names, name)
+		}
+	}
+	return names
 }
 
 // Built-in solver names.

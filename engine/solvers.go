@@ -103,6 +103,10 @@ type bfsSolver struct{}
 
 func (bfsSolver) Name() string { return AlgoBFS }
 
+// HoleTolerant: the wavefront only uses region adjacency, never portals,
+// so holes do not affect its correctness.
+func (bfsSolver) HoleTolerant() bool { return true }
+
 func (bfsSolver) Solve(ctx *Context) (*amoebot.Forest, error) {
 	var f *amoebot.Forest
 	ctx.Clock.Phase("bfs", func() {
@@ -117,6 +121,10 @@ func (bfsSolver) Solve(ctx *Context) (*amoebot.Forest, error) {
 type exactSolver struct{}
 
 func (exactSolver) Name() string { return AlgoExact }
+
+// HoleTolerant: the centralized reference is a plain multi-source BFS over
+// the region graph; holes do not affect it.
+func (exactSolver) HoleTolerant() bool { return true }
 
 func (exactSolver) Solve(ctx *Context) (*amoebot.Forest, error) {
 	if err := needDests(ctx, AlgoExact); err != nil {

@@ -1,0 +1,62 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+
+	"spforest/amoebot"
+	"spforest/internal/shapes"
+)
+
+// Churn is a deterministic dynamic workload: Steps validity-preserving
+// deltas, each adding up to Adds and removing up to Removes cells chosen
+// by the single-arc local rule (see amoebot.NeighborArcs), so every
+// intermediate structure stays connected and hole-free. Churn workloads
+// drive the incremental paths — Structure.Apply, Engine.Apply and
+// service.Mutate — whose results the harness compares against fresh
+// rebuilds.
+type Churn struct {
+	Seed          int64
+	Steps         int
+	Adds, Removes int
+}
+
+func (c Churn) String() string {
+	return fmt.Sprintf("churn(seed=%d,steps=%d,+%d,-%d)", c.Seed, c.Steps, c.Adds, c.Removes)
+}
+
+// Sequence emits the workload's delta chain over the base structure s and
+// every structure along it: states[0] == s and states[i+1] ==
+// states[i].Apply(deltas[i]). Protected coordinates are never removed
+// (queries' sources and a pre-elected leader typically are). Individual
+// deltas may be smaller than Adds+Removes — or empty — when the local rule
+// finds no mutable cells; they still apply cleanly.
+func (c Churn) Sequence(s *amoebot.Structure, protect ...amoebot.Coord) ([]amoebot.Delta, []*amoebot.Structure, error) {
+	if err := s.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("scenario: churn base: %w", err)
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	deltas := make([]amoebot.Delta, 0, c.Steps)
+	states := []*amoebot.Structure{s}
+	for i := 0; i < c.Steps; i++ {
+		d := shapes.RandomDelta(rng, states[i], c.Adds, c.Removes, protect...)
+		ns, err := states[i].Apply(d)
+		if err != nil {
+			return nil, nil, fmt.Errorf("scenario: churn step %d: %w", i, err)
+		}
+		deltas = append(deltas, d)
+		states = append(states, ns)
+	}
+	return deltas, states, nil
+}
+
+// Workloads returns the named churn profiles of the test suite, from
+// steady background drift to growth-heavy and shrink-heavy bursts.
+func Workloads() map[string]Churn {
+	return map[string]Churn{
+		"steady": {Seed: 101, Steps: 8, Adds: 3, Removes: 3},
+		"grow":   {Seed: 102, Steps: 6, Adds: 8, Removes: 1},
+		"shrink": {Seed: 103, Steps: 6, Adds: 1, Removes: 6},
+		"bursty": {Seed: 104, Steps: 4, Adds: 12, Removes: 12},
+	}
+}

@@ -1,0 +1,249 @@
+package scenario
+
+import (
+	"math/rand"
+
+	"spforest/amoebot"
+	"spforest/internal/shapes"
+)
+
+// This file holds the structure generators behind the scenario registry.
+// Every generator is deterministic in its arguments (randomized ones take
+// an explicit seed) so a scenario name always denotes the same structure.
+// Generators document their hole count; the registry records it and the
+// harness asserts it against amoebot's Euler-characteristic Holes().
+
+// Annulus returns the hexagonal ring of cells at distance d from the
+// origin with inner < d <= outer. For inner >= 0 the removed inner ball is
+// enclosed, so the structure has exactly one hole; inner = outer-1 gives
+// the width-1 ring, the minimal structure with a hole. inner < 0 is the
+// full hexagon (no hole).
+func Annulus(outer, inner int) *amoebot.Structure {
+	return amoebot.MustStructure(annulusCells(outer, inner, false))
+}
+
+// SlitAnnulus is Annulus with the eastern spoke (Z == 0, X > 0) removed: a
+// "C"-shaped corridor. The slit connects the inner cavity to the outside,
+// so the structure is hole-free while keeping the annulus' long
+// around-the-cavity geodesics.
+func SlitAnnulus(outer, inner int) *amoebot.Structure {
+	return amoebot.MustStructure(annulusCells(outer, inner, true))
+}
+
+func annulusCells(outer, inner int, slit bool) []amoebot.Coord {
+	var cs []amoebot.Coord
+	origin := amoebot.Coord{}
+	for z := -outer; z <= outer; z++ {
+		for x := -2 * outer; x <= 2*outer; x++ {
+			c := amoebot.XZ(x, z)
+			if d := origin.Dist(c); d > outer || d <= inner {
+				continue
+			}
+			if slit && z == 0 && x > 0 {
+				continue
+			}
+			cs = append(cs, c)
+		}
+	}
+	return cs
+}
+
+// Dumbbell returns two hexagonal lobes of the given radius joined by a
+// width-1 horizontal bridge of bridgeLen cells — the classic pinch-point
+// geometry: every left-right shortest path crosses the bridge. lobeInner
+// >= 0 hollows each lobe into an annulus (two holes); lobeInner < 0 keeps
+// the lobes solid (hole-free).
+func Dumbbell(lobeR, bridgeLen, lobeInner int) *amoebot.Structure {
+	left := amoebot.Coord{}
+	right := amoebot.XZ(2*lobeR+bridgeLen+1, 0)
+	var cs []amoebot.Coord
+	for z := -lobeR; z <= lobeR; z++ {
+		for x := -2 * lobeR; x <= right.X+2*lobeR; x++ {
+			c := amoebot.XZ(x, z)
+			dl, dr := left.Dist(c), right.Dist(c)
+			if (dl <= lobeR && dl > lobeInner) || (dr <= lobeR && dr > lobeInner) {
+				cs = append(cs, c)
+			}
+		}
+	}
+	for x := lobeR + 1; x <= lobeR+bridgeLen; x++ {
+		cs = append(cs, amoebot.XZ(x, 0))
+	}
+	return amoebot.MustStructure(cs)
+}
+
+// Maze carves a perfect maze (a uniform spanning tree of corridors) on a
+// cols×rows cell grid: cells sit at even (x, z) coordinates and carving a
+// wall occupies the odd cell between two grid cells. The passages form a
+// tree of width-1 corridors, so the structure is connected; any incidental
+// enclosed pockets of the triangular embedding are filled, keeping it
+// hole-free.
+func Maze(seed int64, cols, rows int) *amoebot.Structure {
+	rng := rand.New(rand.NewSource(seed))
+	type cell struct{ i, j int }
+	visited := make(map[cell]bool, cols*rows)
+	occupied := make(map[amoebot.Coord]bool)
+	at := func(c cell) amoebot.Coord { return amoebot.XZ(2*c.i, 2*c.j) }
+
+	start := cell{0, 0}
+	visited[start] = true
+	occupied[at(start)] = true
+	stack := []cell{start}
+	for len(stack) > 0 {
+		c := stack[len(stack)-1]
+		var next []cell
+		for _, d := range [4]cell{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+			n := cell{c.i + d.i, c.j + d.j}
+			if n.i >= 0 && n.i < cols && n.j >= 0 && n.j < rows && !visited[n] {
+				next = append(next, n)
+			}
+		}
+		if len(next) == 0 {
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		n := next[rng.Intn(len(next))]
+		visited[n] = true
+		occupied[at(n)] = true
+		occupied[amoebot.XZ(c.i+n.i, c.j+n.j)] = true // the wall cell between
+		stack = append(stack, n)
+	}
+	cs := make([]amoebot.Coord, 0, len(occupied))
+	for c := range occupied {
+		cs = append(cs, c)
+	}
+	return shapes.FillHoles(amoebot.MustStructure(cs))
+}
+
+// Pillars returns a w×h parallelogram with a lattice of single-cell holes:
+// every interior cell with both axial coordinates divisible by spacing is
+// vacated. spacing >= 2 keeps the vacated cells pairwise non-adjacent, so
+// each is its own hole; PillarsHoles counts them. The result is a grid of
+// corridors around regular pillars — the bridge/gap stress geometry of the
+// maze family with maximal hole count.
+func Pillars(w, h, spacing int) *amoebot.Structure {
+	cs := make([]amoebot.Coord, 0, w*h)
+	for z := 0; z < h; z++ {
+		for x := 0; x < w; x++ {
+			if pillarHole(x, z, w, h, spacing) {
+				continue
+			}
+			cs = append(cs, amoebot.XZ(x, z))
+		}
+	}
+	return amoebot.MustStructure(cs)
+}
+
+// PillarsHoles returns the number of holes of Pillars(w, h, spacing).
+func PillarsHoles(w, h, spacing int) int {
+	holes := 0
+	for z := 0; z < h; z++ {
+		for x := 0; x < w; x++ {
+			if pillarHole(x, z, w, h, spacing) {
+				holes++
+			}
+		}
+	}
+	return holes
+}
+
+func pillarHole(x, z, w, h, spacing int) bool {
+	return x > 0 && x < w-1 && z > 0 && z < h-1 &&
+		x%spacing == 0 && z%spacing == 0
+}
+
+// Spiral returns a rectangular spiral corridor: 2·turns segments walked in
+// the cyclic directions E, SE, W, NW with segment lengths growing by
+// gap+1, so parallel arms stay gap cells apart. thickness dilates the path
+// that many times (thickness >= 1 yields arms with interior cells — the
+// punchable variant). The spiral is open at its outer end, so the gaps
+// between arms reach the outside and the structure is hole-free.
+func Spiral(turns, gap, thickness int) *amoebot.Structure {
+	step := gap + 1
+	dirs := [4]amoebot.Direction{amoebot.DirE, amoebot.DirSE, amoebot.DirW, amoebot.DirNW}
+	occupied := map[amoebot.Coord]bool{{}: true}
+	pos := amoebot.Coord{}
+	for k := 0; k < 2*turns; k++ {
+		length := (k/2 + 1) * step
+		for i := 0; i < length; i++ {
+			pos = pos.Neighbor(dirs[k%4])
+			occupied[pos] = true
+		}
+	}
+	s := mustFromSet(occupied)
+	for t := 0; t < thickness; t++ {
+		s = shapes.Dilate(s)
+	}
+	return shapes.FillHoles(s)
+}
+
+// Sierpinski returns the Sierpinski gasket of depth d: the cells of an
+// upward triangle of side 2^d whose binomial coefficient is odd (row r
+// from the apex keeps position p iff p AND (r-p) == 0 — the Pascal-mod-2
+// construction). The three corner copies share corner cells, so the gasket
+// is connected; every removed inverted triangle is enclosed, giving
+// exactly SierpinskiHoles(d) holes.
+func Sierpinski(depth int) *amoebot.Structure {
+	side := 1 << depth
+	var cs []amoebot.Coord
+	for r := 0; r < side; r++ {
+		for p := 0; p <= r; p++ {
+			if p&(r-p) == 0 {
+				cs = append(cs, amoebot.XZ(p, side-1-r))
+			}
+		}
+	}
+	return amoebot.MustStructure(cs)
+}
+
+// SierpinskiHoles returns the number of holes of Sierpinski(depth):
+// (3^(depth-1) - 1) / 2 for depth >= 1 — one per removed inverted
+// triangle.
+func SierpinskiHoles(depth int) int {
+	if depth < 1 {
+		return 0
+	}
+	pow := 1
+	for i := 1; i < depth; i++ {
+		pow *= 3
+	}
+	return (pow - 1) / 2
+}
+
+// CombOfCombs returns a recursive comb: a horizontal spine slab of height
+// spineH with vertical teeth hanging south, each tooth itself a comb whose
+// horizontal sub-teeth of length subLen point east on every second row.
+// Main teeth are spaced subLen+2 apart so sub-teeth never touch the next
+// tooth. The shape maximizes portal count per amoebot across two scales —
+// the portal machinery's worst friend.
+func CombOfCombs(teeth, toothLen, subLen, spineH int) *amoebot.Structure {
+	pitch := subLen + 2
+	width := (teeth-1)*pitch + 1
+	occupied := make(map[amoebot.Coord]bool)
+	for z := -(spineH - 1); z <= 0; z++ {
+		for x := 0; x < width; x++ {
+			occupied[amoebot.XZ(x, z)] = true
+		}
+	}
+	for tooth := 0; tooth < teeth; tooth++ {
+		x := tooth * pitch
+		for z := 1; z <= toothLen; z++ {
+			occupied[amoebot.XZ(x, z)] = true
+			if z%2 == 0 {
+				for i := 1; i <= subLen; i++ {
+					occupied[amoebot.XZ(x+i, z)] = true
+				}
+			}
+		}
+	}
+	return shapes.FillHoles(mustFromSet(occupied))
+}
+
+// mustFromSet builds a structure from a coordinate set.
+func mustFromSet(occupied map[amoebot.Coord]bool) *amoebot.Structure {
+	cs := make([]amoebot.Coord, 0, len(occupied))
+	for c := range occupied {
+		cs = append(cs, c)
+	}
+	return amoebot.MustStructure(cs)
+}

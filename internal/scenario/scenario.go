@@ -1,0 +1,212 @@
+// Package scenario is the workload subsystem of the repository: a seeded,
+// composable library of structure generators (generators.go), a registry
+// of named scenario instances spanning every geometry family the paper's
+// algorithms must face — holed blobs, annuli, mazes and corridor lattices,
+// dumbbells with width-1 bridges, spirals, Sierpinski gaskets,
+// combs-of-combs — a churn workload generator emitting valid
+// amoebot.Delta sequences (churn.go), and the differential verification
+// harness that checks every registered scenario against the centralized
+// ground truth (harness.go).
+//
+// The paper's portal-based algorithms require connected hole-free
+// structures (Lemma 9); the registry therefore records each scenario's
+// expected hole count. Hole-free scenarios run through all registered
+// solvers; holed scenarios run through the hole-tolerant solvers (see
+// engine.Config.AllowHoles) plus the all-solver battery on their
+// hole-free closure. Every scenario is deterministic: a name always
+// denotes the same structure, so harness results and spfbench E15 records
+// are reproducible and comparable across commits.
+package scenario
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"spforest/amoebot"
+	"spforest/internal/shapes"
+)
+
+// Scenario is one registered workload instance.
+type Scenario struct {
+	// Name uniquely identifies the instance, "family/variant" form.
+	Name string
+	// Family groups the instances of one generator.
+	Family string
+	// Holes is the expected hole count: 0 means the scenario satisfies
+	// the paper's preconditions and every solver must handle it; > 0
+	// means only hole-tolerant paths accept it directly.
+	Holes int
+	// S is the generated structure. Scenarios share one immutable
+	// structure per registry; mutating workloads derive successors with
+	// Structure.Apply.
+	S *amoebot.Structure
+}
+
+// Holed reports whether the scenario violates the hole-free precondition.
+func (sc Scenario) Holed() bool { return sc.Holes > 0 }
+
+// SourceSets returns the scenario's deterministic query source sets: one
+// singleton, one pair and one spread of min(6, n) amoebots, drawn by a
+// seed derived from the scenario name. The same name always yields the
+// same sets.
+func (sc Scenario) SourceSets() [][]amoebot.Coord {
+	return SourceSets(nameSeed(sc.Name), sc.S)
+}
+
+// SourceSets returns deterministic source sets (sizes 1, 2 and min(6, n))
+// for an arbitrary structure.
+func SourceSets(seed int64, s *amoebot.Structure) [][]amoebot.Coord {
+	rng := rand.New(rand.NewSource(seed))
+	var sets [][]amoebot.Coord
+	for _, k := range []int{1, 2, 6} {
+		if k > s.N() {
+			k = s.N()
+		}
+		idx := shapes.RandomSubset(rng, s, k)
+		set := make([]amoebot.Coord, len(idx))
+		for i, id := range idx {
+			set[i] = s.Coord(id)
+		}
+		sets = append(sets, set)
+	}
+	return sets
+}
+
+func nameSeed(name string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return int64(h.Sum64())
+}
+
+var (
+	regOnce sync.Once
+	reg     []Scenario
+	regIdx  map[string]int
+)
+
+// All returns every registered scenario in registration order (families
+// grouped together, hole-free variants first). The slice is a copy; the
+// structures are shared and immutable.
+func All() []Scenario {
+	regOnce.Do(buildRegistry)
+	out := make([]Scenario, len(reg))
+	copy(out, reg)
+	return out
+}
+
+// ByName returns the named scenario.
+func ByName(name string) (Scenario, bool) {
+	regOnce.Do(buildRegistry)
+	i, ok := regIdx[name]
+	if !ok {
+		return Scenario{}, false
+	}
+	return reg[i], true
+}
+
+// Families returns the sorted family names of the registry.
+func Families() []string {
+	regOnce.Do(buildRegistry)
+	seen := make(map[string]bool)
+	var out []string
+	for _, sc := range reg {
+		if !seen[sc.Family] {
+			seen[sc.Family] = true
+			out = append(out, sc.Family)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HoleFree returns the registered scenarios satisfying the paper's
+// preconditions; Holed returns the rest.
+func HoleFree() []Scenario { return filter(false) }
+
+// Holed returns the registered scenarios with holes.
+func Holed() []Scenario { return filter(true) }
+
+func filter(holed bool) []Scenario {
+	var out []Scenario
+	for _, sc := range All() {
+		if sc.Holed() == holed {
+			out = append(out, sc)
+		}
+	}
+	return out
+}
+
+// register appends one scenario, panicking on duplicate names (the
+// registry is static; a duplicate is a programming error).
+func register(family, variant string, holes int, s *amoebot.Structure) {
+	name := family + "/" + variant
+	if _, dup := regIdx[name]; dup {
+		panic(fmt.Sprintf("scenario: duplicate name %q", name))
+	}
+	regIdx[name] = len(reg)
+	reg = append(reg, Scenario{Name: name, Family: family, Holes: holes, S: s})
+}
+
+// punched applies shapes.PunchHoles with a name-derived seed, panicking
+// when the host structure cannot take that many holes (registry instances
+// are hand-sized to fit).
+func punched(name string, s *amoebot.Structure, k int) *amoebot.Structure {
+	ns, err := shapes.PunchHoles(rand.New(rand.NewSource(nameSeed(name))), s, k)
+	if err != nil {
+		panic("scenario: " + name + ": " + err.Error())
+	}
+	return ns
+}
+
+// buildRegistry constructs the static scenario registry. Eleven families;
+// every family registers at least one hole-free and at least one holed
+// instance (the holed ones either are intrinsic to the family — annulus,
+// sierpinski, pillars, hollow dumbbells, holed blobs — or punch
+// single-cell holes into a thickened variant). Sizes are kept in the
+// tens-to-hundreds so the full differential battery stays fast enough for
+// every push.
+func buildRegistry() {
+	regIdx = make(map[string]int)
+
+	register("hexagon", "r4", 0, shapes.Hexagon(4))
+	register("hexagon", "punched-r5-h3", 3, punched("hexagon/punched-r5-h3", shapes.Hexagon(5), 3))
+
+	register("triangle", "s9", 0, shapes.Triangle(9))
+	register("triangle", "punched-s12-h2", 2, punched("triangle/punched-s12-h2", shapes.Triangle(12), 2))
+
+	register("parallelogram", "12x7", 0, shapes.Parallelogram(12, 7))
+	register("parallelogram", "punched-14x9-h4", 4, punched("parallelogram/punched-14x9-h4", shapes.Parallelogram(14, 9), 4))
+
+	register("staircase", "5x6x3", 0, shapes.Staircase(5, 6, 3))
+	register("staircase", "punched-4x8x5-h2", 2, punched("staircase/punched-4x8x5-h2", shapes.Staircase(4, 8, 5), 2))
+
+	register("blob", "n250", 0, shapes.RandomBlob(rand.New(rand.NewSource(nameSeed("blob/n250"))), 250))
+	register("blob", "holed-n250-h5", 5, shapes.RandomHoledBlob(rand.New(rand.NewSource(nameSeed("blob/holed-n250-h5"))), 250, 5))
+	register("blob", "holed-n120-h1", 1, shapes.RandomHoledBlob(rand.New(rand.NewSource(nameSeed("blob/holed-n120-h1"))), 120, 1))
+
+	register("annulus", "slit-o6-i3", 0, SlitAnnulus(6, 3))
+	register("annulus", "o5-i2", 1, Annulus(5, 2))
+	register("annulus", "ring-o6-i5", 1, Annulus(6, 5)) // width-1 ring: minimal holed geometry
+	register("annulus", "o6-i0", 1, Annulus(6, 0))      // single-cell cavity
+
+	register("maze", "7x5", 0, Maze(nameSeed("maze/7x5"), 7, 5))
+	register("maze", "9x7", 0, Maze(nameSeed("maze/9x7"), 9, 7))
+	register("maze", "pillars-13x9-s2", PillarsHoles(13, 9, 2), Pillars(13, 9, 2))
+
+	register("dumbbell", "r4-b7", 0, Dumbbell(4, 7, -1))
+	register("dumbbell", "hollow-r4-b9-i1", 2, Dumbbell(4, 9, 1))
+
+	register("spiral", "t3-g3", 0, Spiral(3, 3, 0))
+	register("spiral", "punched-t3-g6-h2", 2, punched("spiral/punched-t3-g6-h2", Spiral(3, 6, 1), 2))
+
+	register("sierpinski", "filled-d3", 0, shapes.FillHoles(Sierpinski(3)))
+	register("sierpinski", "d2", SierpinskiHoles(2), Sierpinski(2))
+	register("sierpinski", "d3", SierpinskiHoles(3), Sierpinski(3))
+	register("sierpinski", "d4", SierpinskiHoles(4), Sierpinski(4))
+
+	register("combofcombs", "4x8x4", 0, CombOfCombs(4, 8, 4, 1))
+	register("combofcombs", "punched-4x6x4-sp3-h2", 2, punched("combofcombs/punched-4x6x4-sp3-h2", CombOfCombs(4, 6, 4, 3), 2))
+}

@@ -1,11 +1,16 @@
-// Package shapes generates hole-free amoebot structures used as workloads
-// by tests, examples and the benchmark harness.
+// Package shapes generates amoebot structures used as workloads by tests,
+// examples and the benchmark harness.
 //
-// All generators return connected, hole-free structures (the paper's
-// preconditions); tests validate this property for every generator.
+// Generators default to connected, hole-free structures (the paper's
+// preconditions); tests validate this property for every such generator.
+// Structures with holes — outside the portal algorithms' preconditions but
+// valid inputs for the hole-tolerant baselines — are produced only by the
+// explicitly-named holed generators (RandomHoledBlob, PunchHoles); see also
+// the internal/scenario registry built on top of this package.
 package shapes
 
 import (
+	"fmt"
 	"math/rand"
 
 	"spforest/amoebot"
@@ -103,6 +108,10 @@ func Staircase(steps, stepW, stepH int) *amoebot.Structure {
 // inside a (2·targetN)²-bounded box and then fills every hole, yielding a
 // connected hole-free blob with irregular boundary (multiple portals per
 // row). The result has at least targetN amoebots.
+//
+// RandomBlob is guaranteed to stay hole-free: existing callers rely on its
+// output satisfying the paper's preconditions unconditionally. Workloads
+// that want random structures with holes use RandomHoledBlob instead.
 func RandomBlob(rng *rand.Rand, targetN int) *amoebot.Structure {
 	if targetN < 1 {
 		targetN = 1
@@ -175,6 +184,100 @@ func fillHoles(occupied map[amoebot.Coord]bool) *amoebot.Structure {
 			if occupied[c] || (!outside[c] && x > minX && x < maxX && z > minZ && z < maxZ) {
 				cs = append(cs, c)
 			}
+		}
+	}
+	return amoebot.MustStructure(cs)
+}
+
+// RandomHoledBlob grows a random connected blob of at least targetN
+// amoebots with exactly the requested number of holes, each a single
+// enclosed cell. The blob is grown and filled like RandomBlob and then
+// punched with PunchHoles; if the blob is too stringy to host that many
+// single-cell holes it is dilated (every empty neighbor of the boundary is
+// occupied, holes re-filled) until enough interior cells exist. The result
+// is connected with Holes() == holes.
+func RandomHoledBlob(rng *rand.Rand, targetN, holes int) *amoebot.Structure {
+	s := RandomBlob(rng, targetN)
+	for {
+		if ns, err := PunchHoles(rng, s, holes); err == nil {
+			return ns
+		}
+		s = FillHoles(Dilate(s))
+	}
+}
+
+// PunchHoles removes k pairwise non-adjacent interior cells (cells with all
+// six neighbors occupied) from s, each becoming a single-cell hole: the
+// result is connected with Holes() == s.Holes() + k. Removing an interior
+// cell can never disconnect the structure (its six neighbors form a cycle)
+// or touch another hole (all its neighbors are occupied, so the vacated
+// cell is its own enclosed complement component). The candidate order is
+// shuffled by rng; an error is returned when fewer than k interior cells
+// can be punched.
+func PunchHoles(rng *rand.Rand, s *amoebot.Structure, k int) (*amoebot.Structure, error) {
+	occupied := make(map[amoebot.Coord]bool, s.N())
+	for _, c := range s.Coords() {
+		occupied[c] = true
+	}
+	punched := 0
+	for _, idx := range rng.Perm(s.N()) {
+		if punched == k {
+			break
+		}
+		c := s.Coord(int32(idx))
+		interior := true
+		for d := amoebot.Direction(0); d < amoebot.NumDirections; d++ {
+			if !occupied[c.Neighbor(d)] {
+				interior = false
+				break
+			}
+		}
+		if !interior {
+			continue
+		}
+		delete(occupied, c)
+		punched++
+	}
+	if punched < k {
+		return nil, fmt.Errorf("shapes: only %d of %d holes could be punched into %d amoebots",
+			punched, k, s.N())
+	}
+	cs := make([]amoebot.Coord, 0, len(occupied))
+	for c := range occupied {
+		cs = append(cs, c)
+	}
+	return amoebot.MustStructure(cs), nil
+}
+
+// FillHoles returns the hole-free closure of s: every enclosed complement
+// cell is occupied. A hole-free structure is returned unchanged (up to
+// reconstruction). The closure of a connected structure is connected, so
+// the result always satisfies the paper's preconditions.
+func FillHoles(s *amoebot.Structure) *amoebot.Structure {
+	occupied := make(map[amoebot.Coord]bool, s.N())
+	for _, c := range s.Coords() {
+		occupied[c] = true
+	}
+	return fillHoles(occupied)
+}
+
+// Dilate occupies every empty neighbor of the structure — one step of
+// morphological thickening, growing stringy shapes toward ones with
+// interior cells. Dilation can close gaps into holes; callers that need
+// the paper's preconditions compose with FillHoles.
+func Dilate(s *amoebot.Structure) *amoebot.Structure {
+	occupied := make(map[amoebot.Coord]bool, 2*s.N())
+	var cs []amoebot.Coord
+	add := func(c amoebot.Coord) {
+		if !occupied[c] {
+			occupied[c] = true
+			cs = append(cs, c)
+		}
+	}
+	for _, c := range s.Coords() {
+		add(c)
+		for d := amoebot.Direction(0); d < amoebot.NumDirections; d++ {
+			add(c.Neighbor(d))
 		}
 	}
 	return amoebot.MustStructure(cs)

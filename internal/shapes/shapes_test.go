@@ -123,6 +123,122 @@ func TestRandomBlobDeterministic(t *testing.T) {
 	}
 }
 
+func TestRandomHoledBlob(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, tc := range []struct{ n, holes int }{
+		{60, 1}, {150, 3}, {300, 8}, {40, 0},
+	} {
+		s := RandomHoledBlob(rng, tc.n, tc.holes)
+		if !s.IsConnected() {
+			t.Fatalf("holed blob (n=%d holes=%d) disconnected", tc.n, tc.holes)
+		}
+		if got := s.Holes(); got != tc.holes {
+			t.Fatalf("holed blob (n=%d): %d holes, want %d", tc.n, got, tc.holes)
+		}
+	}
+}
+
+func TestRandomHoledBlobDeterministic(t *testing.T) {
+	a := RandomHoledBlob(rand.New(rand.NewSource(4)), 120, 2)
+	b := RandomHoledBlob(rand.New(rand.NewSource(4)), 120, 2)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("same seed produced different holed blobs")
+	}
+}
+
+func TestRandomHoledBlobDilatesStringyBlobs(t *testing.T) {
+	// A tiny target forces blobs with no interior cells; the generator must
+	// dilate until the holes fit rather than fail.
+	s := RandomHoledBlob(rand.New(rand.NewSource(5)), 2, 2)
+	if !s.IsConnected() || s.Holes() != 2 {
+		t.Fatalf("connected=%v holes=%d, want connected with 2 holes",
+			s.IsConnected(), s.Holes())
+	}
+}
+
+func TestPunchHoles(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := Hexagon(5)
+	ns, err := PunchHoles(rng, s, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns.N() != s.N()-4 {
+		t.Fatalf("N = %d, want %d", ns.N(), s.N()-4)
+	}
+	if !ns.IsConnected() || ns.Holes() != 4 {
+		t.Fatalf("connected=%v holes=%d after punching 4", ns.IsConnected(), ns.Holes())
+	}
+	// A line has no interior cells at all.
+	if _, err := PunchHoles(rng, Line(9), 1); err == nil {
+		t.Fatal("punching a line did not fail")
+	}
+}
+
+func TestDilate(t *testing.T) {
+	s := Dilate(Line(3))
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// A 3-line has 3 cells and 10 distinct neighbors around it (a capsule
+	// of 2·3+4 boundary cells).
+	if s.N() != 13 {
+		t.Fatalf("dilated 3-line has %d cells, want 13", s.N())
+	}
+	for _, c := range Line(3).Coords() {
+		if !s.Occupied(c) {
+			t.Fatalf("dilation dropped %v", c)
+		}
+	}
+	// Dilating a width-1 ring closes nothing by itself but keeps the hole;
+	// composing with FillHoles restores the preconditions.
+	ring := amoebot.MustStructure(annulusRing(4))
+	d := Dilate(ring)
+	if d.Holes() == 0 {
+		t.Fatal("dilated ring lost its hole without FillHoles")
+	}
+	if err := FillHoles(d).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// annulusRing returns the width-1 hexagonal ring of the given radius.
+func annulusRing(r int) []amoebot.Coord {
+	var cs []amoebot.Coord
+	origin := amoebot.Coord{}
+	for z := -r; z <= r; z++ {
+		for x := -2 * r; x <= 2*r; x++ {
+			if c := amoebot.XZ(x, z); origin.Dist(c) == r {
+				cs = append(cs, c)
+			}
+		}
+	}
+	return cs
+}
+
+func TestFillHoles(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	holed := RandomHoledBlob(rng, 200, 5)
+	filled := FillHoles(holed)
+	if err := filled.Validate(); err != nil {
+		t.Fatalf("filled closure invalid: %v", err)
+	}
+	if filled.N() != holed.N()+5 {
+		t.Fatalf("closure N = %d, want %d (single-cell holes)", filled.N(), holed.N()+5)
+	}
+	// Every original amoebot survives the closure.
+	for _, c := range holed.Coords() {
+		if !filled.Occupied(c) {
+			t.Fatalf("closure dropped %v", c)
+		}
+	}
+	// Already hole-free structures are unchanged.
+	hex := Hexagon(3)
+	if FillHoles(hex).Fingerprint() != hex.Fingerprint() {
+		t.Fatal("FillHoles changed a hole-free structure")
+	}
+}
+
 func TestRandomSubset(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	s := Hexagon(4)

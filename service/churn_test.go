@@ -1,0 +1,164 @@
+package service_test
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"spforest/amoebot"
+	"spforest/engine"
+	"spforest/internal/scenario"
+	"spforest/service"
+)
+
+// TestPooledChurnMatchesFresh extends TestPooledMatchesFresh across the
+// scenario churn workloads: after K generated deltas through
+// service.Mutate, the pooled (incrementally derived) engine must answer
+// exactly like a fresh engine built from the final structure's raw
+// coordinates — byte-identical exact forests and identical distances at
+// every step of every workload profile.
+func TestPooledChurnMatchesFresh(t *testing.T) {
+	bases := []string{"blob/n250", "maze/9x7", "dumbbell/r4-b7"}
+	for name, c := range scenario.Workloads() {
+		name, c := name, c
+		for _, base := range bases {
+			base := base
+			t.Run(name+"/"+base, func(t *testing.T) {
+				if testing.Short() && name != "steady" {
+					t.Skip("-short: steady profile only")
+				}
+				sc, ok := scenario.ByName(base)
+				if !ok {
+					t.Fatalf("unknown base scenario %q", base)
+				}
+				sources := sc.SourceSets()[1]
+
+				sv := service.New(nil)
+				// Pre-electing through the pool names the leader to protect, so
+				// the whole chain reuses it (the e14 churn pattern).
+				ldr, _, err := sv.Leader(sc.S)
+				if err != nil {
+					t.Fatal(err)
+				}
+				protect := append(append([]amoebot.Coord(nil), sources...), ldr)
+				deltas, states, err := c.Sequence(sc.S, protect...)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				s := sc.S
+				for i, d := range deltas {
+					ns, err := sv.Mutate(s, d)
+					if err != nil {
+						t.Fatalf("step %d: %v", i, err)
+					}
+					if ns.Fingerprint() != states[i+1].Fingerprint() {
+						t.Fatalf("step %d: Mutate diverged from the generated sequence", i)
+					}
+					q := engine.Query{Algo: engine.AlgoExact, Sources: sources, Dests: ns.Coords()}
+					pooled, err := sv.Query(ns, q)
+					if err != nil {
+						t.Fatalf("step %d: %v", i, err)
+					}
+					freshEng, err := engine.New(amoebot.MustStructure(ns.Coords()), nil)
+					if err != nil {
+						t.Fatalf("step %d: %v", i, err)
+					}
+					fresh, err := freshEng.Run(q)
+					if err != nil {
+						t.Fatalf("step %d: %v", i, err)
+					}
+					got, _ := pooled.Forest.MarshalText()
+					want, _ := fresh.Forest.MarshalText()
+					if !bytes.Equal(got, want) {
+						t.Fatalf("step %d: pooled exact forest differs from fresh", i)
+					}
+					s = ns
+				}
+				// No mutation re-elected: the final pooled engine still answers
+				// a forest query with zero preprocessing.
+				res, err := sv.Query(s, engine.Query{Algo: engine.AlgoForest, Sources: sources, Dests: s.Coords()})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if p := res.Stats.Phases["preprocess"]; p != 0 {
+					t.Fatalf("final pooled query re-elected (%d preprocess rounds)", p)
+				}
+			})
+		}
+	}
+}
+
+// TestConcurrentChurnWorkloads drives independent churn chains through one
+// shared service from many goroutines — the sharded pool must stay
+// race-free and every chain's results must match its own fresh engines.
+func TestConcurrentChurnWorkloads(t *testing.T) {
+	sv := service.New(&service.Config{Shards: 4, MaxEnginesPerShard: 8})
+	bases := []string{"hexagon/r4", "parallelogram/12x7", "staircase/5x6x3", "combofcombs/4x8x4"}
+	var wg sync.WaitGroup
+	errs := make(chan error, len(bases))
+	for i, base := range bases {
+		sc, ok := scenario.ByName(base)
+		if !ok {
+			t.Fatalf("unknown base scenario %q", base)
+		}
+		c := scenario.Churn{Seed: int64(200 + i), Steps: 5, Adds: 3, Removes: 3}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			srcs := sc.SourceSets()[0]
+			deltas, _, err := c.Sequence(sc.S, srcs...)
+			if err != nil {
+				errs <- err
+				return
+			}
+			s := sc.S
+			for _, d := range deltas {
+				ns, err := sv.Mutate(s, d)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if _, err := sv.Query(ns, engine.Query{Algo: engine.AlgoExact, Sources: srcs, Dests: ns.Coords()}); err != nil {
+					errs <- err
+					return
+				}
+				s = ns
+			}
+			errs <- nil
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestServiceServesHoledStructures: with an AllowHoles engine config the
+// pool serves holed scenarios through the hole-tolerant solvers.
+func TestServiceServesHoledStructures(t *testing.T) {
+	sv := service.New(&service.Config{Engine: engine.Config{AllowHoles: true}})
+	for _, sc := range scenario.Holed() {
+		srcs := sc.SourceSets()[0]
+		res, err := sv.Query(sc.S, engine.Query{Algo: engine.AlgoExact, Sources: srcs, Dests: sc.S.Coords()})
+		if err != nil {
+			t.Fatalf("%s: %v", sc.Name, err)
+		}
+		if res.Forest.Size() != sc.S.N() {
+			t.Fatalf("%s: exact forest covers %d of %d", sc.Name, res.Forest.Size(), sc.S.N())
+		}
+		if _, err := sv.Query(sc.S, engine.Query{Algo: engine.AlgoForest, Sources: srcs, Dests: sc.S.Coords()}); err == nil {
+			t.Fatalf("%s: portal solver ran on holed structure", sc.Name)
+		}
+	}
+	// Without AllowHoles the pool rejects them.
+	strict := service.New(nil)
+	holed := scenario.Holed()[0]
+	if _, err := strict.Query(holed.S, engine.Query{Algo: engine.AlgoExact,
+		Sources: holed.SourceSets()[0], Dests: holed.S.Coords()}); err == nil {
+		t.Fatal("strict service accepted a holed structure")
+	}
+}

@@ -31,9 +31,21 @@ func Staircase(steps, stepW, stepH int) *amoebot.Structure {
 }
 
 // RandomBlob grows a random connected hole-free structure of at least
-// targetN amoebots, deterministically from the seed.
+// targetN amoebots, deterministically from the seed. It never produces
+// holes (the paper's algorithms require hole-free structures); use
+// RandomHoledBlob for workloads that exercise the hole-tolerant baselines.
 func RandomBlob(seed int64, targetN int) *amoebot.Structure {
 	return shapes.RandomBlob(rand.New(rand.NewSource(seed)), targetN)
+}
+
+// RandomHoledBlob grows a random connected structure of at least targetN
+// amoebots with exactly the given number of single-cell holes,
+// deterministically from the seed. Holed structures violate the portal
+// algorithms' preconditions: engines accept them only with
+// engine.Config.AllowHoles, and only hole-tolerant solvers (engine.AlgoBFS,
+// engine.AlgoExact) answer queries on them.
+func RandomHoledBlob(seed int64, targetN, holes int) *amoebot.Structure {
+	return shapes.RandomHoledBlob(rand.New(rand.NewSource(seed)), targetN, holes)
 }
 
 // RandomCoords picks k distinct amoebot coordinates of the structure,
