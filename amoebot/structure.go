@@ -5,6 +5,9 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
+
+	"spforest/internal/par"
 )
 
 // None marks the absence of a node index (no neighbor, no parent, ...).
@@ -163,24 +166,7 @@ func (s *Structure) componentCount() int {
 // edgeAndTriangleCount returns the number of induced edges and the number of
 // filled unit triangles (three mutually adjacent occupied nodes).
 func (s *Structure) edgeAndTriangleCount() (edges, triangles int) {
-	deg2 := 0
-	corners := 0
-	for i := range s.nbr {
-		for d := Direction(0); d < NumDirections; d++ {
-			if s.nbr[i][d] == None {
-				continue
-			}
-			deg2++
-			// A unit triangle corner at i between directions d and d+1:
-			// the neighbors in two consecutive directions are always
-			// mutually adjacent on the grid, so the triangle is filled iff
-			// both are occupied. Every triangle has exactly 3 corners.
-			if s.nbr[i][d.CCW()] != None {
-				corners++
-			}
-		}
-	}
-	return deg2 / 2, corners / 3
+	return s.edgeAndTriangleCountExec(nil) // nil exec: the single-chunk serial tally
 }
 
 // Holes returns the number of holes of the structure: bounded connected
@@ -202,11 +188,34 @@ func (s *Structure) IsHoleFree() bool { return s.Holes() == 0 }
 // immutable — so repeated validation (one engine per query stream, pooled
 // engines, delta chains) pays the O(n) pass at most once per structure.
 func (s *Structure) Validate() error {
-	s.validOnce.Do(func() { s.validErr = s.validate() })
+	return s.ValidateExec(nil)
+}
+
+// ValidateExec is Validate with the O(n) pass fanned out over the exec (nil
+// validates serially): the connectivity flood fill expands level by level
+// with chunk-parallel frontier claims, and the Euler-characteristic hole
+// count reduces chunk-local edge/triangle tallies in index order. The
+// verdict (including the hole count in the error message) is identical at
+// every worker count, and the memo still guarantees at most one pass per
+// structure.
+func (s *Structure) ValidateExec(ex *par.Exec) error {
+	s.validOnce.Do(func() { s.validErr = s.validateExec(ex) })
 	return s.validErr
 }
 
-func (s *Structure) validate() error {
+func (s *Structure) validateExec(ex *par.Exec) error {
+	if ex.Workers() > 1 {
+		if !s.isConnectedParallel(ex) {
+			return errors.New("amoebot: structure is not connected")
+		}
+		// Connected: the component count in the Euler formula is 1, so the
+		// hole count needs only the edge and triangle tallies.
+		e, t := s.edgeAndTriangleCountExec(ex)
+		if h := 1 - (s.N() - e + t); h != 0 {
+			return fmt.Errorf("amoebot: structure has %d hole(s)", h)
+		}
+		return nil
+	}
 	if !s.IsConnected() {
 		return errors.New("amoebot: structure is not connected")
 	}
@@ -214,6 +223,62 @@ func (s *Structure) validate() error {
 		return fmt.Errorf("amoebot: structure has %d hole(s)", h)
 	}
 	return nil
+}
+
+// isConnectedParallel flood-fills the structure from node 0 with a
+// level-synchronous parallel BFS: workers claim undiscovered neighbors of
+// their frontier chunk with compare-and-swap and the per-chunk discoveries
+// concatenate in chunk order. Only the reached-node count is observed, so
+// the verdict cannot depend on the host schedule.
+func (s *Structure) isConnectedParallel(ex *par.Exec) bool {
+	n := s.N()
+	seen := make([]int32, n)
+	seen[0] = 1
+	reached := 1
+	frontier := []int32{0}
+	for len(frontier) > 0 {
+		next := par.ExpandLevel(ex, frontier, func(u int32, emit func(int32)) {
+			for d := Direction(0); d < NumDirections; d++ {
+				if v := s.nbr[u][d]; v != None &&
+					atomic.CompareAndSwapInt32(&seen[v], 0, 1) {
+					emit(v)
+				}
+			}
+		})
+		reached += len(next)
+		frontier = next
+	}
+	return reached == n
+}
+
+// edgeAndTriangleCountExec is the edge/triangle tally as a chunk-parallel
+// reduction; a nil exec runs it as one serial chunk. Per-node tallies are
+// independent and the sums fold in index order.
+func (s *Structure) edgeAndTriangleCountExec(ex *par.Exec) (edges, triangles int) {
+	type tally struct{ deg2, corners int }
+	sums := par.Reduce(ex, len(s.nbr),
+		func(lo, hi int) tally {
+			var t tally
+			for i := lo; i < hi; i++ {
+				for d := Direction(0); d < NumDirections; d++ {
+					if s.nbr[i][d] == None {
+						continue
+					}
+					t.deg2++
+					// A unit triangle corner at i between directions d and
+					// d+1: the neighbors in two consecutive directions are
+					// always mutually adjacent on the grid, so the triangle
+					// is filled iff both are occupied. Every triangle has
+					// exactly 3 corners.
+					if s.nbr[i][d.CCW()] != None {
+						t.corners++
+					}
+				}
+			}
+			return t
+		},
+		func(a, b tally) tally { return tally{a.deg2 + b.deg2, a.corners + b.corners} })
+	return sums.deg2 / 2, sums.corners / 3
 }
 
 // markValid primes the validity memo of a structure that was proven

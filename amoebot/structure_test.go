@@ -3,6 +3,8 @@ package amoebot
 import (
 	"math/rand"
 	"testing"
+
+	"spforest/internal/par"
 )
 
 // lineCoords returns n nodes in a row.
@@ -163,5 +165,57 @@ func TestCoordsCanonicalOrder(t *testing.T) {
 	cs[0] = XZ(9, 9)
 	if s.Coord(0) == XZ(9, 9) {
 		t.Error("Coords returned internal slice")
+	}
+}
+
+// TestValidateExecMatchesSerial: the parallel validation path must return
+// the same verdict — including the exact hole count in the error text —
+// as the serial one, for valid, disconnected and holed structures. Fresh
+// structures are built per worker count because the verdict is memoized.
+func TestValidateExecMatchesSerial(t *testing.T) {
+	ring := func() []Coord {
+		var cs []Coord
+		c := XZ(0, 0)
+		for d := Direction(0); d < NumDirections; d++ {
+			cs = append(cs, c.Neighbor(d))
+		}
+		return cs
+	}
+	cases := []struct {
+		name   string
+		coords []Coord
+	}{
+		{"valid-line", lineCoords(300)},
+		{"single", []Coord{XZ(0, 0)}},
+		{"disconnected", append(lineCoords(100), XZ(0, 5), XZ(1, 5))},
+		{"one-hole-ring", ring()},
+	}
+	for _, c := range cases {
+		serialErr := MustStructure(c.coords).Validate()
+		for _, workers := range []int{2, 8} {
+			ex := par.New(workers, nil)
+			got := MustStructure(c.coords).ValidateExec(ex)
+			switch {
+			case (got == nil) != (serialErr == nil):
+				t.Errorf("%s workers=%d: verdict %v, serial %v", c.name, workers, got, serialErr)
+			case got != nil && got.Error() != serialErr.Error():
+				t.Errorf("%s workers=%d: error %q, serial %q", c.name, workers, got, serialErr)
+			}
+		}
+	}
+}
+
+// TestValidateExecLargeBlob exercises the chunked flood fill above the
+// parallel fan-out threshold against the serial verdict.
+func TestValidateExecLargeBlob(t *testing.T) {
+	// A dense parallelogram strip, guaranteed connected and hole-free.
+	var cs []Coord
+	for z := 0; z < 20; z++ {
+		for x := 0; x < 200; x++ {
+			cs = append(cs, XZ(x, z))
+		}
+	}
+	if err := MustStructure(cs).ValidateExec(par.New(4, nil)); err != nil {
+		t.Fatalf("parallel validation rejected a valid structure: %v", err)
 	}
 }

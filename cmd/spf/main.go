@@ -32,6 +32,7 @@ var (
 	load  = flag.String("load", "", "load the structure from a file (MarshalText format) instead of generating one")
 	save  = flag.String("save", "", "save the generated structure to a file")
 	out   = flag.String("out", "", "save the computed forest to a file (single-algorithm runs)")
+	intra = flag.Int("intra-workers", 0, "intra-query parallelism (1 = serial per query, 0 = GOMAXPROCS); outputs are identical at every setting")
 )
 
 func main() {
@@ -52,7 +53,7 @@ func main() {
 		s = buildShape()
 	}
 	// The engine validates the structure once; every query reuses that.
-	eng, err := engine.New(s, &engine.Config{Seed: *seed})
+	eng, err := engine.New(s, &engine.Config{Seed: *seed, IntraWorkers: *intra})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -27,6 +27,9 @@ import (
 	"math/bits"
 	"math/rand"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"sort"
 	"strings"
 	"time"
 
@@ -48,10 +51,13 @@ import (
 )
 
 var (
-	runFilter = flag.String("run", "", "only run experiments whose id contains this substring")
-	quick     = flag.Bool("quick", false, "smaller parameter sweeps")
-	jsonOut   = flag.Bool("json", false, "emit machine-readable JSON records instead of tables")
-	scenarios = flag.String("scenarios", "", "E15: only sweep registry scenarios whose name contains this substring")
+	runFilter  = flag.String("run", "", "only run experiments whose id contains this substring")
+	quick      = flag.Bool("quick", false, "smaller parameter sweeps")
+	jsonOut    = flag.Bool("json", false, "emit machine-readable JSON records instead of tables")
+	scenarios  = flag.String("scenarios", "", "E15: only sweep registry scenarios whose name contains this substring")
+	intra      = flag.Int("intra-workers", 0, "intra-query parallelism for every engine (1 = serial per query, 0 = GOMAXPROCS); rounds/beeps are identical at every setting")
+	cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
+	memProfile = flag.String("memprofile", "", "write a pprof heap profile (taken after the run) to this file")
 )
 
 // record is one measured data point in -json mode.
@@ -99,6 +105,17 @@ func runQ(e *engine.Engine, q engine.Query, label string, params map[string]int6
 
 func main() {
 	flag.Parse()
+	defer flushProfiles() // normal exit; die() flushes on the failure path
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		die(err)
+		die(pprof.StartCPUProfile(f))
+		stopCPUProfile = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			stopCPUProfile = nil
+		}
+	}
 	experiments := []struct {
 		id, title string
 		fn        func()
@@ -118,6 +135,7 @@ func main() {
 		{"E13", "ablation: centroid-decomposition merge schedule vs plain bottom-up", e13},
 		{"E14", "dynamic churn: fresh rebuild vs incremental Apply vs pooled service", e14},
 		{"E15", "scenario registry sweep: per-scenario per-solver rounds", e15},
+		{"E16", "intra-query parallelism: wall-time scaling vs IntraWorkers", e16},
 	}
 	for _, e := range experiments {
 		if *runFilter != "" && !strings.Contains(e.id, *runFilter) {
@@ -131,6 +149,30 @@ func main() {
 		printf("\n")
 	}
 	flushJSON()
+}
+
+// stopCPUProfile finalizes the in-flight CPU profile; set iff -cpuprofile
+// is active. die() calls flushProfiles so a failing run still leaves
+// usable profiles (os.Exit skips the deferred call).
+var stopCPUProfile func()
+
+func flushProfiles() {
+	if stopCPUProfile != nil {
+		stopCPUProfile()
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spfbench:", err)
+			return
+		}
+		runtime.GC() // settle the heap so the profile shows retained memory
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "spfbench:", err)
+		}
+		f.Close()
+		*memProfile = "" // written once
+	}
 }
 
 // flushJSON writes the collected records in -json mode; die calls it too,
@@ -154,11 +196,18 @@ func die(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "spfbench:", err)
 		flushJSON()
+		flushProfiles()
 		os.Exit(1)
 	}
 }
 
 func mustEngine(s *amoebot.Structure, cfg *engine.Config) *engine.Engine {
+	if cfg == nil {
+		cfg = &engine.Config{}
+	}
+	if cfg.IntraWorkers == 0 {
+		cfg.IntraWorkers = *intra
+	}
 	e, err := engine.New(s, cfg)
 	die(err)
 	return e
@@ -707,6 +756,85 @@ func e14() {
 	printf("pooled       %13d %17d %10v\n", pooled.rounds, pooled.elections, pooled.wall.Round(time.Millisecond))
 	printf("pool: %d engines, %d hits, %d misses, %d evictions\n",
 		st.Engines, st.Hits, st.Misses, st.Evictions)
+}
+
+// e16 sweeps the intra-query parallelism: the same large single queries —
+// the E2 SPSP point on the biggest hexagon and a k=16 forest query on the
+// biggest E5 blob — served by engines with IntraWorkers ∈ {1, 2, 4,
+// GOMAXPROCS}. Each point times the full cold-engine cost (validation,
+// preprocessing, query), which is exactly what the intra-query layer
+// parallelizes; rounds and beeps are asserted identical across worker
+// counts while the wall time scales with the host's cores (flat on a
+// single-core machine). The expected curve: wall(w) falling towards the
+// serial-fraction floor (Amdahl), with w > cores adding nothing.
+func e16() {
+	workerSweep := []int{1, 2, 4}
+	if p := runtime.GOMAXPROCS(0); p != 1 && p != 2 && p != 4 {
+		workerSweep = append(workerSweep, p)
+	}
+	sort.Ints(workerSweep)
+	r, blobN, k := 128, 32000, 16
+	if *quick {
+		r, blobN, k = 32, 4000, 8
+	}
+	type point struct {
+		label string
+		s     *amoebot.Structure
+		query func(s *amoebot.Structure) engine.Query
+	}
+	hex := spforest.Hexagon(r)
+	blob := shapes.RandomBlob(rand.New(rand.NewSource(int64(blobN))), blobN)
+	blobSources := spforest.RandomCoords(7, blob, k)
+	points := []point{
+		{"spsp-hexagon", hex, func(s *amoebot.Structure) engine.Query {
+			return engine.Query{
+				Algo:    engine.AlgoSPSP,
+				Sources: []amoebot.Coord{amoebot.XZ(-r, 0)},
+				Dests:   []amoebot.Coord{amoebot.XZ(r, 0)},
+			}
+		}},
+		{"forest-blob", blob, func(s *amoebot.Structure) engine.Query {
+			return engine.Query{Algo: engine.AlgoForest, Sources: blobSources, Dests: s.Coords()}
+		}},
+	}
+	printf("cold engine (validate + preprocess) + one large query per point\n")
+	printf("%-14s %7s %9s", "point", "n", "rounds")
+	for _, w := range workerSweep {
+		printf("   w=%-2d     ", w)
+	}
+	printf("\n")
+	for _, pt := range points {
+		var refRounds, refBeeps int64
+		walls := make([]time.Duration, 0, len(workerSweep))
+		for i, w := range workerSweep {
+			// Rebuild the structure so no memoized validation leaks between
+			// worker counts: every run pays the identical cold-start cost.
+			s, err := amoebot.NewStructure(pt.s.Coords())
+			die(err)
+			q := pt.query(s)
+			start := time.Now()
+			eng := mustEngine(s, &engine.Config{Seed: 1, IntraWorkers: w})
+			res, err := eng.Run(q)
+			wall := time.Since(start)
+			die(err)
+			if i == 0 {
+				refRounds, refBeeps = res.Stats.Rounds, res.Stats.Beeps
+			} else if res.Stats.Rounds != refRounds || res.Stats.Beeps != refBeeps {
+				die(fmt.Errorf("E16 %s: workers=%d charged %d/%d rounds/beeps, workers=%d charged %d/%d — parallel layer is not deterministic",
+					pt.label, workerSweep[0], refRounds, refBeeps, w, res.Stats.Rounds, res.Stats.Beeps))
+			}
+			walls = append(walls, wall)
+			emit(pt.label+fmt.Sprintf("/w=%d", w), map[string]int64{
+				"n":       int64(s.N()),
+				"workers": int64(w),
+			}, res.Stats.Rounds, res.Stats.Beeps, wall)
+		}
+		printf("%-14s %7d %9d", pt.label, pt.s.N(), refRounds)
+		for _, wl := range walls {
+			printf(" %10v", wl.Round(time.Microsecond))
+		}
+		printf("\n")
+	}
 }
 
 // e15 sweeps the scenario registry: every registered scenario (optionally

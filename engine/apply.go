@@ -3,6 +3,7 @@ package engine
 import (
 	"spforest/amoebot"
 	"spforest/internal/baseline"
+	"spforest/internal/core"
 )
 
 // Apply derives a new engine for the structure obtained by applying the
@@ -38,11 +39,16 @@ func (e *Engine) Apply(d amoebot.Delta) (*Engine, error) {
 		cfg:     e.cfg,
 		workers: e.workers,
 		gen:     e.gen + 1,
-		// The scratch arena adapts to the new structure size on first use,
-		// so the Apply chain keeps recycling one pool.
+		// The scratch arena — and with it the intra-query executor — adapts
+		// to the new structure size on first use, so the Apply chain keeps
+		// recycling one pool.
 		arena:     e.arena,
+		exec:      e.exec,
 		distCache: make(map[string]*distEntry),
 	}
+	// The portal memo is per structure: the derived engine gets a fresh
+	// environment over its own (empty) inspect state.
+	ne.env = core.NewEnv(ne.exec, (*enginePortalSource)(ne))
 
 	// Leader survival: a configured leader that was removed falls back to
 	// lazy election; an elected (or inherited) leader is carried over by

@@ -80,6 +80,21 @@ func (e *Engine) Batch(queries []Query) *BatchResult {
 			Stats:   BatchStats{Phases: map[string]int64{}},
 		}
 	}
+	if len(queries) == 1 {
+		// Single-query fast path: no worker pool, no channel hand-off, one
+		// time.Now bracket shared between the query and the batch. The
+		// stats still come from the shared aggregation loop, so both paths
+		// report one shape.
+		start := time.Now()
+		res, err := e.Run(queries[0])
+		wall := time.Since(start)
+		out := &BatchResult{
+			Results: []QueryResult{{Query: queries[0], Result: res, Err: err, Wall: wall}},
+		}
+		out.Stats = aggregateStats(out.Results)
+		out.Stats.Wall = wall
+		return out
+	}
 	start := time.Now()
 	out := &BatchResult{Results: make([]QueryResult, len(queries))}
 	workers := e.workers
@@ -110,8 +125,16 @@ func (e *Engine) Batch(queries []Query) *BatchResult {
 	close(next)
 	wg.Wait()
 
-	st := BatchStats{Queries: len(queries), Phases: make(map[string]int64)}
-	for _, r := range out.Results {
+	out.Stats = aggregateStats(out.Results)
+	out.Stats.Wall = time.Since(start)
+	return out
+}
+
+// aggregateStats folds per-query results into the batch aggregate (Wall is
+// the caller's, measured around its own bracket).
+func aggregateStats(results []QueryResult) BatchStats {
+	st := BatchStats{Queries: len(results), Phases: make(map[string]int64)}
+	for _, r := range results {
 		if r.Err != nil {
 			st.Failed++
 			continue
@@ -125,7 +148,5 @@ func (e *Engine) Batch(queries []Query) *BatchResult {
 			st.Phases[name] += rounds
 		}
 	}
-	st.Wall = time.Since(start)
-	out.Stats = st
-	return out
+	return st
 }

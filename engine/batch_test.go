@@ -210,3 +210,60 @@ func TestBatchWorkersBound(t *testing.T) {
 		t.Fatalf("stats: %+v", batch.Stats)
 	}
 }
+
+// batchSingleEngine builds a small engine with a warmed distance cache so
+// the fast-path measurements below see only the Batch overhead, not a cold
+// solver.
+func batchSingleEngine(tb testing.TB) (*engine.Engine, engine.Query) {
+	s := spforest.Hexagon(6)
+	ldr := s.Coord(0)
+	e, err := engine.New(s, &engine.Config{Leader: &ldr})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	q := engine.Query{
+		Algo:    engine.AlgoExact,
+		Sources: []amoebot.Coord{s.Coord(0), s.Coord(int32(s.N() - 1))},
+		Dests:   s.Coords(),
+	}
+	if _, err := e.Run(q); err != nil { // warm the exact-distance memo
+		tb.Fatal(err)
+	}
+	return e, q
+}
+
+// TestBatchSingleAllocs pins the len(queries)==1 fast path: a single-query
+// batch must not cost meaningfully more allocations than the underlying
+// Run (no worker pool, no channel, no per-worker closures). The bound of 8
+// extra allocations covers the batch result, its stats map and the result
+// slice with generous slack; the worker-pool path costs well over that.
+func TestBatchSingleAllocs(t *testing.T) {
+	e, q := batchSingleEngine(t)
+	runAllocs := testing.AllocsPerRun(200, func() {
+		if _, err := e.Run(q); err != nil {
+			t.Fatal(err)
+		}
+	})
+	batchAllocs := testing.AllocsPerRun(200, func() {
+		if res := e.Batch([]engine.Query{q}); res.Stats.Failed != 0 {
+			t.Fatal("batch query failed")
+		}
+	})
+	if extra := batchAllocs - runAllocs; extra > 8 {
+		t.Errorf("single-query Batch costs %.0f allocations over Run (%.0f vs %.0f), want <= 8",
+			extra, batchAllocs, runAllocs)
+	}
+}
+
+// BenchmarkBatchSingle measures the single-query batch fast path.
+func BenchmarkBatchSingle(b *testing.B) {
+	e, q := batchSingleEngine(b)
+	qs := []engine.Query{q}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := e.Batch(qs); res.Stats.Failed != 0 {
+			b.Fatal("batch query failed")
+		}
+	}
+}

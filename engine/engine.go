@@ -29,8 +29,10 @@ import (
 
 	"spforest/amoebot"
 	"spforest/internal/baseline"
+	"spforest/internal/core"
 	"spforest/internal/dense"
 	"spforest/internal/leader"
+	"spforest/internal/par"
 	"spforest/internal/sim"
 	"spforest/internal/verify"
 )
@@ -49,6 +51,16 @@ type Config struct {
 	// Workers bounds the concurrency of Batch. Zero or negative means
 	// GOMAXPROCS.
 	Workers int
+	// IntraWorkers bounds the intra-query parallelism: the worker budget of
+	// the deterministic parallel layer (internal/par) that every single
+	// query may spend on its own dense sweeps — validation flood fill,
+	// per-circuit beep fan-out in the leader election, the three per-axis
+	// portal decompositions, per-region base cases, per-level merges and
+	// the BFS frontier expansions. 1 forces the fully serial per-query
+	// path; zero or negative means GOMAXPROCS. Results, simulated rounds
+	// and beeps are bit-for-bit identical at every setting — the layer only
+	// changes host wall time.
+	IntraWorkers int
 	// AllowHoles admits structures that are connected but not hole-free.
 	// The paper's portal-based algorithms require hole-free structures
 	// (portal graphs are trees only then, Lemma 9), so on a holed engine
@@ -68,6 +80,8 @@ type Engine struct {
 	workers int
 	gen     uint64       // 0 for New; parent+1 along an Apply chain
 	arena   *dense.Arena // per-engine scratch pool, shared down Apply chains
+	exec    *par.Exec    // intra-query parallel executor (IntraWorkers over arena)
+	env     *core.Env    // execution environment handed to the core algorithms
 	holed   bool         // structure has holes (admitted via Config.AllowHoles)
 
 	leaderOnce  sync.Once
@@ -110,7 +124,9 @@ func New(s *amoebot.Structure, cfg *Config) (*Engine, error) {
 	if cfg != nil {
 		e.cfg = *cfg
 	}
-	if err := s.Validate(); err != nil {
+	e.exec = par.New(e.cfg.IntraWorkers, e.arena)
+	e.env = core.NewEnv(e.exec, (*enginePortalSource)(e))
+	if err := s.ValidateExec(e.exec); err != nil {
 		if !e.cfg.AllowHoles {
 			return nil, err
 		}
@@ -204,7 +220,7 @@ func (e *Engine) leaderFor(clock *sim.Clock) int32 {
 		before := clock.Snapshot()
 		rng := rand.New(rand.NewSource(e.cfg.Seed))
 		clock.Phase("preprocess", func() {
-			e.leaderIdx = leader.Elect(clock, e.region, rng)
+			e.leaderIdx = leader.ElectExec(e.exec, clock, e.region, rng)
 		})
 		after := clock.Snapshot()
 		rounds := after.Rounds - before.Rounds
@@ -291,7 +307,7 @@ func (e *Engine) exactDistances(srcs []int32) []int32 {
 	if hit {
 		return ent.dist
 	}
-	d, _ := baseline.Exact(e.region, srcs)
+	d, _ := baseline.ExactExec(e.exec, e.region, srcs)
 	e.distMu.Lock()
 	if _, dup := e.distCache[key]; !dup && len(e.distCache) >= maxDistCacheEntries {
 		for k := range e.distCache {

@@ -28,11 +28,62 @@ type PortalInfo struct {
 
 // inspectState holds the lazily built per-structure decompositions the
 // engine memoizes alongside leader and distances. Portal decompositions
-// are pure preprocessing (they depend only on the structure), so one
-// computation serves every later call.
+// (and their whole-structure views, the ETT-backed substrate of the §3.5
+// primitives) are pure preprocessing — they depend only on the structure —
+// so one computation serves every later call: engine inspection, every SPT
+// query's three axes and every forest query's x-axis all share it.
+//
+// The view is memoized under its own once: it exists only for hole-free
+// structures (SubView builds a tree, Lemma 9), while the raw decomposition
+// is well-defined — and inspectable — on holed engines too.
 type inspectState struct {
 	portalOnce [amoebot.NumAxes]sync.Once
-	portals    [amoebot.NumAxes]*PortalInfo
+	raw        [amoebot.NumAxes]*portal.Portals
+
+	// The PortalInfo summary is memoized separately from the raw
+	// decomposition: its IsTree flag costs an extra O(n) pass that the
+	// query path never needs, so only the Portals inspection API pays it.
+	infoOnce [amoebot.NumAxes]sync.Once
+	portals  [amoebot.NumAxes]*PortalInfo
+
+	viewOnce [amoebot.NumAxes]sync.Once
+	views    [amoebot.NumAxes]*portal.View
+}
+
+// portalsFor returns the memoized decomposition along the axis, computing
+// it on first use. Distinct axes memoize independently, so concurrent
+// first calls for different axes — the parallel fan-out of an SPT query's
+// three axes — proceed in parallel instead of serializing on one lock.
+func (e *Engine) portalsFor(axis amoebot.Axis) *portal.Portals {
+	e.inspect.portalOnce[axis].Do(func() {
+		e.inspect.raw[axis] = portal.Compute(e.region, axis)
+	})
+	return e.inspect.raw[axis]
+}
+
+// viewFor returns the memoized whole-structure view along the axis. Only
+// called on hole-free engines (portal solvers are refused on holed ones
+// before reaching core).
+func (e *Engine) viewFor(axis amoebot.Axis) *portal.View {
+	p := e.portalsFor(axis)
+	e.inspect.viewOnce[axis].Do(func() {
+		e.inspect.views[axis] = p.WholeView()
+	})
+	return e.inspect.views[axis]
+}
+
+// enginePortalSource adapts the engine's portal memo to core.PortalSource:
+// queries resolve whole-structure decompositions from the memo (paying the
+// computation once per engine per axis) and fall back to fresh computation
+// for the sub-regions the divide-and-conquer recursion produces.
+type enginePortalSource Engine
+
+func (src *enginePortalSource) PortalsView(region *amoebot.Region, axis amoebot.Axis) (*portal.Portals, *portal.View) {
+	e := (*Engine)(src)
+	if region != e.region {
+		return nil, nil // sub-region: not memoized, core computes fresh
+	}
+	return e.portalsFor(axis), e.viewFor(axis)
 }
 
 // Portals returns the memoized portal decomposition along the given axis,
@@ -41,8 +92,8 @@ func (e *Engine) Portals(axis amoebot.Axis) (*PortalInfo, error) {
 	if axis < 0 || axis >= amoebot.NumAxes {
 		return nil, fmt.Errorf("engine: invalid axis %d", axis)
 	}
-	e.inspect.portalOnce[axis].Do(func() {
-		p := portal.Compute(e.region, axis)
+	p := e.portalsFor(axis)
+	e.inspect.infoOnce[axis].Do(func() {
 		e.inspect.portals[axis] = &PortalInfo{
 			Axis:   axis,
 			Count:  p.Len(),

@@ -7,7 +7,9 @@ import (
 	"sync"
 
 	"spforest/amoebot"
+	"spforest/internal/core"
 	"spforest/internal/dense"
+	"spforest/internal/par"
 	"spforest/internal/sim"
 )
 
@@ -30,6 +32,17 @@ func (ctx *Context) Region() *amoebot.Region { return ctx.Engine.Region() }
 // queries against one engine recycle the same backing arrays; everything
 // taken from the arena must be returned to it before Solve finishes.
 func (ctx *Context) Arena() *dense.Arena { return ctx.Engine.arena }
+
+// Exec returns the engine's intra-query parallel executor (worker budget
+// Config.IntraWorkers over the engine's arena). Solvers may fan their own
+// sweeps out over it as long as the output stays bit-identical at every
+// worker count (see internal/par for the determinism rules).
+func (ctx *Context) Exec() *par.Exec { return ctx.Engine.exec }
+
+// Env returns the engine's core execution environment: the executor plus
+// the engine's memoized portal decompositions, ready to hand to the
+// core.*Env algorithm entry points.
+func (ctx *Context) Env() *core.Env { return ctx.Engine.env }
 
 // Solver is one shortest-path-forest algorithm behind the engine. Solvers
 // must be safe for concurrent use: Solve may be called from many goroutines

@@ -39,7 +39,7 @@ func (forestSolver) Solve(ctx *Context) (*amoebot.Forest, error) {
 	ldr := ctx.Engine.leaderFor(ctx.Clock)
 	var f *amoebot.Forest
 	ctx.Clock.Phase("forest", func() {
-		f = core.ForestArena(ctx.Arena(), ctx.Clock, ctx.Region(), ctx.Sources, ctx.Dests, ldr, core.ScheduleCentroid)
+		f = core.ForestEnv(ctx.Env(), ctx.Clock, ctx.Region(), ctx.Sources, ctx.Dests, ldr, core.ScheduleCentroid)
 	})
 	return f, nil
 }
@@ -76,7 +76,7 @@ func (t treeSolver) Solve(ctx *Context) (*amoebot.Forest, error) {
 	}
 	var f *amoebot.Forest
 	ctx.Clock.Phase("spt", func() {
-		f = core.SPTArena(ctx.Arena(), ctx.Clock, ctx.Region(), ctx.Sources[0], dests)
+		f = core.SPTEnv(ctx.Env(), ctx.Clock, ctx.Region(), ctx.Sources[0], dests)
 	})
 	return f, nil
 }
@@ -92,7 +92,7 @@ func (sequentialSolver) Solve(ctx *Context) (*amoebot.Forest, error) {
 	}
 	var f *amoebot.Forest
 	ctx.Clock.Phase("sequential", func() {
-		f = core.ForestSequentialArena(ctx.Arena(), ctx.Clock, ctx.Region(), ctx.Sources, ctx.Dests)
+		f = core.ForestSequentialEnv(ctx.Env(), ctx.Clock, ctx.Region(), ctx.Sources, ctx.Dests)
 	})
 	return f, nil
 }
@@ -110,7 +110,7 @@ func (bfsSolver) HoleTolerant() bool { return true }
 func (bfsSolver) Solve(ctx *Context) (*amoebot.Forest, error) {
 	var f *amoebot.Forest
 	ctx.Clock.Phase("bfs", func() {
-		f = baseline.BFSForest(ctx.Clock, ctx.Region(), ctx.Sources)
+		f = baseline.BFSForestExec(ctx.Exec(), ctx.Clock, ctx.Region(), ctx.Sources)
 	})
 	return f, nil
 }

@@ -19,6 +19,7 @@ import (
 
 	"spforest/amoebot"
 	"spforest/internal/dense"
+	"spforest/internal/par"
 	"spforest/internal/sim"
 )
 
@@ -37,6 +38,13 @@ type Net struct {
 
 	edgeLinks map[edgeKey]int8
 	maxLinks  int8
+
+	// circ, when non-nil, is the frozen circuit table: circ[ps] is the
+	// union-find root of ps's circuit, resolved once by Freeze so that
+	// beep delivery needs no pointer chasing (and, crucially, no mutation —
+	// frozen lookups are safe from concurrent readers). Any later Link or
+	// NewPartitionSet invalidates it.
+	circ []int32
 
 	beeped    dense.BitSet // circuit roots with a beep pending this round
 	sent      int64
@@ -60,6 +68,7 @@ func (n *Net) NewPartitionSet(owner int32) PS {
 	n.parent = append(n.parent, int32(ps))
 	n.rank = append(n.rank, 0)
 	n.beeped.Extend(len(n.parent))
+	n.circ = nil // the frozen table no longer covers the new set
 	return ps
 }
 
@@ -99,6 +108,7 @@ func (n *Net) Link(a, b PS) {
 	if ra == rb {
 		return
 	}
+	n.circ = nil // circuits changed: the frozen table is stale
 	if n.rank[ra] < n.rank[rb] {
 		ra, rb = rb, ra
 	}
@@ -108,8 +118,42 @@ func (n *Net) Link(a, b PS) {
 	}
 }
 
+// root resolves the circuit root of x: the frozen table when available,
+// the (mutating, path-halving) union-find walk otherwise.
+func (n *Net) root(x int32) int32 {
+	if n.circ != nil {
+		return n.circ[x]
+	}
+	return n.find(x)
+}
+
+// Freeze resolves every partition set's circuit root into a flat table,
+// fanning the root-finding out over the exec (a nil exec resolves
+// serially). The resolution walks the union-find read-only — no path
+// halving — so concurrent workers race on nothing and the table is
+// identical at every worker count. After Freeze, Beep / Received /
+// SameCircuit are single array loads and BeepMany may fan a whole beep
+// wave out per circuit; a later Link or NewPartitionSet invalidates the
+// table (the next Freeze rebuilds it).
+func (n *Net) Freeze(ex *par.Exec) {
+	if n.circ != nil {
+		return
+	}
+	circ := make([]int32, len(n.parent))
+	ex.Range(len(n.parent), func(lo, hi int) {
+		for x := lo; x < hi; x++ {
+			r := int32(x)
+			for n.parent[r] != r {
+				r = n.parent[r]
+			}
+			circ[x] = r
+		}
+	})
+	n.circ = circ
+}
+
 // SameCircuit reports whether two partition sets belong to the same circuit.
-func (n *Net) SameCircuit(a, b PS) bool { return n.find(int32(a)) == n.find(int32(b)) }
+func (n *Net) SameCircuit(a, b PS) bool { return n.root(int32(a)) == n.root(int32(b)) }
 
 // MaxLinksPerEdge returns the largest number of links this configuration
 // places on any single grid edge; constructions assert it stays within the
@@ -122,7 +166,53 @@ func (n *Net) Beep(ps PS) {
 		panic("circuits: beep after delivery; call NextRound first")
 	}
 	n.sent++
-	n.beeped.Add(n.find(int32(ps)))
+	n.beeped.Add(n.root(int32(ps)))
+}
+
+// BeepMany marks a beep on the circuit of every given partition set — one
+// simultaneous beep wave, exactly equivalent to calling Beep per element.
+// The fan-out exploits that circuits are disjoint by construction: workers
+// mark circuit roots in worker-private bitsets drawn from the exec's arena
+// and the partials are ORed together in ascending chunk order, so the
+// pending-beep set (and therefore everything Received observes) is
+// bit-identical at every worker count. The net must be frozen first.
+func (n *Net) BeepMany(ex *par.Exec, pss []PS) {
+	if n.delivered {
+		panic("circuits: beep after delivery; call NextRound first")
+	}
+	if len(pss) == 0 {
+		return
+	}
+	if n.circ == nil {
+		panic("circuits: BeepMany on an unfrozen net; call Freeze first")
+	}
+	n.sent += int64(len(pss))
+	// Small waves (the late phases of a shrinking election) go straight to
+	// the pending set: the chunked path pays a partition-set-sized bitset
+	// clear and OR per call, which only amortizes on wide waves.
+	const minWave = 64
+	if ex.Workers() <= 1 || len(pss) < minWave {
+		for _, ps := range pss {
+			n.beeped.Add(n.circ[ps])
+		}
+		return
+	}
+	ar := ex.Arena()
+	merged := par.Reduce(ex, len(pss),
+		func(lo, hi int) *dense.BitSet {
+			part := ar.BitSet(len(n.parent))
+			for _, ps := range pss[lo:hi] {
+				part.Add(n.circ[ps])
+			}
+			return part
+		},
+		func(acc, part *dense.BitSet) *dense.BitSet {
+			acc.Or(part)
+			ar.PutBitSet(part)
+			return acc
+		})
+	n.beeped.Or(merged)
+	ar.PutBitSet(merged)
 }
 
 // Deliver ends the beep round: it charges one synchronous round (and the
@@ -142,7 +232,7 @@ func (n *Net) Received(ps PS) bool {
 	if !n.delivered {
 		panic("circuits: Received before Deliver")
 	}
-	return n.beeped.Has(n.find(int32(ps)))
+	return n.beeped.Has(n.root(int32(ps)))
 }
 
 // NextRound clears beep state so the same pin configuration can carry

@@ -57,17 +57,26 @@ func ForestWithSchedule(clock *sim.Clock, region *amoebot.Region, sources, dests
 // the arena; the engine threads its per-engine arena through here so a
 // query stream reuses the same scratch arrays.
 func ForestArena(ar *dense.Arena, clock *sim.Clock, region *amoebot.Region, sources, dests []int32, leader int32, sched Schedule) *amoebot.Forest {
+	return ForestEnv(envArena(ar), clock, region, sources, dests, leader, sched)
+}
+
+// ForestEnv is ForestWithSchedule under an execution environment: the
+// x-portal decomposition resolves through the env's portal memo, the base
+// cases fan out per region, and each centroid level's merges run
+// concurrently when their region sets are host-disjoint (see mergeLevel).
+// Outputs and round accounting are bit-identical at every worker count.
+func ForestEnv(env *Env, clock *sim.Clock, region *amoebot.Region, sources, dests []int32, leader int32, sched Schedule) *amoebot.Forest {
 	if len(sources) == 0 {
 		panic("core: no sources")
 	}
 	if len(sources) == 1 {
-		return SPTArena(ar, clock, region, sources[0], dests)
+		return SPTEnv(env, clock, region, sources[0], dests)
 	}
 	s := region.Structure()
+	ar := env.Arena()
 
 	// ---- §5.4.1: Q, Q', marks, base regions.
-	ports := portal.Compute(region, amoebot.AxisX)
-	view := ports.WholeView()
+	ports, view := env.portalsView(region, amoebot.AxisX)
 	inQ := make([]bool, ports.Len())
 	for _, src := range sources {
 		inQ[ports.ID[src]] = true
@@ -101,9 +110,9 @@ func ForestArena(ar *dense.Arena, clock *sim.Clock, region *amoebot.Region, sour
 	// the round accounting stays the max over regions either way.
 	states := make([]*regionState, len(sp.regions))
 	branches := make([]*sim.Clock, len(sp.regions))
-	runParallel(len(sp.regions), func(i int) {
+	env.Exec().For(len(sp.regions), func(i int) {
 		branches[i] = clock.Fork()
-		states[i] = baseCase(branches[i], s, sp, sp.regions[i], rPrime, rpQP, sources, ar)
+		states[i] = baseCase(env, branches[i], s, sp, sp.regions[i], rPrime, rpQP, sources)
 	})
 	clock.JoinMax(branches...)
 
@@ -168,13 +177,7 @@ func ForestArena(ar *dense.Arena, clock *sim.Clock, region *amoebot.Region, sour
 	for _, level := range levels {
 		clock.Tick(perLevelOverhead) // recompute / re-identify the level's portals
 		levelCounter.Increment(clock)
-		lb := make([]*sim.Clock, 0, len(level))
-		for _, p := range level {
-			branch := clock.Fork()
-			lb = append(lb, branch)
-			states = mergeAlongPortal(branch, s, sp, p, states, ar)
-		}
-		clock.JoinMax(lb...)
+		states = mergeLevel(env, clock, s, sp, level, states)
 	}
 	if levelCounter.Value() != uint64(len(levels)) {
 		panic("core: level counter out of sync")
@@ -189,7 +192,7 @@ func ForestArena(ar *dense.Arena, clock *sim.Clock, region *amoebot.Region, sour
 		}
 	}
 	// ---- Corollary 57: prune every tree to its destinations.
-	return pruneToDestinations(clock, full, sources, dests, ar)
+	return pruneToDestinations(env, clock, full, sources, dests)
 }
 
 // regionState is one current region with its (S∩region)-forest.
@@ -202,7 +205,8 @@ type regionState struct {
 // line algorithm on the region's LCA portal segment, propagation into the
 // region; if the region meets a second Q' portal, the same from there and a
 // merge.
-func baseCase(clock *sim.Clock, s *amoebot.Structure, sp *splitRegions, br *baseRegion, rPrime int32, rpQP *portal.RootPruneResult, sources []int32, ar *dense.Arena) *regionState {
+func baseCase(env *Env, clock *sim.Clock, s *amoebot.Structure, sp *splitRegions, br *baseRegion, rPrime int32, rpQP *portal.RootPruneResult, sources []int32) *regionState {
+	ar := env.Arena()
 	isSource := ar.BitSet(s.N())
 	defer ar.PutBitSet(isSource)
 	for _, src := range sources {
@@ -244,12 +248,12 @@ func baseCase(clock *sim.Clock, s *amoebot.Structure, sp *splitRegions, br *base
 				segSources = append(segSources, u)
 			}
 		}
-		f := LineForestArena(ar, clock, s, pnodes, segSources)
-		f = propagateBothSides(clock, br.nodes, pnodes, f, ar)
+		f := LineForestEnv(env, clock, s, pnodes, segSources)
+		f = propagateBothSides(env, clock, br.nodes, pnodes, f)
 		if i == 0 {
 			acc = f
 		} else {
-			acc = MergeArena(ar, clock, acc, f)
+			acc = MergeEnv(env, clock, acc, f)
 		}
 	}
 	return &regionState{region: br.nodes, forest: acc}
@@ -257,32 +261,110 @@ func baseCase(clock *sim.Clock, s *amoebot.Structure, sp *splitRegions, br *base
 
 // propagateBothSides extends a forest living on the portal run pnodes to
 // the sides of the run present in the region.
-func propagateBothSides(clock *sim.Clock, region *amoebot.Region, pnodes []int32, f *amoebot.Forest, ar *dense.Arena) *amoebot.Forest {
+func propagateBothSides(env *Env, clock *sim.Clock, region *amoebot.Region, pnodes []int32, f *amoebot.Forest) *amoebot.Forest {
+	ar := env.Arena()
 	inP := ar.BitSet(region.Structure().N())
 	for _, p := range pnodes {
 		inP.Add(p)
 	}
 	for side := amoebot.Side(0); side < amoebot.NumSides; side++ {
 		if len(sideNodes(region, pnodes, inP, side)) > 0 {
-			f = PropagateArena(ar, clock, region, pnodes, f, side)
+			f = PropagateEnv(env, clock, region, pnodes, f, side)
 		}
 	}
 	ar.PutBitSet(inP)
 	return f
 }
 
-// mergeAlongPortal merges all current regions intersecting portal p into
-// one (Lemma 55): phase 1 pairs the regions of each side across the marked
-// amoebots (one PASC-parity iteration per round of pairings), merging each
-// pair through its separating cut amoebot (SPT propagation + merging);
-// phase 2 joins the two sides with two propagations and a merge.
-func mergeAlongPortal(clock *sim.Clock, s *amoebot.Structure, sp *splitRegions, p int32, states []*regionState, ar *dense.Arena) []*regionState {
-	pnodes := sp.ports.NodesOf[p]
-	inP := ar.BitSet(s.N())
-	defer ar.PutBitSet(inP)
-	for _, u := range pnodes {
-		inP.Add(u)
+// mergeLevel executes one level of the merge schedule. The serial
+// reference walks the level's portals in order, each rewriting the state
+// list via mergeAlongPortal. The model runs the level's merges
+// simultaneously, and the host can too whenever the active portals' —
+// those meeting ≥ 2 current regions — touching sets are pairwise disjoint
+// (the generic case: centroid levels live in disjoint subtrees of the
+// decomposition). Under that disjointness the serial walk provably ends
+// with
+//
+//	[states untouched by any active portal, original order] +
+//	[one merged state per active portal, level order]
+//
+// which is exactly what the concurrent path produces, so the state-list
+// evolution — and with it every later touching/rest split and side
+// classification — is bit-identical. Overlapping touching sets (possible
+// only for degenerate schedules) fall back to the serial walk. Branch
+// clocks join in level order on both paths.
+func mergeLevel(env *Env, clock *sim.Clock, s *amoebot.Structure, sp *splitRegions, level []int32, states []*regionState) []*regionState {
+	serial := func() []*regionState {
+		lb := make([]*sim.Clock, 0, len(level))
+		for _, p := range level {
+			branch := clock.Fork()
+			lb = append(lb, branch)
+			states = mergeAlongPortal(env, branch, s, sp, p, states)
+		}
+		clock.JoinMax(lb...)
+		return states
 	}
+	if len(level) == 1 || env.Exec().Workers() <= 1 {
+		return serial()
+	}
+	touching := make([][]*regionState, len(level))
+	for i, p := range level {
+		pnodes := sp.ports.NodesOf[p]
+		for _, st := range states {
+			if st.region.ContainsAny(pnodes) {
+				touching[i] = append(touching[i], st)
+			}
+		}
+	}
+	// Active portals must not share a region; a shared region would make a
+	// later merge depend on an earlier one's output.
+	inActive := make(map[*regionState]bool)
+	for i := range touching {
+		if len(touching[i]) < 2 {
+			continue // no-op at this level: 0 or 1 touching regions
+		}
+		for _, st := range touching[i] {
+			if inActive[st] {
+				return serial()
+			}
+			inActive[st] = true
+		}
+	}
+	merged := make([]*regionState, len(level))
+	branches := make([]*sim.Clock, len(level))
+	env.Exec().For(len(level), func(i int) {
+		if len(touching[i]) < 2 {
+			return
+		}
+		branches[i] = clock.Fork()
+		merged[i] = mergeTouching(env, branches[i], s, sp, level[i], touching[i])
+	})
+	out := make([]*regionState, 0, len(states))
+	for _, st := range states {
+		if !inActive[st] {
+			out = append(out, st)
+		}
+	}
+	for _, m := range merged {
+		if m != nil {
+			out = append(out, m)
+		}
+	}
+	live := branches[:0]
+	for _, b := range branches {
+		if b != nil {
+			live = append(live, b)
+		}
+	}
+	clock.JoinMax(live...)
+	return out
+}
+
+// mergeAlongPortal merges all current regions intersecting portal p into
+// one (Lemma 55) and returns the rewritten state list; with fewer than two
+// touching regions it is a no-op.
+func mergeAlongPortal(env *Env, clock *sim.Clock, s *amoebot.Structure, sp *splitRegions, p int32, states []*regionState) []*regionState {
+	pnodes := sp.ports.NodesOf[p]
 	var touching []*regionState
 	var rest []*regionState
 	for _, st := range states {
@@ -297,6 +379,24 @@ func mergeAlongPortal(clock *sim.Clock, s *amoebot.Structure, sp *splitRegions, 
 	}
 	if len(touching) == 1 {
 		return states // single region already spans the portal
+	}
+	return append(rest, mergeTouching(env, clock, s, sp, p, touching))
+}
+
+// mergeTouching merges the ≥ 2 given regions along portal p into one:
+// phase 1 pairs the regions of each side across the marked amoebots (one
+// PASC-parity iteration per round of pairings), merging each pair through
+// its separating cut amoebot (SPT propagation + merging); phase 2 joins
+// the two sides with two propagations and a merge. touching must be in
+// state-list order (the side classification of pure-segment regions
+// depends on it).
+func mergeTouching(env *Env, clock *sim.Clock, s *amoebot.Structure, sp *splitRegions, p int32, touching []*regionState) *regionState {
+	ar := env.Arena()
+	pnodes := sp.ports.NodesOf[p]
+	inP := ar.BitSet(s.N())
+	defer ar.PutBitSet(inP)
+	for _, u := range pnodes {
+		inP.Add(u)
 	}
 	// Classify each touching region to a side of p: the side of its
 	// non-portal body adjacent to p.
@@ -349,7 +449,7 @@ func mergeAlongPortal(clock *sim.Clock, s *amoebot.Structure, sp *splitRegions, 
 				}
 				branch := clock.Fork()
 				branches = append(branches, branch)
-				merged := mergePairAtCut(branch, s, a, b, m, ar)
+				merged := mergePairAtCut(env, branch, s, a, b, m)
 				var next []*regionState
 				for _, st := range regions {
 					if st != a && st != b {
@@ -381,11 +481,11 @@ func mergeAlongPortal(clock *sim.Clock, s *amoebot.Structure, sp *splitRegions, 
 		whole := north.region.Union(south.region).Union(amoebot.NewRegion(s, pnodes))
 		fN := extendAlongPortal(clock, s, north.forest, pnodes)
 		fS := extendAlongPortal(clock, s, south.forest, pnodes)
-		f1 := PropagateArena(ar, clock, whole, pnodes, fN, amoebot.SideB)
-		f2 := PropagateArena(ar, clock, whole, pnodes, fS, amoebot.SideA)
-		out = &regionState{region: whole, forest: MergeArena(ar, clock, f1, f2)}
+		f1 := PropagateEnv(env, clock, whole, pnodes, fN, amoebot.SideB)
+		f2 := PropagateEnv(env, clock, whole, pnodes, fS, amoebot.SideA)
+		out = &regionState{region: whole, forest: MergeEnv(env, clock, f1, f2)}
 	}
-	return append(rest, out)
+	return out
 }
 
 // collapseSame reduces a side's region list to a single state (they must
@@ -426,7 +526,7 @@ func regionSideOf(r *amoebot.Region, pnodes []int32, inP *dense.BitSet) (amoebot
 // (§5.4.3, phase 1, third step): every shortest path between the regions
 // passes m, so each side's forest extends into the other side by an SPT
 // rooted at m, and the merging algorithm combines the two extensions.
-func mergePairAtCut(clock *sim.Clock, s *amoebot.Structure, a, b *regionState, m int32, ar *dense.Arena) *regionState {
+func mergePairAtCut(env *Env, clock *sim.Clock, s *amoebot.Structure, a, b *regionState, m int32) *regionState {
 	union := a.region.Union(b.region)
 	extend := func(own *regionState, other *amoebot.Region) *amoebot.Forest {
 		if own.forest.Size() == 0 {
@@ -434,7 +534,7 @@ func mergePairAtCut(clock *sim.Clock, s *amoebot.Structure, a, b *regionState, m
 		}
 		out := own.forest.Clone()
 		if other.Len() > 1 {
-			sub := SPTArena(ar, clock, other, m, other.Nodes())
+			sub := SPTEnv(env, clock, other, m, other.Nodes())
 			for _, u := range other.Nodes() {
 				if u == m || out.Member(u) {
 					continue // the pair overlaps only on m
@@ -448,7 +548,7 @@ func mergePairAtCut(clock *sim.Clock, s *amoebot.Structure, a, b *regionState, m
 	}
 	fA := extend(a, b.region)
 	fB := extend(b, a.region)
-	return &regionState{region: union, forest: MergeArena(ar, clock, fA, fB)}
+	return &regionState{region: union, forest: MergeEnv(env, clock, fA, fB)}
 }
 
 // extendAlongPortal completes a forest over the portal run: uncovered
@@ -529,15 +629,22 @@ func ForestSequential(clock *sim.Clock, region *amoebot.Region, sources, dests [
 // ForestSequentialArena is ForestSequential drawing its index-space scratch
 // from the arena.
 func ForestSequentialArena(ar *dense.Arena, clock *sim.Clock, region *amoebot.Region, sources, dests []int32) *amoebot.Forest {
+	return ForestSequentialEnv(envArena(ar), clock, region, sources, dests)
+}
+
+// ForestSequentialEnv is ForestSequential under an execution environment
+// (the per-source SPTs merge sequentially by definition — that is the
+// baseline being measured — but each SPT's internal sweeps fan out).
+func ForestSequentialEnv(env *Env, clock *sim.Clock, region *amoebot.Region, sources, dests []int32) *amoebot.Forest {
 	if len(sources) == 0 {
 		panic("core: no sources")
 	}
 	ordered := append([]int32(nil), sources...)
 	sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
-	acc := SPTArena(ar, clock, region, ordered[0], region.Nodes())
+	acc := SPTEnv(env, clock, region, ordered[0], region.Nodes())
 	for _, src := range ordered[1:] {
-		next := SPTArena(ar, clock, region, src, region.Nodes())
-		acc = MergeArena(ar, clock, acc, next)
+		next := SPTEnv(env, clock, region, src, region.Nodes())
+		acc = MergeEnv(env, clock, acc, next)
 	}
-	return pruneToDestinations(clock, acc, sources, dests, ar)
+	return pruneToDestinations(env, clock, acc, sources, dests)
 }

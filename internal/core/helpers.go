@@ -17,8 +17,6 @@ package core
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"spforest/amoebot"
 	"spforest/internal/dense"
@@ -27,38 +25,6 @@ import (
 	"spforest/internal/sim"
 	"spforest/internal/treeprim"
 )
-
-// runParallel executes fn(0..n-1) on a bounded pool of worker goroutines
-// and waits for all of them. The call sites guarantee that distinct indices
-// touch disjoint mutable data (the simulated model's own parallelism).
-func runParallel(n int, fn func(i int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				fn(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-}
 
 // forestComponent returns the members of f reachable from start via
 // parent/child links, or nil if start is not a member. children must be
@@ -154,8 +120,9 @@ func forestPASC(f *amoebot.Forest, members []int32, ar *dense.Arena) (*pasc.Run,
 // always stay as roots). Connected components of chosen-parent graphs that
 // contain no source receive no signal and prune themselves entirely.
 // Rounds: the primitive runs on all trees in parallel.
-func pruneToDestinations(clock *sim.Clock, f *amoebot.Forest, sources, dests []int32, ar *dense.Arena) *amoebot.Forest {
+func pruneToDestinations(env *Env, clock *sim.Clock, f *amoebot.Forest, sources, dests []int32) *amoebot.Forest {
 	s := f.Structure()
+	ar := env.Arena()
 	isDest := ar.BitSet(s.N())
 	defer ar.PutBitSet(isDest)
 	for _, d := range dests {
@@ -166,7 +133,7 @@ func pruneToDestinations(clock *sim.Clock, f *amoebot.Forest, sources, dests []i
 	branches := make([]*sim.Clock, len(sources))
 	// The trees are vertex-disjoint, so the per-tree prunes run on worker
 	// goroutines (each writes only its own tree's entries of out).
-	runParallel(len(sources), func(si int) {
+	env.Exec().For(len(sources), func(si int) {
 		src := sources[si]
 		if !f.Member(src) {
 			out.SetRoot(src)

@@ -24,6 +24,15 @@ func LineForest(clock *sim.Clock, s *amoebot.Structure, chain []int32, sources [
 // LineForestArena is LineForest drawing its index-space scratch from the
 // arena.
 func LineForestArena(ar *dense.Arena, clock *sim.Clock, s *amoebot.Structure, chain []int32, sources []int32) *amoebot.Forest {
+	return LineForestEnv(envArena(ar), clock, s, chain, sources)
+}
+
+// LineForestEnv is LineForest under an execution environment: the
+// per-amoebot comparator feeds of each PASC iteration and the final parent
+// sweep fan out over index chunks (each slot owns its comparator and its
+// forest entry, so chunks write disjoint state).
+func LineForestEnv(env *Env, clock *sim.Clock, s *amoebot.Structure, chain []int32, sources []int32) *amoebot.Forest {
+	ar := env.Arena()
 	n := len(chain)
 	f := amoebot.NewForest(s)
 	if n == 0 {
@@ -87,35 +96,41 @@ func LineForestArena(ar *dense.Arena, clock *sim.Clock, s *amoebot.Structure, ch
 	east := pasc.New(parentE, participants(n))
 	west := pasc.New(parentW, participants(n))
 	cmps := make([]bitstream.Comparator, n)
+	ex := env.Exec()
 	for !pasc.AllDone(east, west) {
 		bits := pasc.StepRound(clock, east, west)
-		for i := 0; i < n; i++ {
+		ex.Range(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				switch {
+				case !hasWest[i] && !hasEast[i]:
+					continue
+				case !hasWest[i]:
+					cmps[i].Feed(1, 0) // west side invalid: force the east side
+				case !hasEast[i]:
+					cmps[i].Feed(0, 1) // east side invalid: force the west side
+				default:
+					cmps[i].Feed(bits[0][i], bits[1][i])
+				}
+			}
+		})
+	}
+	ex.Range(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			g := chain[i]
+			if isSource[i] {
+				f.SetRoot(g)
+				continue
+			}
 			switch {
 			case !hasWest[i] && !hasEast[i]:
-				continue
-			case !hasWest[i]:
-				cmps[i].Feed(1, 0) // west side invalid: force the east side
-			case !hasEast[i]:
-				cmps[i].Feed(0, 1) // east side invalid: force the west side
+				continue // no source on the chain at all (empty S was rejected above)
+			case hasWest[i] && (!hasEast[i] || cmps[i].Result() != bitstream.Greater):
+				f.SetParent(g, chain[i-1]) // west distance ≤ east distance
 			default:
-				cmps[i].Feed(bits[0][i], bits[1][i])
+				f.SetParent(g, chain[i+1])
 			}
 		}
-	}
-	for i, g := range chain {
-		if isSource[i] {
-			f.SetRoot(g)
-			continue
-		}
-		switch {
-		case !hasWest[i] && !hasEast[i]:
-			continue // no source on the chain at all (empty S was rejected above)
-		case hasWest[i] && (!hasEast[i] || cmps[i].Result() != bitstream.Greater):
-			f.SetParent(g, chain[i-1]) // west distance ≤ east distance
-		default:
-			f.SetParent(g, chain[i+1])
-		}
-	}
+	})
 	return f
 }
 

@@ -23,6 +23,15 @@ func Merge(clock *sim.Clock, f1, f2 *amoebot.Forest) *amoebot.Forest {
 
 // MergeArena is Merge drawing its index-space scratch from the arena.
 func MergeArena(ar *dense.Arena, clock *sim.Clock, f1, f2 *amoebot.Forest) *amoebot.Forest {
+	return MergeEnv(envArena(ar), clock, f1, f2)
+}
+
+// MergeEnv is Merge under an execution environment: the per-amoebot
+// comparator feeds of each joint PASC iteration fan out over index chunks
+// (every doubly-covered amoebot owns its comparator slot, so chunks write
+// disjoint state and the outcome is identical at every worker count).
+func MergeEnv(env *Env, clock *sim.Clock, f1, f2 *amoebot.Forest) *amoebot.Forest {
+	ar := env.Arena()
 	s := f1.Structure()
 	if f2.Structure() != s {
 		panic("core: merging forests of different structures")
@@ -50,11 +59,15 @@ func MergeArena(ar *dense.Arena, clock *sim.Clock, f1, f2 *amoebot.Forest) *amoe
 		}
 	}
 	cmps := make([]bitstream.Comparator, len(both))
+	ex := env.Exec()
 	for !pasc.AllDone(run1, run2) {
 		bits := pasc.StepRound(clock, run1, run2)
-		for ci, g := range both {
-			cmps[ci].Feed(bits[0][local1.At(g)], bits[1][local2.At(g)])
-		}
+		ex.Range(len(both), func(lo, hi int) {
+			for ci := lo; ci < hi; ci++ {
+				g := both[ci]
+				cmps[ci].Feed(bits[0][local1.At(g)], bits[1][local2.At(g)])
+			}
+		})
 	}
 	out := amoebot.NewForest(s)
 	for _, g := range m1 {

@@ -118,7 +118,7 @@ func TestPruneAfterMergeKeepsSources(t *testing.T) {
 	m := Merge(&clock, buildSPT(t, s, 0), buildSPT(t, s, 9))
 	// The only destination sits next to source 0; source 9's tree is
 	// pruned to the bare root.
-	pruned := pruneToDestinations(&clock, m, []int32{0, 9}, []int32{1}, dense.Shared)
+	pruned := pruneToDestinations(envArena(dense.Shared), &clock, m, []int32{0, 9}, []int32{1})
 	if err := verify.Forest(s, []int32{0, 9}, []int32{1}, pruned); err != nil {
 		t.Fatal(err)
 	}

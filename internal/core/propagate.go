@@ -34,6 +34,17 @@ func Propagate(clock *sim.Clock, region *amoebot.Region, pnodes []int32, f *amoe
 // PropagateArena is Propagate drawing its index-space scratch from the
 // arena.
 func PropagateArena(ar *dense.Arena, clock *sim.Clock, region *amoebot.Region, pnodes []int32, f *amoebot.Forest, into amoebot.Side) *amoebot.Forest {
+	return PropagateEnv(envArena(ar), clock, region, pnodes, f, into)
+}
+
+// PropagateEnv is Propagate under an execution environment: the two
+// visibility decompositions (y- and z-portals of P ∪ B) compute
+// concurrently, the per-probe comparator feeds of each PASC iteration fan
+// out over index chunks, and the phase-2 invisible components — disjoint
+// sub-regions by construction — run on worker goroutines with their
+// branch clocks joined in component order.
+func PropagateEnv(env *Env, clock *sim.Clock, region *amoebot.Region, pnodes []int32, f *amoebot.Forest, into amoebot.Side) *amoebot.Forest {
+	ar := env.Arena()
 	s := region.Structure()
 	if len(pnodes) == 0 {
 		panic("core: empty portal")
@@ -67,9 +78,17 @@ func PropagateArena(ar *dense.Arena, clock *sim.Clock, region *amoebot.Region, p
 	}
 
 	// Phase 1: visibility via the y-/z-portals of P ∪ B (one beep round).
+	// The two decompositions are independent read-only computations over
+	// the same sub-region, so they run concurrently.
 	pb := amoebot.NewRegion(s, append(append([]int32{}, pnodes...), bNodes...))
-	portsY := portal.Compute(pb, amoebot.AxisY)
-	portsZ := portal.Compute(pb, amoebot.AxisZ)
+	var portsY, portsZ *portal.Portals
+	env.Exec().For(2, func(i int) {
+		if i == 0 {
+			portsY = portal.Compute(pb, amoebot.AxisY)
+		} else {
+			portsZ = portal.Compute(pb, amoebot.AxisZ)
+		}
+	})
 	containsP := func(ports *portal.Portals) []bool {
 		mask := make([]bool, ports.Len())
 		for _, p := range pnodes {
@@ -122,23 +141,28 @@ func PropagateArena(ar *dense.Arena, clock *sim.Clock, region *amoebot.Region, p
 			}
 			probes = append(probes, probe{u: u, projY: py, projZ: pz})
 		}
+		ex := env.Exec()
 		for !run.Done() {
 			bits := pasc.StepRound(clock, run)[0]
-			for i := range probes {
-				pr := &probes[i]
-				pr.cmp.Feed(bits[toLocal.At(pr.projY)], bits[toLocal.At(pr.projZ)])
-			}
+			ex.Range(len(probes), func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					pr := &probes[i]
+					pr.cmp.Feed(bits[toLocal.At(pr.projY)], bits[toLocal.At(pr.projZ)])
+				}
+			})
 		}
 		ar.PutIndex(toLocal)
-		for i := range probes {
-			pr := &probes[i]
-			// n_y if dist(S, proj_y) ≤ dist(S, proj_z), else n_z (Lemma 46).
-			if pr.cmp.Result() != bitstream.Greater {
-				out.SetParent(pr.u, mustNeighbor(region, pr.u, towardY))
-			} else {
-				out.SetParent(pr.u, mustNeighbor(region, pr.u, towardZ))
+		ex.Range(len(probes), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				pr := &probes[i]
+				// n_y if dist(S, proj_y) ≤ dist(S, proj_z), else n_z (Lemma 46).
+				if pr.cmp.Result() != bitstream.Greater {
+					out.SetParent(pr.u, mustNeighbor(region, pr.u, towardY))
+				} else {
+					out.SetParent(pr.u, mustNeighbor(region, pr.u, towardZ))
+				}
 			}
-		}
+		})
 	}
 
 	// Phase 2: invisible components. Each component Z elects s_Z (the
@@ -154,14 +178,18 @@ func PropagateArena(ar *dense.Arena, clock *sim.Clock, region *amoebot.Region, p
 	if len(invisible) > 0 {
 		clock.Tick(2)
 		comps := amoebot.NewRegion(s, invisible).Components()
-		branches := make([]*sim.Clock, 0, len(comps))
-		for _, z := range comps {
+		// The components are vertex-disjoint sub-regions, so their SPTs run
+		// on worker goroutines (each writes only its own component's forest
+		// entries); the branch clocks join in component order.
+		branches := make([]*sim.Clock, len(comps))
+		env.Exec().For(len(comps), func(ci int) {
+			z := comps[ci]
 			branch := clock.Fork()
-			branches = append(branches, branch)
+			branches[ci] = branch
 			sz, parent := electComponentRoot(region, z, visible, zP)
 			out.SetParent(sz, parent)
 			if z.Len() > 1 {
-				sub := SPTArena(ar, branch, z, sz, z.Nodes())
+				sub := SPTEnv(env, branch, z, sz, z.Nodes())
 				for _, u := range z.Nodes() {
 					if u == sz {
 						continue
@@ -173,7 +201,7 @@ func PropagateArena(ar *dense.Arena, clock *sim.Clock, region *amoebot.Region, p
 					}
 				}
 			}
-		}
+		})
 		clock.JoinMax(branches...)
 	}
 	return out

@@ -22,6 +22,16 @@ func SPT(clock *sim.Clock, region *amoebot.Region, source int32, dests []int32) 
 
 // SPTArena is SPT drawing its index-space scratch from the arena.
 func SPTArena(ar *dense.Arena, clock *sim.Clock, region *amoebot.Region, source int32, dests []int32) *amoebot.Forest {
+	return SPTEnv(envArena(ar), clock, region, source, dests)
+}
+
+// SPTEnv is SPT under an execution environment: the three per-axis portal
+// decompositions are resolved concurrently (memoized ones through the
+// env's portal source), the per-amoebot parent choice fans out over index
+// chunks, and the final prune runs per tree — all bit-identical to the
+// serial execution (the round accounting below never depends on the host
+// schedule).
+func SPTEnv(env *Env, clock *sim.Clock, region *amoebot.Region, source int32, dests []int32) *amoebot.Forest {
 	s := region.Structure()
 	if !region.Contains(source) {
 		panic("core: source outside region")
@@ -36,15 +46,14 @@ func SPTArena(ar *dense.Arena, clock *sim.Clock, region *amoebot.Region, source 
 	}
 
 	// Per axis: root the portal tree at portal_d(s) and prune subtrees
-	// without destination portals. The three executions run sequentially
+	// without destination portals. The decompositions are pure functions of
+	// the region and resolve concurrently; the root-and-prune executions
+	// then charge their rounds sequentially per axis, exactly as before
 	// (each needs its own implicit-tree circuits).
-	type axisInfo struct {
-		ports *portal.Portals
-		rp    *portal.RootPruneResult
-	}
-	var axes [amoebot.NumAxes]axisInfo
+	axes := env.allAxes(region)
+	var rps [amoebot.NumAxes]*portal.RootPruneResult
 	for axis := amoebot.Axis(0); axis < amoebot.NumAxes; axis++ {
-		ports := portal.Compute(region, axis)
+		ports := axes[axis].ports
 		inQ := make([]bool, ports.Len())
 		for _, d := range dests {
 			inQ[ports.ID[d]] = true
@@ -53,47 +62,49 @@ func SPTArena(ar *dense.Arena, clock *sim.Clock, region *amoebot.Region, source 
 		// portals know whether they are in Q (one round).
 		clock.Tick(1)
 		clock.AddBeeps(int64(len(dests)))
-		rp := portal.RootPrune(clock, ports.WholeView(), ports.ID[source], inQ)
-		axes[axis] = axisInfo{ports: ports, rp: rp}
+		rps[axis] = portal.RootPrune(clock, axes[axis].view, ports.ID[source], inQ)
 	}
 
 	// Parent choice (Lemma 38 / Equation 1): v is a feasible parent of u
 	// iff for both axes not parallel to the edge (u,v), v's portal is the
 	// parent of u's portal. Every amoebot picks its first feasible neighbor
-	// in counterclockwise order; this is a purely local decision.
+	// in counterclockwise order; this is a purely local decision — each
+	// amoebot writes only its own forest entry, so the sweep fans out.
 	chosen := amoebot.NewForest(s)
 	chosen.SetRoot(source)
-	for _, u := range region.Nodes() {
-		if u == source {
-			continue
-		}
-		for d := amoebot.Direction(0); d < amoebot.NumDirections; d++ {
-			v := region.Neighbor(u, d)
-			if v == amoebot.None {
+	nodes := region.Nodes()
+	env.Exec().Range(len(nodes), func(lo, hi int) {
+		for _, u := range nodes[lo:hi] {
+			if u == source {
 				continue
 			}
-			feasible := true
-			for axis := amoebot.Axis(0); axis < amoebot.NumAxes; axis++ {
-				if axis == d.Axis() {
-					continue // same portal on the edge's own axis
+			for d := amoebot.Direction(0); d < amoebot.NumDirections; d++ {
+				v := region.Neighbor(u, d)
+				if v == amoebot.None {
+					continue
 				}
-				ai := axes[axis]
-				pu, pv := ai.ports.ID[u], ai.ports.ID[v]
-				if !ai.rp.InVQ[pu] || ai.rp.Parent[pu] != pv {
-					feasible = false
+				feasible := true
+				for axis := amoebot.Axis(0); axis < amoebot.NumAxes; axis++ {
+					if axis == d.Axis() {
+						continue // same portal on the edge's own axis
+					}
+					pu, pv := axes[axis].ports.ID[u], axes[axis].ports.ID[v]
+					if !rps[axis].InVQ[pu] || rps[axis].Parent[pu] != pv {
+						feasible = false
+						break
+					}
+				}
+				if feasible {
+					chosen.SetParent(u, v)
 					break
 				}
 			}
-			if feasible {
-				chosen.SetParent(u, v)
-				break
-			}
 		}
-	}
+	})
 
 	// Parents announce themselves so the chosen-parent forest becomes a
 	// usable tree structure, then the final root-and-prune with (s, D)
 	// extracts the destination tree and silences stray components (§4).
 	discoverChildren(clock, chosen)
-	return pruneToDestinations(clock, chosen, []int32{source}, dests, ar)
+	return pruneToDestinations(env, clock, chosen, []int32{source}, dests)
 }

@@ -64,6 +64,19 @@ func (b *BitSet) Extend(n int) {
 	}
 }
 
+// Or unions o into b. o must not hold ids beyond b's capacity; trailing
+// words of a larger-capacity (but id-compatible) o are tolerated, not
+// ranged over.
+func (b *BitSet) Or(o *BitSet) {
+	n := len(o.words)
+	if n > len(b.words) {
+		n = len(b.words)
+	}
+	for i, w := range o.words[:n] {
+		b.words[i] |= w
+	}
+}
+
 // Count returns the number of ids in the set.
 func (b *BitSet) Count() int {
 	n := 0
@@ -124,6 +137,20 @@ func (x *Index) Has(k int32) bool { return x.vals[k] != 0 }
 // Reset clears the index, keeping its capacity.
 func (x *Index) Reset() { clear(x.vals) }
 
+// Retention high-water marks: buffers above these capacities are dropped
+// on Put instead of pooled. sync.Pool never shrinks a pinned buffer, so
+// without the bound one huge query (say a million-node validation sweep)
+// would park multi-megabyte scratch arrays in the pool for the engine's
+// lifetime, even if every later query is a thousand times smaller. Both
+// bounds admit ~2M ids — comfortably above every benchmark structure — and
+// cap a retained BitSet at 256 KiB and a retained Index at 8 MiB.
+const (
+	// MaxRetainedBitSetWords bounds the word capacity of pooled BitSets.
+	MaxRetainedBitSetWords = 1 << 15
+	// MaxRetainedIndexEntries bounds the entry capacity of pooled Indexes.
+	MaxRetainedIndexEntries = 1 << 21
+)
+
 // Arena recycles BitSets and Indexes through sync.Pools. Engines hold one
 // arena each and thread it through their query contexts, so a stream of
 // queries against one engine reuses the same scratch arrays instead of
@@ -131,6 +158,10 @@ func (x *Index) Reset() { clear(x.vals) }
 // which still amortizes the scratch inside one invocation. All methods are
 // safe for concurrent use, and a nil *Arena degrades to plain allocation,
 // so call sites never need to branch.
+//
+// Oversized buffers (capacities beyond MaxRetainedBitSetWords /
+// MaxRetainedIndexEntries) are discarded on Put rather than pooled, so one
+// outlier query cannot pin its scratch forever.
 type Arena struct {
 	bitsets sync.Pool
 	indexes sync.Pool
@@ -151,9 +182,10 @@ func (a *Arena) BitSet(n int) *BitSet {
 	return NewBitSet(n)
 }
 
-// PutBitSet returns a set obtained from BitSet to the arena.
+// PutBitSet returns a set obtained from BitSet to the arena. Sets larger
+// than the retention high-water mark are dropped for the GC instead.
 func (a *Arena) PutBitSet(b *BitSet) {
-	if a != nil && b != nil {
+	if a != nil && b != nil && cap(b.words) <= MaxRetainedBitSetWords {
 		a.bitsets.Put(b)
 	}
 }
@@ -170,9 +202,10 @@ func (a *Arena) Index(n int) *Index {
 	return NewIndex(n)
 }
 
-// PutIndex returns an index obtained from Index to the arena.
+// PutIndex returns an index obtained from Index to the arena. Indexes
+// larger than the retention high-water mark are dropped for the GC instead.
 func (a *Arena) PutIndex(x *Index) {
-	if a != nil && x != nil {
+	if a != nil && x != nil && cap(x.vals) <= MaxRetainedIndexEntries {
 		a.indexes.Put(x)
 	}
 }

@@ -133,3 +133,43 @@ func TestArenaConcurrent(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestArenaDiscardsOversizedBuffers pins the retention high-water mark:
+// buffers beyond the bound are dropped on Put so one huge query cannot pin
+// its scratch for the arena's lifetime. Only the discard direction is
+// asserted by identity (got == huge can never hold on correct code); the
+// keep direction is not identity-checked because sync.Pool may legally
+// drop any entry at a GC, which would flake the test.
+func TestArenaDiscardsOversizedBuffers(t *testing.T) {
+	a := NewArena()
+
+	huge := NewBitSet(64*MaxRetainedBitSetWords + 1)
+	if cap(huge.words) <= MaxRetainedBitSetWords {
+		t.Fatalf("test bug: huge bitset capacity %d not over the bound", cap(huge.words))
+	}
+	a.PutBitSet(huge)
+	for i := 0; i < 4; i++ { // drain whatever the pool holds
+		if got := a.BitSet(10); got == huge {
+			t.Fatalf("bitset over the high-water mark was pooled")
+		}
+	}
+
+	hugeIdx := NewIndex(MaxRetainedIndexEntries + 1)
+	a.PutIndex(hugeIdx)
+	for i := 0; i < 4; i++ {
+		if got := a.Index(10); got == hugeIdx {
+			t.Fatalf("index over the high-water mark was pooled")
+		}
+	}
+
+	// At-bound buffers must be accepted back (no identity assertion —
+	// only that the arena keeps functioning and Put does not panic).
+	a.PutBitSet(NewBitSet(64 * MaxRetainedBitSetWords))
+	a.PutIndex(NewIndex(MaxRetainedIndexEntries))
+	if got := a.BitSet(10); got.Count() != 0 {
+		t.Fatalf("recycled bitset not cleared")
+	}
+	if got := a.Index(10); got.Has(3) {
+		t.Fatalf("recycled index not cleared")
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"spforest/amoebot"
 	"spforest/internal/circuits"
 	"spforest/internal/dense"
+	"spforest/internal/par"
 	"spforest/internal/sim"
 )
 
@@ -30,9 +31,26 @@ const confirmationRounds = 4
 // drives the candidates' coin tosses; rounds are charged on the clock
 // (2 per phase plus a constant per confirmation).
 func Elect(clock *sim.Clock, region *amoebot.Region, rng *rand.Rand) int32 {
+	return ElectExec(nil, clock, region, rng)
+}
+
+// ElectExec is Elect with the beep fan-out driven by the deterministic
+// parallel layer: the region's global circuit is built and frozen once (the
+// pin configuration does not change between phases — only the beeps do) and
+// each phase's heads-wave is delivered with BeepMany. The rng consumption
+// order, the per-phase accounting and the elected amoebot are identical to
+// the serial path at every worker count.
+func ElectExec(ex *par.Exec, clock *sim.Clock, region *amoebot.Region, rng *rand.Rand) int32 {
 	candidates := append([]int32(nil), region.Nodes()...)
 	heads := dense.Shared.BitSet(region.Structure().N())
 	defer dense.Shared.PutBitSet(heads)
+	// One pin configuration serves every phase: build it once, freeze the
+	// circuit table once, and reset only the beep state between phases.
+	net := circuits.New()
+	ps := circuits.RegionCircuit(net, region)
+	net.Freeze(ex)
+	wave := make([]circuits.PS, 0, len(candidates))
+	first := true
 	for {
 		if len(candidates) == 1 {
 			clock.Tick(confirmationRounds)
@@ -40,19 +58,21 @@ func Elect(clock *sim.Clock, region *amoebot.Region, rng *rand.Rand) int32 {
 		}
 		// Phase: every candidate tosses a coin; heads beep on the global
 		// circuit; tails candidates hearing a beep withdraw.
-		net := circuits.New()
-		ps := circuits.RegionCircuit(net, region)
+		if !first {
+			net.NextRound()
+		}
+		first = false
 		heads.Reset()
-		anyHeads := false
+		wave = wave[:0]
 		for _, c := range candidates {
 			if rng.Intn(2) == 0 {
 				heads.Add(c)
-				anyHeads = true
-				net.Beep(ps[c])
+				wave = append(wave, ps[c])
 			}
 		}
+		net.BeepMany(ex, wave)
 		net.Deliver(clock)
-		if anyHeads {
+		if len(wave) > 0 {
 			next := candidates[:0]
 			for _, c := range candidates {
 				if heads.Has(c) {

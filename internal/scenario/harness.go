@@ -153,7 +153,17 @@ func exactDistByCoord(s *amoebot.Structure, srcs []amoebot.Coord) (map[amoebot.C
 // structure: every registered solver × every deterministic source set,
 // each forest checked against the centralized ground truth.
 func CheckSolvers(s *amoebot.Structure, seed int64) error {
-	e, err := engine.New(s, &engine.Config{Seed: seed})
+	return CheckSolversConfig(s, seed, engine.Config{})
+}
+
+// CheckSolversConfig is CheckSolvers under a caller-supplied base engine
+// configuration (the harness seed overrides base.Seed). The parallel
+// determinism matrix uses it to run the identical battery at several
+// IntraWorkers settings; any output drift fails the ground-truth or
+// determinism checks.
+func CheckSolversConfig(s *amoebot.Structure, seed int64, base engine.Config) error {
+	base.Seed = seed
+	e, err := engine.New(s, &base)
 	if err != nil {
 		return err
 	}
@@ -167,7 +177,7 @@ func CheckSolvers(s *amoebot.Structure, seed int64) error {
 			}
 		}
 	}
-	return checkDeterminism(s, seed, sets[0])
+	return checkDeterminism(s, base, sets[0])
 }
 
 // exactMatchesBaseline: the engine's centralized backend must reproduce
@@ -275,14 +285,14 @@ func QueryFor(algo string, srcs, spread, all []amoebot.Coord) (engine.Query, []a
 	}
 }
 
-// checkDeterminism: two engines with the same seed must answer the same
-// forest query with identical forests and identical round/beep accounting
-// (the first query pays the same lazy election on both).
-func checkDeterminism(s *amoebot.Structure, seed int64, srcs []amoebot.Coord) error {
+// checkDeterminism: two engines with the same configuration must answer
+// the same forest query with identical forests and identical round/beep
+// accounting (the first query pays the same lazy election on both).
+func checkDeterminism(s *amoebot.Structure, cfg engine.Config, srcs []amoebot.Coord) error {
 	q := engine.Query{Algo: engine.AlgoForest, Sources: srcs, Dests: s.Coords()}
 	var prev *engine.Result
 	for run := 0; run < 2; run++ {
-		e, err := engine.New(s, &engine.Config{Seed: seed})
+		e, err := engine.New(s, &cfg)
 		if err != nil {
 			return err
 		}

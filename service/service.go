@@ -62,7 +62,11 @@ type Config struct {
 	MaxEnginesPerShard int
 	// Engine is the configuration handed to every engine the pool builds.
 	// Engine.Leader is almost always nil here: a fixed leader coordinate
-	// rarely exists in every structure of a workload.
+	// rarely exists in every structure of a workload. Engine.IntraWorkers
+	// passes through untouched and tunes the per-query parallelism of every
+	// pooled engine — a latency-focused deployment raises it, a
+	// throughput-focused one keeps it at 1 and lets the shard pool and
+	// Batch own every core; results are bit-identical either way.
 	Engine engine.Config
 }
 
