@@ -320,7 +320,7 @@ func BenchmarkE8_Subroutines(b *testing.B) {
 		s := shapes.Parallelogram(64, 64)
 		r := amoebot.WholeRegion(s)
 		ports := portal.Compute(r, amoebot.AxisX)
-		mid := ports.NodesOf[32]
+		mid := ports.NodesOf(32)
 		var apNodes []int32
 		for i := int32(0); i < int32(s.N()); i++ {
 			if s.Coord(i).Z <= 32 {

@@ -1,6 +1,6 @@
 // Command spfbench regenerates every experiment table of EXPERIMENTS.md:
 // one table per quantitative claim of the paper plus the E14 dynamic-churn
-// workload (see DESIGN.md §4 for the per-experiment index E1–E14). Usage:
+// workload (see DESIGN.md §4 for the per-experiment index E1–E17). Usage:
 //
 //	spfbench              # run everything
 //	spfbench -run E4      # run tables whose id contains "E4"
@@ -136,6 +136,7 @@ func main() {
 		{"E14", "dynamic churn: fresh rebuild vs incremental Apply vs pooled service", e14},
 		{"E15", "scenario registry sweep: per-scenario per-solver rounds", e15},
 		{"E16", "intra-query parallelism: wall-time scaling vs IntraWorkers", e16},
+		{"E17", "cross-query sharing: Batch vs a solo query loop at n ≥ 10⁶", e17},
 	}
 	for _, e := range experiments {
 		if *runFilter != "" && !strings.Contains(e.id, *runFilter) {
@@ -430,7 +431,7 @@ func e8() {
 
 		// Propagation from the middle portal of the parallelogram.
 		ports := portal.Compute(r, amoebot.AxisX)
-		mid := ports.NodesOf[int32(side/2)]
+		mid := ports.NodesOf(int32(side / 2))
 		inP := map[int32]bool{}
 		for _, p := range mid {
 			inP[p] = true
@@ -887,4 +888,74 @@ func e15() {
 		}
 		printf("\n")
 	}
+}
+
+// e17 measures cross-query sharing in Engine.Batch at million-amoebot
+// scale: 16 single-source tree queries against one destination set — 4
+// distinct sources along the z=0 row of a radius-577 hexagon (n ≈ 1.0·10⁶),
+// each repeated 4 times — answered once by a solo Run loop and once by
+// Batch on the same warm engine. The batch planner collapses the repeats
+// (4 solves instead of 16) and answers the distinct sources in one shared
+// group pass over the portal decompositions, so the batch wall should land
+// well under the solo sum (the BENCH gate expects < 0.8×) while the summed
+// simulated rounds and beeps — asserted here — match the solo loop exactly.
+func e17() {
+	r, reps, nd := 577, 4, 64
+	if *quick {
+		r, reps, nd = 24, 4, 16
+	}
+	hex := spforest.Hexagon(r)
+	xs := []int{-r / 2, -r / 4, r / 4, r / 2}
+	dests := spforest.RandomCoords(21, hex, nd)
+	var queries []engine.Query
+	for _, x := range xs {
+		for rep := 0; rep < reps; rep++ {
+			queries = append(queries, engine.Query{
+				Algo:    engine.AlgoSPT,
+				Sources: []amoebot.Coord{amoebot.XZ(x, 0)},
+				Dests:   dests,
+			})
+		}
+	}
+	eng := mustEngine(hex, &engine.Config{Seed: 1})
+	// Warm the per-structure memo (portal decompositions) so both
+	// measurements time query work, not one-off preprocessing.
+	_, err := eng.Run(queries[0])
+	die(err)
+
+	soloStart := time.Now()
+	var soloRounds, soloBeeps int64
+	for _, q := range queries {
+		res, err := eng.Run(q)
+		die(err)
+		soloRounds += res.Stats.Rounds
+		soloBeeps += res.Stats.Beeps
+	}
+	soloWall := time.Since(soloStart)
+
+	batchStart := time.Now()
+	batch := eng.Batch(queries)
+	batchWall := time.Since(batchStart)
+	for _, qr := range batch.Results {
+		die(qr.Err)
+	}
+	if batch.Stats.Rounds != soloRounds || batch.Stats.Beeps != soloBeeps {
+		die(fmt.Errorf("E17: batch charged %d/%d rounds/beeps, solo loop charged %d/%d — sharing changed the simulated cost",
+			batch.Stats.Rounds, batch.Stats.Beeps, soloRounds, soloBeeps))
+	}
+	params := map[string]int64{
+		"n":        int64(hex.N()),
+		"queries":  int64(len(queries)),
+		"distinct": int64(len(xs)),
+		"dests":    int64(nd),
+	}
+	emit("spt-solo", params, soloRounds, soloBeeps, soloWall)
+	emit("spt-batch", params, batch.Stats.Rounds, batch.Stats.Beeps, batchWall)
+	printf("hexagon n=%d; %d queries (%d distinct sources × %d repeats), %d shared destinations\n",
+		hex.N(), len(queries), len(xs), reps, nd)
+	printf("solo loop  %9d rounds %10v\n", soloRounds, soloWall.Round(time.Millisecond))
+	printf("batch      %9d rounds %10v   (deduped %d, groups %d, ratio %.2f)\n",
+		batch.Stats.Rounds, batchWall.Round(time.Millisecond),
+		batch.Stats.Deduped, batch.Stats.Groups,
+		float64(batchWall)/float64(soloWall))
 }

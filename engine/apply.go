@@ -44,6 +44,7 @@ func (e *Engine) Apply(d amoebot.Delta) (*Engine, error) {
 		// recycling one pool.
 		arena:     e.arena,
 		exec:      e.exec,
+		batchExec: e.batchExec,
 		distCache: make(map[string]*distEntry),
 	}
 	// The portal memo is per structure: the derived engine gets a fresh
@@ -77,10 +78,15 @@ func (e *Engine) Apply(d amoebot.Delta) (*Engine, error) {
 // evicted.
 func (ne *Engine) migrateDistances(e *Engine, d amoebot.Delta) {
 	ns := ne.s
+	// Entries migrate in the parent's insertion order, so the derived
+	// engine's FIFO eviction ring starts in a deterministic state (map
+	// iteration order would scramble it run to run).
 	e.distMu.Lock()
 	entries := make([]*distEntry, 0, len(e.distCache))
-	for _, ent := range e.distCache {
-		entries = append(entries, ent)
+	for _, key := range e.distOrder {
+		if ent, ok := e.distCache[key]; ok {
+			entries = append(entries, ent)
+		}
 	}
 	e.distMu.Unlock()
 	if len(entries) == 0 {
@@ -134,7 +140,7 @@ func (ne *Engine) migrateDistances(e *Engine, d amoebot.Delta) {
 			}
 		}
 		writes := baseline.RepairExact(ne.region, newSrcs, nd, suspects, added)
-		ne.distCache[sourceKey(newSrcs)] = &distEntry{srcs: newSrcs, dist: nd}
+		ne.storeDistance(sourceKey(newSrcs), &distEntry{srcs: newSrcs, dist: nd})
 		ne.distStats.DistKept++
 		ne.distStats.RepairWrites += int64(writes)
 	}

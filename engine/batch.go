@@ -1,10 +1,12 @@
 package engine
 
 import (
-	"sync"
+	"strconv"
+	"strings"
 	"time"
 
 	"spforest/amoebot"
+	"spforest/internal/sim"
 )
 
 // Query names one shortest-path computation for Engine.Run or Engine.Batch.
@@ -36,7 +38,9 @@ type QueryResult struct {
 	// abort the batch.
 	Err error
 	// Wall is the host wall-clock time the query took (not a simulated
-	// quantity).
+	// quantity). Queries answered as part of a shared group all report
+	// the group's wall; deduplicated queries report the (small) time to
+	// materialize their copy of the representative's answer.
 	Wall time.Duration
 }
 
@@ -46,6 +50,14 @@ type BatchStats struct {
 	Queries int
 	// Failed is the number of queries that returned an error.
 	Failed int
+	// Deduped is the number of queries answered from an identical earlier
+	// query in the same batch (same solver, sources and destinations after
+	// resolution) instead of being solved again.
+	Deduped int
+	// Groups is the number of shared groups the batch planner formed:
+	// sets of two or more distinct queries a SharedSolver answered in one
+	// pass (see SharedSolver).
+	Groups int
 	// Rounds and Beeps are summed over all successful queries.
 	Rounds int64
 	Beeps  int64
@@ -53,7 +65,8 @@ type BatchStats struct {
 	// simulated makespan if all queries ran on replicas in parallel.
 	MaxRounds int64
 	// Phases sums the per-phase round attribution over all successful
-	// queries.
+	// queries. It is nil when no query succeeded (and empty, non-nil, for
+	// an empty batch).
 	Phases map[string]int64
 	// Wall is the host wall-clock time of the whole batch.
 	Wall time.Duration
@@ -68,9 +81,24 @@ type BatchResult struct {
 
 // Batch answers the queries concurrently on a worker pool bounded by
 // Config.Workers (default GOMAXPROCS), each query on its own simulated
-// clock. Per-structure preprocessing is shared: the structure is not
-// re-validated, and at most one query pays for leader election. Results
-// come back in input order; individual failures are reported per query.
+// clock. Results come back in input order; individual failures are reported
+// per query.
+//
+// Beyond the per-structure preprocessing Run already shares (validation,
+// leader election), Batch plans the whole slice up front and shares work
+// across queries:
+//
+//   - exact duplicates (same solver, same resolved sources and
+//     destinations) are solved once; the other occurrences receive
+//     independent copies of the answer, with stats matching what their own
+//     Run would have reported (Stats.Deduped counts them);
+//   - queries a SharedSolver recognizes as groupable (e.g. single-source
+//     tree queries against the same destination set) are answered in one
+//     shared pass over the portal decompositions (Stats.Groups counts the
+//     groups).
+//
+// Sharing never changes answers: forests and per-query simulated stats are
+// bit-identical to running each query alone, at every worker count.
 func (e *Engine) Batch(queries []Query) *BatchResult {
 	if len(queries) == 0 {
 		// Degenerate batch (nil or empty slice): consistent zero-value
@@ -81,7 +109,7 @@ func (e *Engine) Batch(queries []Query) *BatchResult {
 		}
 	}
 	if len(queries) == 1 {
-		// Single-query fast path: no worker pool, no channel hand-off, one
+		// Single-query fast path: no planning pass, no worker pool, one
 		// time.Now bracket shared between the query and the batch. The
 		// stats still come from the shared aggregation loop, so both paths
 		// report one shape.
@@ -95,46 +123,197 @@ func (e *Engine) Batch(queries []Query) *BatchResult {
 		out.Stats.Wall = wall
 		return out
 	}
+
 	start := time.Now()
 	out := &BatchResult{Results: make([]QueryResult, len(queries))}
-	workers := e.workers
-	if workers > len(queries) {
-		workers = len(queries)
+
+	// Plan: resolve every query once, up front. Planning failures are
+	// final — the query executes nothing and its result is ready now.
+	plans := make([]plannedQuery, len(queries))
+	for i := range queries {
+		planStart := time.Now()
+		plans[i] = e.planQuery(queries[i])
+		if plans[i].err != nil {
+			out.Results[i] = QueryResult{Query: queries[i], Err: plans[i].err, Wall: time.Since(planStart)}
+		}
 	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				qStart := time.Now()
-				res, err := e.Run(queries[i])
-				out.Results[i] = QueryResult{
-					Query:  queries[i],
-					Result: res,
-					Err:    err,
-					Wall:   time.Since(qStart),
+
+	// Dedupe: identical planned queries (solver + exact resolved source and
+	// destination sequences) collapse onto their first occurrence.
+	firstOf := make(map[string]int, len(queries))
+	var dups []int
+	for i := range plans {
+		if plans[i].err != nil {
+			continue
+		}
+		key := plans[i].solver.Name() + "|" + orderedKey(plans[i].srcs) + "|" + orderedKey(plans[i].dests)
+		if j, seen := firstOf[key]; seen {
+			plans[i].dup = j
+			dups = append(dups, i)
+		} else {
+			firstOf[key] = i
+		}
+	}
+
+	// Group: distinct representatives whose solver can share work form
+	// groups by ShareKey. Only groups of two or more are worth a shared
+	// pass; singletons go back to the solo path.
+	type shareGroup struct {
+		shared  SharedSolver
+		members []int // plan indices, ascending
+	}
+	shareIdx := make(map[string]int)
+	var shares []shareGroup
+	for i := range plans {
+		if plans[i].err != nil || plans[i].dup >= 0 {
+			continue
+		}
+		if ss, ok := sharedSolver(plans[i].solver); ok {
+			if key, ok := ss.ShareKey(plans[i].srcs, plans[i].dests); ok {
+				full := plans[i].solver.Name() + "\x00" + key
+				if gi, seen := shareIdx[full]; seen {
+					shares[gi].members = append(shares[gi].members, i)
+				} else {
+					shareIdx[full] = len(shares)
+					shares = append(shares, shareGroup{shared: ss, members: []int{i}})
 				}
 			}
-		}()
+		}
 	}
-	for i := range queries {
-		next <- i
+
+	// Emit dispatch units in ascending index order of their first query:
+	// solos (including singleton share groups) and whole groups.
+	type batchUnit struct {
+		solo   int   // plan index; -1 for a group unit
+		group  []int // member plan indices, ascending
+		shared SharedSolver
 	}
-	close(next)
-	wg.Wait()
+	grouped := make(map[int]int, len(shares)) // first member -> share index
+	inGroup := make(map[int]bool)
+	var groups int
+	for gi, g := range shares {
+		if len(g.members) < 2 {
+			continue
+		}
+		groups++
+		grouped[g.members[0]] = gi
+		for _, m := range g.members {
+			inGroup[m] = true
+		}
+	}
+	units := make([]batchUnit, 0, len(queries))
+	for i := range plans {
+		if plans[i].err != nil || plans[i].dup >= 0 {
+			continue
+		}
+		if gi, lead := grouped[i]; lead || !inGroup[i] {
+			if inGroup[i] {
+				units = append(units, batchUnit{solo: -1, group: shares[gi].members, shared: shares[gi].shared})
+			} else {
+				units = append(units, batchUnit{solo: i})
+			}
+		}
+	}
+
+	// Dispatch: units spread over the batch executor in dynamically claimed
+	// index chunks (one synchronization per chunk, not one channel hand-off
+	// per query). Each unit writes only its own result slots.
+	chunk := len(units) / (e.workers * 8)
+	if chunk < 1 {
+		chunk = 1
+	}
+	e.batchExec.ForChunks(len(units), chunk, func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			unit := &units[u]
+			if unit.solo >= 0 {
+				i := unit.solo
+				qStart := time.Now()
+				res, err := e.runPlanned(&plans[i])
+				out.Results[i] = QueryResult{Query: queries[i], Result: res, Err: err, Wall: time.Since(qStart)}
+				continue
+			}
+			gStart := time.Now()
+			ctxs := make([]*Context, len(unit.group))
+			clocks := make([]sim.Clock, len(unit.group))
+			for k, i := range unit.group {
+				ctxs[k] = &Context{Engine: e, Clock: &clocks[k], Sources: plans[i].srcs, Dests: plans[i].dests}
+			}
+			fs, errs := unit.shared.SolveShared(ctxs)
+			wall := time.Since(gStart)
+			for k, i := range unit.group {
+				if errs[k] != nil {
+					out.Results[i] = QueryResult{Query: queries[i], Err: errs[k], Wall: wall}
+					continue
+				}
+				out.Results[i] = QueryResult{
+					Query:  queries[i],
+					Result: &Result{Forest: fs[k], Stats: statsOf(&clocks[k])},
+					Wall:   wall,
+				}
+			}
+		}
+	})
+
+	// Fill duplicates from their representatives: independent forest copies
+	// and stats matching what the duplicate's own Run would have reported
+	// (the representative may have paid the one-off leader election; a
+	// repeat of the same query would not, so that cost is stripped).
+	e.batchExec.ForChunks(len(dups), 1, func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			i := dups[k]
+			dStart := time.Now()
+			rep := &out.Results[plans[i].dup]
+			if rep.Err != nil {
+				out.Results[i] = QueryResult{Query: queries[i], Err: rep.Err, Wall: time.Since(dStart)}
+				continue
+			}
+			st := rep.Result.Stats
+			st.Phases = make(map[string]int64, len(rep.Result.Stats.Phases))
+			for name, rounds := range rep.Result.Stats.Phases {
+				st.Phases[name] = rounds
+			}
+			if p := st.Phases["preprocess"]; p > 0 {
+				st.Rounds -= e.prepStats.Rounds
+				st.Beeps -= e.prepStats.Beeps
+				delete(st.Phases, "preprocess")
+			}
+			out.Results[i] = QueryResult{
+				Query:  queries[i],
+				Result: &Result{Forest: rep.Result.Forest.Clone(), Stats: st},
+				Wall:   time.Since(dStart),
+			}
+		}
+	})
 
 	out.Stats = aggregateStats(out.Results)
+	out.Stats.Deduped = len(dups)
+	out.Stats.Groups = groups
 	out.Stats.Wall = time.Since(start)
 	return out
 }
 
+// orderedKey serializes an index sequence preserving order. Dedupe keys use
+// it for both sides (only literally identical queries collapse); solvers
+// whose outputs depend on sequence order (multi-source BFS claims) use it
+// as their ShareKey.
+func orderedKey(ids []int32) string {
+	var b strings.Builder
+	b.Grow(4 * len(ids))
+	for _, id := range ids {
+		b.WriteString(strconv.Itoa(int(id)))
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
 // aggregateStats folds per-query results into the batch aggregate (Wall is
-// the caller's, measured around its own bracket).
+// the caller's, measured around its own bracket). The phase map is
+// allocated lazily, pre-sized from the first successful result: an
+// all-failed batch allocates nothing.
 func aggregateStats(results []QueryResult) BatchStats {
-	st := BatchStats{Queries: len(results), Phases: make(map[string]int64)}
-	for _, r := range results {
+	st := BatchStats{Queries: len(results)}
+	for i := range results {
+		r := &results[i]
 		if r.Err != nil {
 			st.Failed++
 			continue
@@ -144,8 +323,13 @@ func aggregateStats(results []QueryResult) BatchStats {
 		if r.Result.Stats.Rounds > st.MaxRounds {
 			st.MaxRounds = r.Result.Stats.Rounds
 		}
-		for name, rounds := range r.Result.Stats.Phases {
-			st.Phases[name] += rounds
+		if len(r.Result.Stats.Phases) > 0 {
+			if st.Phases == nil {
+				st.Phases = make(map[string]int64, len(r.Result.Stats.Phases))
+			}
+			for name, rounds := range r.Result.Stats.Phases {
+				st.Phases[name] += rounds
+			}
 		}
 	}
 	return st

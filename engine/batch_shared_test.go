@@ -1,0 +1,215 @@
+package engine_test
+
+import (
+	"runtime"
+	"testing"
+
+	"spforest"
+	"spforest/amoebot"
+	"spforest/engine"
+)
+
+// TestBatchDedupesIdenticalQueries: identical queries in one batch are
+// solved once, but every occurrence gets an independent QueryResult — its
+// own tag, its own forest copy, its own phase map — with stats matching
+// what running the query again would have reported (no election charge).
+func TestBatchDedupesIdenticalQueries(t *testing.T) {
+	s := spforest.RandomBlob(27, 260)
+	sources := spforest.RandomCoords(3, s, 5)
+	tags := []string{"a", "b", "c", "d", "e", "f"}
+	queries := make([]engine.Query, len(tags))
+	for i, tag := range tags {
+		queries[i] = engine.Query{Tag: tag, Algo: engine.AlgoForest, Sources: sources, Dests: s.Coords()}
+	}
+
+	e, err := engine.New(s, &engine.Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := e.Batch(queries)
+	if batch.Stats.Deduped != len(tags)-1 {
+		t.Fatalf("Deduped = %d, want %d", batch.Stats.Deduped, len(tags)-1)
+	}
+	if batch.Stats.Groups != 0 {
+		t.Fatalf("Groups = %d, want 0 (a single representative forms no group)", batch.Stats.Groups)
+	}
+
+	// Reference: the same query run twice on a fresh engine. The first run
+	// pays the election, every repeat costs repeatStats.
+	ref, err := engine.New(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := ref.Run(queries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	repeat, err := ref.Run(queries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var elections int
+	for i, r := range batch.Results {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", tags[i], r.Err)
+		}
+		if r.Query.Tag != tags[i] {
+			t.Fatalf("result %d carries tag %q, want %q", i, r.Query.Tag, tags[i])
+		}
+		if r.Wall <= 0 {
+			t.Fatalf("%s: zero wall time", tags[i])
+		}
+		want := repeat.Stats
+		if p := r.Result.Stats.Phases["preprocess"]; p > 0 {
+			elections++
+			want = first.Stats
+		}
+		if r.Result.Stats.Rounds != want.Rounds || r.Result.Stats.Beeps != want.Beeps {
+			t.Fatalf("%s: stats %d rounds / %d beeps, want %d / %d",
+				tags[i], r.Result.Stats.Rounds, r.Result.Stats.Beeps, want.Rounds, want.Beeps)
+		}
+		for n := int32(0); n < int32(s.N()); n++ {
+			if r.Result.Forest.Parent(n) != first.Forest.Parent(n) {
+				t.Fatalf("%s: parent mismatch at node %d", tags[i], n)
+			}
+		}
+	}
+	if elections != 1 {
+		t.Fatalf("%d queries paid for leader election, want exactly 1", elections)
+	}
+
+	// Independence: mutating one result's forest or phase map must not leak
+	// into any other occurrence.
+	r0, r1 := batch.Results[0], batch.Results[1]
+	probe := r1.Result.Forest.Parent(0)
+	r0.Result.Forest.SetRoot(0)
+	if r1.Result.Forest.Parent(0) != probe {
+		t.Fatal("duplicate results share a forest")
+	}
+	r0.Result.Stats.Phases["forest"] = -1
+	if r1.Result.Stats.Phases["forest"] == -1 {
+		t.Fatal("duplicate results share a phase map")
+	}
+}
+
+// TestBatchGroupedMatchesSolo: queries a SharedSolver answers in one group
+// pass must come back bit-identical — forests and per-query simulated
+// stats — to running each query alone, at every worker count.
+func TestBatchGroupedMatchesSolo(t *testing.T) {
+	s := spforest.RandomBlob(31, 340)
+	srcs := spforest.RandomCoords(5, s, 9)
+	dests := spforest.RandomCoords(8, s, 11)
+
+	var queries []engine.Query
+	for _, src := range srcs {
+		queries = append(queries, engine.Query{Algo: engine.AlgoSPT, Sources: []amoebot.Coord{src}, Dests: dests})
+	}
+	for _, src := range srcs[:3] {
+		queries = append(queries, engine.Query{Algo: engine.AlgoSSSP, Sources: []amoebot.Coord{src}})
+	}
+
+	for _, iw := range []int{1, runtime.GOMAXPROCS(0)} {
+		solo, err := engine.New(s, &engine.Config{IntraWorkers: iw})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make([]*engine.Result, len(queries))
+		for i, q := range queries {
+			if want[i], err = solo.Run(q); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		e, err := engine.New(s, &engine.Config{Workers: 4, IntraWorkers: iw})
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch := e.Batch(queries)
+		if batch.Stats.Groups != 2 {
+			t.Fatalf("IntraWorkers=%d: Groups = %d, want 2 (spt and sssp)", iw, batch.Stats.Groups)
+		}
+		if batch.Stats.Deduped != 0 {
+			t.Fatalf("IntraWorkers=%d: Deduped = %d, want 0", iw, batch.Stats.Deduped)
+		}
+		for i, r := range batch.Results {
+			if r.Err != nil {
+				t.Fatalf("query %d: %v", i, r.Err)
+			}
+			ws, gs := want[i].Stats, r.Result.Stats
+			if gs.Rounds != ws.Rounds || gs.Beeps != ws.Beeps {
+				t.Fatalf("IntraWorkers=%d query %d: grouped stats %d rounds / %d beeps, solo %d / %d",
+					iw, i, gs.Rounds, gs.Beeps, ws.Rounds, ws.Beeps)
+			}
+			if len(gs.Phases) != len(ws.Phases) {
+				t.Fatalf("IntraWorkers=%d query %d: phases %v, solo %v", iw, i, gs.Phases, ws.Phases)
+			}
+			for name, rounds := range ws.Phases {
+				if gs.Phases[name] != rounds {
+					t.Fatalf("IntraWorkers=%d query %d: phase %s = %d, solo %d",
+						iw, i, name, gs.Phases[name], rounds)
+				}
+			}
+			for n := int32(0); n < int32(s.N()); n++ {
+				if r.Result.Forest.Parent(n) != want[i].Forest.Parent(n) {
+					t.Fatalf("IntraWorkers=%d query %d: parent mismatch at node %d", iw, i, n)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchGroupsBFSAcrossDests: the wavefront baseline ignores
+// destinations, so bfs queries differing only in Dests share one solve —
+// and still answer with independent, solo-identical results.
+func TestBatchGroupsBFSAcrossDests(t *testing.T) {
+	s := spforest.RandomBlob(23, 220)
+	sources := spforest.RandomCoords(2, s, 7)
+	destsA := spforest.RandomCoords(4, s, 13)
+	destsB := spforest.RandomCoords(6, s, 17)
+	queries := []engine.Query{
+		{Tag: "a", Algo: engine.AlgoBFS, Sources: sources, Dests: destsA},
+		{Tag: "b", Algo: engine.AlgoBFS, Sources: sources, Dests: destsB},
+		{Tag: "c", Algo: engine.AlgoBFS, Sources: sources},
+	}
+
+	solo, err := engine.New(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]*engine.Result, len(queries))
+	for i, q := range queries {
+		if want[i], err = solo.Run(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	e, err := engine.New(s, &engine.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := e.Batch(queries)
+	if batch.Stats.Groups != 1 {
+		t.Fatalf("Groups = %d, want 1", batch.Stats.Groups)
+	}
+	for i, r := range batch.Results {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.Query.Tag, r.Err)
+		}
+		if r.Result.Stats.Rounds != want[i].Stats.Rounds || r.Result.Stats.Beeps != want[i].Stats.Beeps {
+			t.Fatalf("%s: %d rounds / %d beeps, solo %d / %d", r.Query.Tag,
+				r.Result.Stats.Rounds, r.Result.Stats.Beeps, want[i].Stats.Rounds, want[i].Stats.Beeps)
+		}
+		for n := int32(0); n < int32(s.N()); n++ {
+			if r.Result.Forest.Parent(n) != want[i].Forest.Parent(n) {
+				t.Fatalf("%s: parent mismatch at node %d", r.Query.Tag, n)
+			}
+		}
+	}
+	// Group members must not share the forest.
+	probe := batch.Results[1].Result.Forest.Parent(0)
+	batch.Results[0].Result.Forest.SetRoot(0)
+	if batch.Results[1].Result.Forest.Parent(0) != probe {
+		t.Fatal("grouped results share a forest")
+	}
+}

@@ -74,15 +74,16 @@ type Config struct {
 // structure. Construct with New; the zero value is unusable. Engines are
 // safe for concurrent use by multiple goroutines.
 type Engine struct {
-	s       *amoebot.Structure
-	region  *amoebot.Region
-	cfg     Config
-	workers int
-	gen     uint64       // 0 for New; parent+1 along an Apply chain
-	arena   *dense.Arena // per-engine scratch pool, shared down Apply chains
-	exec    *par.Exec    // intra-query parallel executor (IntraWorkers over arena)
-	env     *core.Env    // execution environment handed to the core algorithms
-	holed   bool         // structure has holes (admitted via Config.AllowHoles)
+	s         *amoebot.Structure
+	region    *amoebot.Region
+	cfg       Config
+	workers   int
+	gen       uint64       // 0 for New; parent+1 along an Apply chain
+	arena     *dense.Arena // per-engine scratch pool, shared down Apply chains
+	exec      *par.Exec    // intra-query parallel executor (IntraWorkers over arena)
+	batchExec *par.Exec    // inter-query executor of Batch (Workers budget, no arena)
+	env       *core.Env    // execution environment handed to the core algorithms
+	holed     bool         // structure has holes (admitted via Config.AllowHoles)
 
 	leaderOnce  sync.Once
 	leaderIdx   int32
@@ -91,6 +92,7 @@ type Engine struct {
 
 	distMu    sync.Mutex
 	distCache map[string]*distEntry
+	distOrder []string   // cache keys in insertion order: the FIFO eviction ring
 	distStats CacheStats // counters under distMu; Generation/DistEntries filled on read
 
 	inspect inspectState // memoized portal decompositions (see inspect.go)
@@ -141,6 +143,10 @@ func New(s *amoebot.Structure, cfg *Config) (*Engine, error) {
 	if e.workers <= 0 {
 		e.workers = runtime.GOMAXPROCS(0)
 	}
+	// The batch executor hands whole queries (and query groups) out to the
+	// Workers-bounded pool; the token pool makes concurrent Batch calls on
+	// one engine share the budget instead of stacking pools.
+	e.batchExec = par.New(e.workers, nil)
 	if e.cfg.Leader != nil {
 		i, ok := s.Index(*e.cfg.Leader)
 		if !ok {
@@ -180,31 +186,56 @@ func (e *Engine) Region() *amoebot.Region { return e.region }
 // Run answers one query on its own simulated clock. An empty Query.Algo
 // selects the divide-and-conquer forest algorithm.
 func (e *Engine) Run(q Query) (*Result, error) {
+	pq := e.planQuery(q)
+	if pq.err != nil {
+		return nil, pq.err
+	}
+	return e.runPlanned(&pq)
+}
+
+// plannedQuery is one query after planning: solver looked up, precondition
+// checked, coordinates resolved to canonical index sets. Batch plans every
+// query up front to dedupe and group them; Run plans and executes in one
+// breath. Either way the validation semantics are this one function.
+type plannedQuery struct {
+	solver Solver
+	srcs   []int32
+	dests  []int32 // nil when the query gave no destinations
+	err    error   // planning failure; the query executes nothing
+	dup    int     // Batch only: index of the identical earlier query; -1 otherwise
+}
+
+func (e *Engine) planQuery(q Query) plannedQuery {
+	pq := plannedQuery{dup: -1}
 	algo := q.Algo
 	if algo == "" {
 		algo = AlgoForest
 	}
 	solver, ok := Lookup(algo)
 	if !ok {
-		return nil, unknownAlgo(algo)
+		pq.err = unknownAlgo(algo)
+		return pq
 	}
 	if e.holed && !holeTolerant(solver) {
-		return nil, fmt.Errorf("engine: algorithm %q requires a hole-free structure (%d hole(s); hole-tolerant solvers: %s)",
+		pq.err = fmt.Errorf("engine: algorithm %q requires a hole-free structure (%d hole(s); hole-tolerant solvers: %s)",
 			algo, e.s.Holes(), strings.Join(HoleTolerantSolvers(), ", "))
+		return pq
 	}
-	srcs, err := e.resolve(q.Sources, "source")
-	if err != nil {
-		return nil, err
+	pq.solver = solver
+	pq.srcs, pq.err = e.resolve(q.Sources, "source")
+	if pq.err != nil {
+		return pq
 	}
-	var dests []int32
 	if len(q.Dests) > 0 {
-		dests, err = e.resolve(q.Dests, "destination")
-		if err != nil {
-			return nil, err
-		}
+		pq.dests, pq.err = e.resolve(q.Dests, "destination")
 	}
+	return pq
+}
+
+// runPlanned executes a successfully planned query on a fresh clock.
+func (e *Engine) runPlanned(pq *plannedQuery) (*Result, error) {
 	var clock sim.Clock
-	f, err := solver.Solve(&Context{Engine: e, Clock: &clock, Sources: srcs, Dests: dests})
+	f, err := pq.solver.Solve(&Context{Engine: e, Clock: &clock, Sources: pq.srcs, Dests: pq.dests})
 	if err != nil {
 		return nil, err
 	}
@@ -292,8 +323,11 @@ func (e *Engine) Distances(sources []amoebot.Coord) ([]int, error) {
 const maxDistCacheEntries = 64
 
 // exactDistances memoizes baseline.Exact per canonical source set, keeping
-// at most maxDistCacheEntries entries (an arbitrary entry is evicted when
-// full). The returned slice is shared; callers must not modify it.
+// at most maxDistCacheEntries entries. Eviction is a deterministic FIFO
+// ring over insertion order — the oldest-inserted entry goes first — so a
+// repeated batch workload cannot randomly evict its own hot entry the way
+// the previous map-range deletion could. The returned slice is shared;
+// callers must not modify it.
 func (e *Engine) exactDistances(srcs []int32) []int32 {
 	key := sourceKey(srcs)
 	e.distMu.Lock()
@@ -309,15 +343,23 @@ func (e *Engine) exactDistances(srcs []int32) []int32 {
 	}
 	d, _ := baseline.ExactExec(e.exec, e.region, srcs)
 	e.distMu.Lock()
-	if _, dup := e.distCache[key]; !dup && len(e.distCache) >= maxDistCacheEntries {
-		for k := range e.distCache {
-			delete(e.distCache, k)
-			break
-		}
-	}
-	e.distCache[key] = &distEntry{srcs: append([]int32(nil), srcs...), dist: d}
+	e.storeDistance(key, &distEntry{srcs: append([]int32(nil), srcs...), dist: d})
 	e.distMu.Unlock()
 	return d
+}
+
+// storeDistance inserts a distance entry, evicting the oldest-inserted one
+// when the cache is full. Callers hold distMu.
+func (e *Engine) storeDistance(key string, ent *distEntry) {
+	if _, dup := e.distCache[key]; !dup {
+		if len(e.distCache) >= maxDistCacheEntries {
+			oldest := e.distOrder[0]
+			e.distOrder = e.distOrder[1:]
+			delete(e.distCache, oldest)
+		}
+		e.distOrder = append(e.distOrder, key)
+	}
+	e.distCache[key] = ent
 }
 
 // CacheStats reports the engine's generation-tracked cache counters: hits

@@ -71,6 +71,36 @@ func holeTolerant(s Solver) bool {
 	return ok && h.HoleTolerant()
 }
 
+// SharedSolver is a Solver that can answer a group of queries in one shared
+// pass, cheaper than solving each member alone. Batch uses it for
+// cross-query sharing: queries whose ShareKey matches form a group, and the
+// group is handed to SolveShared as one unit.
+//
+// The contract is strict so that grouping stays invisible:
+//
+//   - ShareKey is called with a query's resolved source and destination
+//     indices and returns (key, true) when the query is groupable. Two
+//     queries with equal keys MUST produce, under SolveShared, forests and
+//     per-clock stats bit-identical to what their individual Solve calls
+//     would have produced. A false return keeps the query on the solo path
+//     (e.g. an arity the solver would reject — Solve owns the error
+//     message).
+//   - SolveShared receives one Context per member (each with its own
+//     Clock) and returns one forest and one error per member, positionally.
+//     Members arrive in ascending batch index order and results must be
+//     independent (no shared mutable state between returned forests).
+type SharedSolver interface {
+	Solver
+	ShareKey(sources, dests []int32) (string, bool)
+	SolveShared(ctxs []*Context) ([]*amoebot.Forest, []error)
+}
+
+// sharedSolver reports whether the solver supports cross-query sharing.
+func sharedSolver(s Solver) (SharedSolver, bool) {
+	ss, ok := s.(SharedSolver)
+	return ss, ok
+}
+
 // HoleTolerant reports whether the named registered solver answers queries
 // on holed structures (engines built with Config.AllowHoles). Unknown
 // names report false.

@@ -7,6 +7,7 @@ import (
 	"spforest/amoebot"
 	"spforest/internal/baseline"
 	"spforest/internal/core"
+	"spforest/internal/sim"
 )
 
 func init() {
@@ -81,6 +82,55 @@ func (t treeSolver) Solve(ctx *Context) (*amoebot.Forest, error) {
 	return f, nil
 }
 
+// ShareKey groups single-source queries by destination set: all of a
+// group's sources sweep the shared per-axis root-and-prune decompositions
+// in one pass (core.SPTManyEnv). The key uses the canonical sorted
+// destination order — destination order cannot affect the SPT output (the
+// algorithm only consults membership, never order). Queries with an arity
+// Solve would reject stay solo so Solve keeps owning the error message.
+func (t treeSolver) ShareKey(sources, dests []int32) (string, bool) {
+	if len(sources) != 1 {
+		return "", false
+	}
+	switch {
+	case t.allDests:
+		return "", true // destinations are implicit: every query shares
+	case t.singlePair:
+		if len(dests) != 1 {
+			return "", false
+		}
+	default:
+		if len(dests) == 0 {
+			return "", false
+		}
+	}
+	return sourceKey(dests), true
+}
+
+// SolveShared runs the group's sources through one shared root-and-prune
+// sweep. Each member's clock is charged exactly what its solo Solve would
+// have charged (core.SPTManyEnv replays the memoized per-axis costs per
+// source), so stats — like forests — are bit-identical to the solo path.
+func (t treeSolver) SolveShared(ctxs []*Context) ([]*amoebot.Forest, []error) {
+	clocks := make([]*sim.Clock, len(ctxs))
+	sources := make([]int32, len(ctxs))
+	starts := make([]int64, len(ctxs))
+	for i, ctx := range ctxs {
+		clocks[i] = ctx.Clock
+		sources[i] = ctx.Sources[0]
+		starts[i] = ctx.Clock.Rounds()
+	}
+	dests := ctxs[0].Dests
+	if t.allDests {
+		dests = ctxs[0].Region().Nodes()
+	}
+	fs := core.SPTManyEnv(ctxs[0].Env(), clocks, ctxs[0].Region(), sources, dests)
+	for i, ctx := range ctxs {
+		ctx.Clock.AttributePhase("spt", ctx.Clock.Rounds()-starts[i])
+	}
+	return fs, make([]error, len(ctxs))
+}
+
 // sequentialSolver runs the paper's O(k log n) sequential-merge baseline.
 type sequentialSolver struct{}
 
@@ -113,6 +163,37 @@ func (bfsSolver) Solve(ctx *Context) (*amoebot.Forest, error) {
 		f = baseline.BFSForestExec(ctx.Exec(), ctx.Clock, ctx.Region(), ctx.Sources)
 	})
 	return f, nil
+}
+
+// ShareKey groups by the exact source sequence: the wavefront ignores
+// destinations entirely, so queries differing only in Dests (or Tag)
+// produce the same forest. The key preserves source order — the wavefront's
+// claim tie-break depends on it.
+func (bfsSolver) ShareKey(sources, dests []int32) (string, bool) {
+	return orderedKey(sources), true
+}
+
+// SolveShared solves the representative and replays its cost onto the other
+// members' clocks (forests are cloned, so results stay independent).
+func (b bfsSolver) SolveShared(ctxs []*Context) ([]*amoebot.Forest, []error) {
+	fs := make([]*amoebot.Forest, len(ctxs))
+	errs := make([]error, len(ctxs))
+	c0 := ctxs[0].Clock
+	r0, b0 := c0.Rounds(), c0.Beeps()
+	f, err := b.Solve(ctxs[0])
+	fs[0], errs[0] = f, err
+	dr, db := c0.Rounds()-r0, c0.Beeps()-b0
+	for i := 1; i < len(ctxs); i++ {
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		ctxs[i].Clock.Tick(dr)
+		ctxs[i].Clock.AddBeeps(db)
+		ctxs[i].Clock.AttributePhase("bfs", dr)
+		fs[i] = f.Clone()
+	}
+	return fs, errs
 }
 
 // exactSolver is the centralized reference: it builds a canonical

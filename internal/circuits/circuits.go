@@ -16,6 +16,7 @@ package circuits
 
 import (
 	"fmt"
+	"sync"
 
 	"spforest/amoebot"
 	"spforest/internal/dense"
@@ -256,11 +257,41 @@ func RegionCircuit(n *Net, r *amoebot.Region) []PS {
 	return NodeSetCircuit(n, r.Structure(), r.Nodes())
 }
 
+// psPool recycles the node→partition-set tables of NodeSetCircuit: the
+// table is O(n) and circuit constructions recur per engine (every leader
+// election, every derived engine of a churn workload), so the backing
+// arrays pool like the dense scratch does. Tables beyond the dense
+// retention bound are dropped for the GC instead.
+var psPool sync.Pool
+
+// NodeSetCircuitPooled is NodeSetCircuit drawing the returned table from
+// the package pool; call release when the table is no longer referenced.
+func NodeSetCircuitPooled(n *Net, s *amoebot.Structure, nodes []int32) (ps []PS, release func()) {
+	if p, ok := psPool.Get().(*[]PS); ok && cap(*p) >= s.N() {
+		ps = (*p)[:s.N()]
+	} else {
+		ps = make([]PS, s.N())
+	}
+	fillNodeSetCircuit(n, s, nodes, ps)
+	return ps, func() {
+		if cap(ps) > dense.MaxRetainedIndexEntries {
+			return
+		}
+		ps = ps[:0]
+		psPool.Put(&ps)
+	}
+}
+
 // NodeSetCircuit builds one circuit spanning an arbitrary node set (one
 // partition set per node, links along all structure edges inside the set).
 // The returned slice is indexed by structure node, NoPS outside the set.
 func NodeSetCircuit(n *Net, s *amoebot.Structure, nodes []int32) []PS {
 	ps := make([]PS, s.N())
+	fillNodeSetCircuit(n, s, nodes, ps)
+	return ps
+}
+
+func fillNodeSetCircuit(n *Net, s *amoebot.Structure, nodes []int32, ps []PS) {
 	for i := range ps {
 		ps[i] = NoPS
 	}
@@ -278,5 +309,4 @@ func NodeSetCircuit(n *Net, s *amoebot.Structure, nodes []int32) []PS {
 			}
 		}
 	}
-	return ps
 }

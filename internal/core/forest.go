@@ -309,7 +309,7 @@ func mergeLevel(env *Env, clock *sim.Clock, s *amoebot.Structure, sp *splitRegio
 	}
 	touching := make([][]*regionState, len(level))
 	for i, p := range level {
-		pnodes := sp.ports.NodesOf[p]
+		pnodes := sp.ports.NodesOf(p)
 		for _, st := range states {
 			if st.region.ContainsAny(pnodes) {
 				touching[i] = append(touching[i], st)
@@ -364,7 +364,7 @@ func mergeLevel(env *Env, clock *sim.Clock, s *amoebot.Structure, sp *splitRegio
 // one (Lemma 55) and returns the rewritten state list; with fewer than two
 // touching regions it is a no-op.
 func mergeAlongPortal(env *Env, clock *sim.Clock, s *amoebot.Structure, sp *splitRegions, p int32, states []*regionState) []*regionState {
-	pnodes := sp.ports.NodesOf[p]
+	pnodes := sp.ports.NodesOf(p)
 	var touching []*regionState
 	var rest []*regionState
 	for _, st := range states {
@@ -392,7 +392,7 @@ func mergeAlongPortal(env *Env, clock *sim.Clock, s *amoebot.Structure, sp *spli
 // depends on it).
 func mergeTouching(env *Env, clock *sim.Clock, s *amoebot.Structure, sp *splitRegions, p int32, touching []*regionState) *regionState {
 	ar := env.Arena()
-	pnodes := sp.ports.NodesOf[p]
+	pnodes := sp.ports.NodesOf(p)
 	inP := ar.BitSet(s.N())
 	defer ar.PutBitSet(inP)
 	for _, u := range pnodes {
@@ -479,8 +479,8 @@ func mergeTouching(env *Env, clock *sim.Clock, s *amoebot.Structure, sp *splitRe
 		out = north
 	default:
 		whole := north.region.Union(south.region).Union(amoebot.NewRegion(s, pnodes))
-		fN := extendAlongPortal(clock, s, north.forest, pnodes)
-		fS := extendAlongPortal(clock, s, south.forest, pnodes)
+		fN := extendAlongPortal(env.Arena(), clock, s, north.forest, pnodes)
+		fS := extendAlongPortal(env.Arena(), clock, s, south.forest, pnodes)
 		f1 := PropagateEnv(env, clock, whole, pnodes, fN, amoebot.SideB)
 		f2 := PropagateEnv(env, clock, whole, pnodes, fS, amoebot.SideA)
 		out = &regionState{region: whole, forest: MergeEnv(env, clock, f1, f2)}
@@ -557,7 +557,7 @@ func mergePairAtCut(env *Env, clock *sim.Clock, s *amoebot.Structure, a, b *regi
 // by its tree depth. A PASC sweep along the portal delivers the distances
 // (charged logarithmically); the shortest paths involved run along the
 // portal itself, so correctness follows from the grid metric.
-func extendAlongPortal(clock *sim.Clock, s *amoebot.Structure, f *amoebot.Forest, pnodes []int32) *amoebot.Forest {
+func extendAlongPortal(ar *dense.Arena, clock *sim.Clock, s *amoebot.Structure, f *amoebot.Forest, pnodes []int32) *amoebot.Forest {
 	if f.Size() == 0 {
 		return f.Clone()
 	}
@@ -573,16 +573,20 @@ func extendAlongPortal(clock *sim.Clock, s *amoebot.Structure, f *amoebot.Forest
 	out := f.Clone()
 	// best[i]: minimal depth(w) + |i - pos(w)| over covered w, tracked in
 	// two sweeps (west-to-east and east-to-west), the distributed analogue
-	// being the weighted line PASC of §5.1.
+	// being the weighted line PASC of §5.1. The two minima columns are
+	// arena-recycled int32 SoA scratch: depths are bounded by n < 2³¹ and
+	// the per-level merges of one forest query run this on every portal.
 	n := len(pnodes)
-	const inf = int(^uint(0) >> 2)
-	bestW := make([]int, n)
-	bestE := make([]int, n)
+	const inf = int32(1) << 29 // headroom: inf + n stays well below 2³¹
+	bestW := ar.Int32s(n)
+	bestE := ar.Int32s(n)
+	defer ar.PutInt32s(bestW)
+	defer ar.PutInt32s(bestE)
 	run := inf
 	for i := 0; i < n; i++ {
 		run++
 		if f.Member(pnodes[i]) {
-			if d := f.Depth(pnodes[i]); d < run {
+			if d := int32(f.Depth(pnodes[i])); d < run {
 				run = d
 			}
 		}
@@ -592,13 +596,13 @@ func extendAlongPortal(clock *sim.Clock, s *amoebot.Structure, f *amoebot.Forest
 	for i := n - 1; i >= 0; i-- {
 		run++
 		if f.Member(pnodes[i]) {
-			if d := f.Depth(pnodes[i]); d < run {
+			if d := int32(f.Depth(pnodes[i])); d < run {
 				run = d
 			}
 		}
 		bestE[i] = run
 	}
-	maxVal := 1
+	maxVal := int32(1)
 	for i := 0; i < n; i++ {
 		if f.Member(pnodes[i]) {
 			continue

@@ -94,13 +94,17 @@ func forestTree(f *amoebot.Forest, members []int32, ar *dense.Arena) (*ett.Tree,
 // forestPASC builds a multi-root tree-distance PASC over all members of f:
 // slot i corresponds to members[i]; roots are the forest roots. Each
 // member's streamed value is its tree depth = dist(S, ·). The caller
-// releases the local index with ar.PutIndex.
+// releases the local index with ar.PutIndex and the run with
+// run.Release(ar); both draw their state (the parent column and the PASC
+// comparator columns) from the arena, so the per-level merge cascade of a
+// forest query recycles one set of backing arrays.
 func forestPASC(f *amoebot.Forest, members []int32, ar *dense.Arena) (*pasc.Run, *dense.Index) {
 	toLocal := ar.Index(f.Structure().N())
 	for li, g := range members {
 		toLocal.Set(g, int32(li))
 	}
-	parent := make([]int32, len(members))
+	parent := ar.Int32s(len(members))
+	defer ar.PutInt32s(parent)
 	for li, g := range members {
 		if p := f.Parent(g); p != amoebot.None {
 			lp, ok := toLocal.Get(p)
@@ -112,7 +116,7 @@ func forestPASC(f *amoebot.Forest, members []int32, ar *dense.Arena) (*pasc.Run,
 			parent[li] = -1
 		}
 	}
-	return pasc.NewTreeDistance(parent), toLocal
+	return pasc.NewTreeDistanceArena(ar, parent), toLocal
 }
 
 // pruneToDestinations applies the final root-and-prune of §4/§5.4.4: every

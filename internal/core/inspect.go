@@ -46,7 +46,7 @@ func SplitRegions(region *amoebot.Region, sources []int32, leader int32) *SplitI
 	for id := int32(0); id < int32(ports.Len()); id++ {
 		if inQP[id] {
 			info.Marks = append(info.Marks, sp.marksOf[id]...)
-			info.QPrimeNodes = append(info.QPrimeNodes, ports.NodesOf[id]...)
+			info.QPrimeNodes = append(info.QPrimeNodes, ports.NodesOf(id)...)
 		}
 	}
 	return info

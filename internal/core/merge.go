@@ -45,8 +45,10 @@ func MergeEnv(env *Env, clock *sim.Clock, f1, f2 *amoebot.Forest) *amoebot.Fores
 	}
 	run1, local1 := forestPASC(f1, m1, ar)
 	defer ar.PutIndex(local1)
+	defer run1.Release(ar)
 	run2, local2 := forestPASC(f2, m2, ar)
 	defer ar.PutIndex(local2)
+	defer run2.Release(ar)
 	// Amoebots covered by both forests hold the O(1)-state comparators;
 	// cmpOf maps such a node to its comparator slot.
 	cmpOf := ar.Index(s.N())

@@ -152,6 +152,7 @@ func PropagateEnv(env *Env, clock *sim.Clock, region *amoebot.Region, pnodes []i
 			})
 		}
 		ar.PutIndex(toLocal)
+		run.Release(ar)
 		ex.Range(len(probes), func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				pr := &probes[i]

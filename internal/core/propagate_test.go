@@ -23,7 +23,7 @@ func propagateSetup(t *testing.T, rng *rand.Rand, s *amoebot.Structure, portalId
 	if portalIdx >= ports.Len() {
 		return nil, nil, nil, nil, false
 	}
-	pnodes = ports.NodesOf[int32(portalIdx)]
+	pnodes = ports.NodesOf(int32(portalIdx))
 	inP := dense.NewBitSet(s.N())
 	for _, p := range pnodes {
 		inP.Add(p)
@@ -98,11 +98,11 @@ func TestPropagateCombNeedsPhase2(t *testing.T) {
 	// The spine is the longest portal.
 	spine := int32(0)
 	for id := int32(0); id < int32(ports.Len()); id++ {
-		if len(ports.NodesOf[id]) > len(ports.NodesOf[spine]) {
+		if len(ports.NodesOf(id)) > len(ports.NodesOf(spine)) {
 			spine = id
 		}
 	}
-	pnodes := ports.NodesOf[spine]
+	pnodes := ports.NodesOf(spine)
 	sources := []int32{pnodes[0], pnodes[len(pnodes)-1]}
 	var clock sim.Clock
 	f := baseline.BFSForest(&clock, amoebot.NewRegion(s, pnodes), sources)
@@ -139,7 +139,7 @@ func TestPropagateEmptyForest(t *testing.T) {
 	ports := portal.Compute(region, amoebot.AxisX)
 	empty := amoebot.NewForest(s)
 	var clock sim.Clock
-	out := Propagate(&clock, region, ports.NodesOf[0], empty, amoebot.SideB)
+	out := Propagate(&clock, region, ports.NodesOf(0), empty, amoebot.SideB)
 	if out.Size() != 0 {
 		t.Fatal("empty forest propagated to a non-empty forest")
 	}

@@ -89,7 +89,7 @@ func buildSplit(region *amoebot.Region, ports *portal.Portals, inQP []bool, rp *
 		// Segments: the portal's node run split at the marks, marks
 		// belonging to both sides. The run and the marks are both in
 		// ascending x order, so one cursor walks them in lockstep.
-		run := ports.NodesOf[id]
+		run := ports.NodesOf(id)
 		mi := 0
 		var segs [][]int32
 		cur := []int32{}
@@ -117,7 +117,7 @@ func buildSplit(region *amoebot.Region, ports *portal.Portals, inQP []bool, rp *
 		if !inQP[id] {
 			continue
 		}
-		for _, u := range ports.NodesOf[id] {
+		for _, u := range ports.NodesOf(id) {
 			qpPortalOf.Set(u, id)
 			qpNodes = append(qpNodes, u)
 		}

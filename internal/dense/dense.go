@@ -151,7 +151,8 @@ const (
 	MaxRetainedIndexEntries = 1 << 21
 )
 
-// Arena recycles BitSets and Indexes through sync.Pools. Engines hold one
+// Arena recycles BitSets, Indexes and raw SoA slices through sync.Pools.
+// Engines hold one
 // arena each and thread it through their query contexts, so a stream of
 // queries against one engine reuses the same scratch arrays instead of
 // reallocating them; the free-function entry points use a per-call arena,
@@ -165,6 +166,8 @@ const (
 type Arena struct {
 	bitsets sync.Pool
 	indexes sync.Pool
+	int32s  sync.Pool
+	bytes   sync.Pool
 }
 
 // NewArena returns an empty arena. The zero value is also ready to use.
@@ -208,6 +211,56 @@ func (a *Arena) PutIndex(x *Index) {
 	if a != nil && x != nil && cap(x.vals) <= MaxRetainedIndexEntries {
 		a.indexes.Put(x)
 	}
+}
+
+// Int32s returns a zeroed []int32 of length n. It is the raw-slice arm of
+// the arena, for SoA state arrays (PASC comparator columns, per-node
+// minima) whose types don't fit BitSet or Index; like them, the backing
+// array is recycled through a pool, so steady-state queries allocate
+// nothing here.
+func (a *Arena) Int32s(n int) []int32 {
+	if a == nil {
+		return make([]int32, n)
+	}
+	if p, ok := a.int32s.Get().(*[]int32); ok && cap(*p) >= n {
+		s := (*p)[:n]
+		clear(s)
+		return s
+	}
+	return make([]int32, n)
+}
+
+// PutInt32s returns a slice obtained from Int32s to the arena. Slices
+// larger than the retention high-water mark are dropped for the GC instead.
+func (a *Arena) PutInt32s(s []int32) {
+	if a == nil || cap(s) == 0 || cap(s) > MaxRetainedIndexEntries {
+		return
+	}
+	s = s[:0]
+	a.int32s.Put(&s)
+}
+
+// Bytes returns a zeroed []uint8 of length n (the byte-wide counterpart of
+// Int32s, for branch-free flag columns).
+func (a *Arena) Bytes(n int) []uint8 {
+	if a == nil {
+		return make([]uint8, n)
+	}
+	if p, ok := a.bytes.Get().(*[]uint8); ok && cap(*p) >= n {
+		s := (*p)[:n]
+		clear(s)
+		return s
+	}
+	return make([]uint8, n)
+}
+
+// PutBytes returns a slice obtained from Bytes to the arena.
+func (a *Arena) PutBytes(s []uint8) {
+	if a == nil || cap(s) == 0 || cap(s) > MaxRetainedIndexEntries {
+		return
+	}
+	s = s[:0]
+	a.bytes.Put(&s)
 }
 
 // Shared is the process-wide fallback arena used by code without an engine

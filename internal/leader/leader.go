@@ -47,7 +47,8 @@ func ElectExec(ex *par.Exec, clock *sim.Clock, region *amoebot.Region, rng *rand
 	// One pin configuration serves every phase: build it once, freeze the
 	// circuit table once, and reset only the beep state between phases.
 	net := circuits.New()
-	ps := circuits.RegionCircuit(net, region)
+	ps, releasePS := circuits.NodeSetCircuitPooled(net, region.Structure(), region.Nodes())
+	defer releasePS()
 	net.Freeze(ex)
 	wave := make([]circuits.PS, 0, len(candidates))
 	first := true

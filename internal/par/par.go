@@ -155,6 +155,51 @@ func (e *Exec) For(n int, fn func(i int)) {
 	wg.Wait()
 }
 
+// ForChunks runs fn over contiguous chunks of [0, n), handing chunks out
+// dynamically by atomic cursor. It blends For and Range: like For, claims
+// are dynamic so skewed per-index costs still balance; like Range, one
+// hand-off covers chunk indices, so huge trip counts (a 10⁵-query batch)
+// pay one synchronization per chunk instead of one channel hand-off per
+// index. fn must tolerate any claim order; the chunks partition [0, n)
+// exactly.
+func (e *Exec) ForChunks(n, chunk int, fn func(lo, hi int)) {
+	if chunk < 1 {
+		chunk = 1
+	}
+	if e.Workers() <= 1 || n <= chunk {
+		if n > 0 {
+			fn(0, n)
+		}
+		return
+	}
+	var cursor atomic.Int64
+	work := func() {
+		for {
+			lo := int(cursor.Add(int64(chunk))) - chunk
+			if lo >= n {
+				return
+			}
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			fn(lo, hi)
+		}
+	}
+	chunks := (n + chunk - 1) / chunk
+	var wg sync.WaitGroup
+	for h := 0; h < chunks-1 && e.acquire(); h++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer e.release()
+			work()
+		}()
+	}
+	work()
+	wg.Wait()
+}
+
 // Range splits [0, n) into one contiguous chunk per worker and runs
 // fn(lo, hi) on each concurrently (the last chunk on the calling
 // goroutine). It is the cheap fan-out for uniform per-index sweeps. The

@@ -21,9 +21,18 @@
 // The simulator propagates the arriving track directly (an XOR along the
 // tree) instead of materializing the two circuits; this is observationally
 // identical and linear per iteration. Rounds are charged via StepRound.
+//
+// Layout: the comparator state is stored as parallel flat columns (SoA) of
+// one byte per flag, and the inner loop selects every verdict with masks
+// instead of branching — one PASC iteration over n slots is a single
+// predictable pass over four byte columns and one index column, which is
+// what keeps million-slot sweeps memory-bound instead of
+// branch-miss-bound. The columns can be drawn from and recycled through a
+// dense.Arena (NewTreeDistanceArena / Release).
 package pasc
 
 import (
+	"spforest/internal/dense"
 	"spforest/internal/sim"
 )
 
@@ -33,13 +42,20 @@ const LinksPerEdge = 2
 
 // Run is one PASC execution over a forest of slots. Roots act as sources:
 // they always toggle the track and always read bit 0.
+//
+// State is SoA: one flat column per comparator field, indexed by slot. The
+// parent column uses a sentinel: roots point at virtual slot n, whose
+// arrival entry is pinned to track 0, so the step loop reads every slot's
+// incoming track with one unconditional load.
 type Run struct {
-	parent      []int32
-	order       []int32 // topological order (parents before children)
-	participant []bool
-	active      []bool
-	bits        []uint8 // reused output buffer
-	arrival     []uint8 // reused scratch: arriving track per slot
+	pidx    []int32 // parent slot; roots point at the sentinel slot n
+	order   []int32 // topological order (parents before children)
+	part    []uint8 // 1 = participant
+	act     []uint8 // 1 = still active
+	root    []uint8 // 1 = source slot
+	bits    []uint8 // reused output buffer
+	arrival []uint8 // length n+1: exit track per slot; arrival[n] ≡ 0 (sentinel)
+
 	iterations  int
 	activeCount int
 }
@@ -54,24 +70,38 @@ func New(parent []int32, participant []bool) *Run {
 	if len(participant) != n {
 		panic("pasc: length mismatch")
 	}
+	return build(nil, parent, func(i int) bool { return participant[i] })
+}
+
+// build assembles the SoA columns, drawing them from the arena when one is
+// given (nil degrades to plain allocation, like the arena itself).
+func build(ar *dense.Arena, parent []int32, participant func(i int) bool) *Run {
+	n := len(parent)
 	r := &Run{
-		parent:      append([]int32(nil), parent...),
-		participant: append([]bool(nil), participant...),
-		active:      make([]bool, n),
-		bits:        make([]uint8, n),
-		arrival:     make([]uint8, n),
+		pidx:    ar.Int32s(n),
+		part:    ar.Bytes(n),
+		act:     ar.Bytes(n),
+		root:    ar.Bytes(n),
+		bits:    ar.Bytes(n),
+		arrival: ar.Bytes(n + 1),
 	}
 	// Topological order via iterative root-to-leaf traversal. The child
 	// lists live in one flat array indexed by a per-slot offset (CSR), so
-	// building them costs three flat allocations instead of one per slot.
-	kidOff := make([]int32, n+1)
+	// building them costs three flat scratch columns instead of one
+	// allocation per slot.
+	kidOff := ar.Int32s(n + 1)
 	roots := make([]int32, 0, 1)
 	for i, p := range parent {
 		if p == -1 {
 			roots = append(roots, int32(i))
-			r.participant[i] = false // sources do not count themselves
+			r.root[i] = 1
+			r.pidx[i] = int32(n) // sentinel: arrival[n] is always track 0
 		} else {
+			r.pidx[i] = p
 			kidOff[p+1]++
+		}
+		if participant(i) && p != -1 { // sources do not count themselves
+			r.part[i] = 1
 		}
 	}
 	if len(roots) == 0 {
@@ -80,15 +110,16 @@ func New(parent []int32, participant []bool) *Run {
 	for i := 0; i < n; i++ {
 		kidOff[i+1] += kidOff[i]
 	}
-	kids := make([]int32, kidOff[n])
-	pos := append([]int32(nil), kidOff[:n]...)
+	kids := ar.Int32s(int(kidOff[n]))
+	pos := ar.Int32s(n)
+	copy(pos, kidOff[:n])
 	for i, p := range parent {
 		if p != -1 {
 			kids[pos[p]] = int32(i)
 			pos[p]++
 		}
 	}
-	r.order = make([]int32, 0, n)
+	r.order = ar.Int32s(n)[:0]
 	stack := append(pos[:0], roots...) // reuse pos as the DFS stack
 	for len(stack) > 0 {
 		u := stack[len(stack)-1]
@@ -99,13 +130,29 @@ func New(parent []int32, participant []bool) *Run {
 	if len(r.order) != n {
 		panic("pasc: slot graph is not a forest")
 	}
-	for i := range r.active {
-		if r.participant[i] {
-			r.active[i] = true
+	ar.PutInt32s(kidOff)
+	ar.PutInt32s(kids)
+	ar.PutInt32s(stack) // pos's backing array, drained by the traversal
+	for i := range r.act {
+		if r.part[i] == 1 {
+			r.act[i] = 1
 			r.activeCount++
 		}
 	}
 	return r
+}
+
+// Release returns the run's comparator columns to the arena they were drawn
+// from (NewTreeDistanceArena). The run must not be used afterwards.
+func (r *Run) Release(ar *dense.Arena) {
+	ar.PutInt32s(r.pidx)
+	ar.PutInt32s(r.order)
+	ar.PutBytes(r.part)
+	ar.PutBytes(r.act)
+	ar.PutBytes(r.root)
+	ar.PutBytes(r.bits)
+	ar.PutBytes(r.arrival)
+	r.pidx, r.order, r.part, r.act, r.root, r.bits, r.arrival = nil, nil, nil, nil, nil, nil, nil
 }
 
 // NewChain creates a run over a chain of n slots (slot 0 the source).
@@ -132,11 +179,13 @@ func NewChainDistance(n int) *Run {
 // NewTreeDistance creates the Corollary 5 configuration: distances to the
 // root(s) in a rooted forest.
 func NewTreeDistance(parent []int32) *Run {
-	all := make([]bool, len(parent))
-	for i := range all {
-		all[i] = true
-	}
-	return New(parent, all)
+	return NewTreeDistanceArena(nil, parent)
+}
+
+// NewTreeDistanceArena is NewTreeDistance drawing the comparator columns
+// from the arena; pair with Release so repeated solves recycle the state.
+func NewTreeDistanceArena(ar *dense.Arena, parent []int32) *Run {
+	return build(ar, parent, func(int) bool { return true })
 }
 
 // NewPrefixSum creates the Corollary 6 configuration for a chain of m
@@ -154,7 +203,7 @@ func NewPrefixSum(weights []bool) *Run {
 }
 
 // Len returns the number of slots.
-func (r *Run) Len() int { return len(r.parent) }
+func (r *Run) Len() int { return len(r.pidx) }
 
 // Done reports whether the run has terminated: every participant has turned
 // passive and at least one iteration has run (the amoebots need one silent
@@ -167,43 +216,34 @@ func (r *Run) Iterations() int { return r.iterations }
 
 // step executes one PASC iteration and returns the bit each slot reads.
 // The returned slice is reused by the next call.
+//
+// The loop is branch-free: with a = "active participant" and rt = "root",
+// the three comparator verdicts collapse to mask selects on the arriving
+// track t —
+//
+//	exit = t ^ (a|rt)    (sources and active participants toggle the track)
+//	bit  = (t ^ a ^ 1) &^ rt
+//	       (active participants read t, passive slots and forwarders read
+//	        the inverted track, sources read 0)
+//
+// and an active participant deactivates exactly when its bit is 1
+// (d = a & bit). Every slot executes the same instructions; the verdicts
+// live in the data.
 func (r *Run) step() []uint8 {
 	r.iterations++
+	deactivated := 0
 	for _, u := range r.order {
-		p := r.parent[u]
-		var track uint8
-		if p == -1 {
-			track = 0 // track entering the source; the source itself toggles below
-		} else {
-			track = r.arrival[p]
-			// arrival[p] currently holds p's *exit* track (set below when p
-			// was processed).
-		}
-		// Store u's exit track: toggle if u is a source or an active
-		// participant.
-		toggle := r.parent[u] == -1 || (r.participant[u] && r.active[u])
-		exit := track
-		if toggle {
-			exit ^= 1
-		}
-		// u reads its bit from the arriving track.
-		var bit uint8
-		switch {
-		case r.parent[u] == -1:
-			bit = 0 // sources are at distance/prefix 0... (bit undefined for virtual sources)
-		case r.participant[u] && r.active[u]:
-			bit = track
-		default:
-			// Passive participants and forwarders read the inverted track.
-			bit = 1 - track
-		}
+		t := r.arrival[r.pidx[u]] // roots read the pinned sentinel track 0
+		a := r.part[u] & r.act[u]
+		rt := r.root[u]
+		r.arrival[u] = t ^ (a | rt)
+		bit := (t ^ a ^ 1) &^ rt
 		r.bits[u] = bit
-		r.arrival[u] = exit
-		if r.participant[u] && r.active[u] && bit == 1 {
-			r.active[u] = false
-			r.activeCount--
-		}
+		d := a & bit
+		r.act[u] ^= d
+		deactivated += int(d)
 	}
+	r.activeCount -= deactivated
 	return r.bits
 }
 

@@ -90,7 +90,7 @@ func TestLemma13Separation(t *testing.T) {
 			p := Compute(region, axis)
 			pid := int32(rng.Intn(p.Len()))
 			inP := map[int32]bool{}
-			for _, u := range p.NodesOf[pid] {
+			for _, u := range p.NodesOf(pid) {
 				inP[u] = true
 			}
 			rest := region.Filter(func(i int32) bool { return !inP[i] })
@@ -100,7 +100,7 @@ func TestLemma13Separation(t *testing.T) {
 			for _, comp := range amoebot.NewRegion(s, rest).Components() {
 				sides := map[amoebot.Side]bool{}
 				adjacent := false
-				for _, u := range p.NodesOf[pid] {
+				for _, u := range p.NodesOf(pid) {
 					for d := amoebot.Direction(0); d < amoebot.NumDirections; d++ {
 						if d.Axis() == axis {
 							continue

@@ -13,6 +13,7 @@ package portal
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"spforest/amoebot"
 	"spforest/internal/ett"
@@ -25,11 +26,18 @@ type Portals struct {
 
 	// ID maps each structure node to its portal id (-1 outside the region).
 	ID []int32
-	// NodesOf lists each portal's amoebots in ascending axis order; the
-	// first entry is the negative-most amoebot, the portal's representative.
-	NodesOf [][]int32
 	// Nbr lists each portal's adjacent portals (ascending ids).
 	Nbr [][]int32
+
+	// Portal membership in CSR layout: portal id's amoebots are
+	// nodes[off[id]:off[id+1]], in ascending axis order; the first entry is
+	// the negative-most amoebot, the portal's representative. One flat
+	// array instead of a slice header + allocation per portal — a
+	// million-amoebot structure has hundreds of thousands of single-node
+	// portals, and the AoS layout paid 24 bytes of header and a cache miss
+	// each.
+	nodes []int32
+	off   []int32
 
 	conn map[[2]int32]int32 // (from portal, to portal) -> connecting amoebot in "from"
 }
@@ -41,6 +49,7 @@ func Compute(region *amoebot.Region, axis amoebot.Axis) *Portals {
 		Axis:   axis,
 		Region: region,
 		ID:     make([]int32, s.N()),
+		off:    []int32{0},
 		conn:   make(map[[2]int32]int32),
 	}
 	for i := range p.ID {
@@ -51,13 +60,12 @@ func Compute(region *amoebot.Region, axis amoebot.Axis) *Portals {
 		if region.Neighbor(u, neg) != amoebot.None {
 			continue // not the start of a run
 		}
-		id := int32(len(p.NodesOf))
-		var run []int32
+		id := int32(len(p.off)) - 1
 		for v := u; v != amoebot.None; v = region.Neighbor(v, pos) {
 			p.ID[v] = id
-			run = append(run, v)
+			p.nodes = append(p.nodes, v)
 		}
-		p.NodesOf = append(p.NodesOf, run)
+		p.off = append(p.off, int32(len(p.nodes)))
 	}
 	// Crossing edges of the implicit tree give the portal adjacency. The
 	// conn map already holds exactly one entry per directed adjacent pair,
@@ -76,7 +84,7 @@ func Compute(region *amoebot.Region, axis amoebot.Axis) *Portals {
 			p.conn[key] = u
 		}
 	}
-	p.Nbr = make([][]int32, len(p.NodesOf))
+	p.Nbr = make([][]int32, p.Len())
 	for key := range p.conn {
 		p.Nbr[key[0]] = append(p.Nbr[key[0]], key[1])
 	}
@@ -87,10 +95,14 @@ func Compute(region *amoebot.Region, axis amoebot.Axis) *Portals {
 }
 
 // Len returns the number of portals.
-func (p *Portals) Len() int { return len(p.NodesOf) }
+func (p *Portals) Len() int { return len(p.off) - 1 }
+
+// NodesOf returns portal id's amoebots in ascending axis order (a view
+// into the shared CSR array; callers must not modify it).
+func (p *Portals) NodesOf(id int32) []int32 { return p.nodes[p.off[id]:p.off[id+1]] }
 
 // Rep returns the representative (negative-most amoebot) of the portal.
-func (p *Portals) Rep(id int32) int32 { return p.NodesOf[id][0] }
+func (p *Portals) Rep(id int32) int32 { return p.nodes[p.off[id]] }
 
 // Connector returns the amoebot c_{from}(to): the amoebot of portal "from"
 // incident to the unique implicit-tree edge towards the adjacent portal
@@ -189,6 +201,11 @@ type View struct {
 	// views stays O(Σ|view|), not O(#views · n).
 	toLocal    []int32
 	toLocalMap map[int32]int32
+
+	// Frozen crossing-edge table, built once per view on first use (see
+	// crossings).
+	crossOnce sync.Once
+	cross     *crossTab
 }
 
 // WholeView returns the view containing every portal.
@@ -213,7 +230,7 @@ func (p *Portals) SubView(ids []int32) *View {
 		v.inView[id] = true
 	}
 	for _, id := range v.IDs {
-		v.nodes = append(v.nodes, p.NodesOf[id]...)
+		v.nodes = append(v.nodes, p.NodesOf(id)...)
 	}
 	sort.Slice(v.nodes, func(a, b int) bool { return v.nodes[a] < v.nodes[b] })
 	n := p.Region.Structure().N()
@@ -287,6 +304,45 @@ func (v *View) Local(g int32) int32 {
 
 // Global returns the structure node id of a local index.
 func (v *View) Global(l int32) int32 { return v.nodes[l] }
+
+// crossTab is the frozen circuit table of a view's directed crossing
+// edges, in SoA layout: row i is the crossing edge from[i] → to[i],
+// operated by the connector amoebot at local index local[i] via neighbor
+// ordinal ord[i] of the implicit tree. The table is a pure function of the
+// view, so it is resolved once (the connector map lookups and neighbor
+// scans of crossingOrdinal) and every primitive execution on the view —
+// every root-and-prune of every query sharing the decomposition — streams
+// over the same frozen rows, exactly like re-beeping an already
+// constructed circuit instead of rebuilding it.
+type crossTab struct {
+	from, to []int32
+	local    []int32
+	ord      []int32
+}
+
+// crossings returns the view's frozen crossing-edge table, building it on
+// first use. Rows are ordered by (ascending portal id, ascending neighbor
+// id) — the iteration order every primitive previously rebuilt per call —
+// so results are bit-identical to the unfrozen path.
+func (v *View) crossings() *crossTab {
+	v.crossOnce.Do(func() {
+		ct := &crossTab{}
+		for _, p1 := range v.IDs {
+			for _, p2 := range v.P.Nbr[p1] {
+				if !v.inView[p2] {
+					continue
+				}
+				lu, ord := v.crossingOrdinal(p1, p2)
+				ct.from = append(ct.from, p1)
+				ct.to = append(ct.to, p2)
+				ct.local = append(ct.local, lu)
+				ct.ord = append(ct.ord, int32(ord))
+			}
+		}
+		v.cross = ct
+	})
+	return v.cross
+}
 
 // crossingOrdinal returns, for the crossing edge between adjacent view
 // portals (from, to), the local index of the connector c_from(to) and the

@@ -16,12 +16,12 @@ func TestParallelogramXPortals(t *testing.T) {
 		t.Fatalf("x-portals = %d, want 3 (one per row)", p.Len())
 	}
 	for id := int32(0); id < 3; id++ {
-		if len(p.NodesOf[id]) != 5 {
-			t.Fatalf("portal %d has %d nodes", id, len(p.NodesOf[id]))
+		if len(p.NodesOf(id)) != 5 {
+			t.Fatalf("portal %d has %d nodes", id, len(p.NodesOf(id)))
 		}
 		rep := p.Rep(id)
 		// Representative must be the negative-most (westernmost) node.
-		for _, u := range p.NodesOf[id] {
+		for _, u := range p.NodesOf(id) {
 			if amoebot.AxisX.Along(s.Coord(u)) < amoebot.AxisX.Along(s.Coord(rep)) {
 				t.Fatalf("portal %d: rep is not negative-most", id)
 			}

@@ -63,44 +63,29 @@ func RootPrune(clock *sim.Clock, v *View, rootPortal int32, inQ []bool) *RootPru
 	run := ett.NewRun(tour, hatQ(v, inQ))
 	// One streaming subtractor per directed crossing edge, operated by the
 	// connector amoebot (Lemma 32: the implicit-tree prefix difference
-	// equals the portal-graph prefix difference).
-	type crossing struct {
-		from, to int32
-		sub      bitstream.Subtractor
-		local    int32
-		ord      int
-	}
-	var crossings []crossing
-	for _, p1 := range v.IDs {
-		for _, p2 := range v.P.Nbr[p1] {
-			if !v.inView[p2] {
-				continue
-			}
-			lu, ord := v.crossingOrdinal(p1, p2)
-			crossings = append(crossings, crossing{from: p1, to: p2, local: lu, ord: ord})
-		}
-	}
+	// equals the portal-graph prefix difference). The edge table itself is
+	// frozen per view (crossings); only the subtractor state is per call.
+	ct := v.crossings()
+	subs := make([]bitstream.Subtractor, len(ct.from))
 	var total bitstream.Accumulator
 	for !run.Done() {
 		run.Step(clock)
-		for i := range crossings {
-			c := &crossings[i]
-			out, in := run.EdgeBits(c.local, c.ord)
-			c.sub.Feed(out, in)
+		for i := range subs {
+			out, in := run.EdgeBits(ct.local[i], int(ct.ord[i]))
+			subs[i].Feed(out, in)
 		}
 		total.Feed(run.TotalBit())
 	}
 	res.QSize = total.Value()
 	res.InVQ[rootPortal] = res.QSize > 0
 	beeps := int64(0)
-	for i := range crossings {
-		c := &crossings[i]
-		if c.sub.NonZero() {
-			res.InVQ[c.from] = true
+	for i := range subs {
+		if subs[i].NonZero() {
+			res.InVQ[ct.from[i]] = true
 			beeps++
 		}
-		if c.sub.Sign() == bitstream.Greater && c.from != rootPortal {
-			res.Parent[c.from] = c.to
+		if subs[i].Sign() == bitstream.Greater && ct.from[i] != rootPortal {
+			res.Parent[ct.from[i]] = ct.to[i]
 			beeps++
 		}
 	}
@@ -212,18 +197,18 @@ func Centroids(clock *sim.Clock, v *View, rootPortal int32, inQ []bool) *Centroi
 		size     bitstream.Subtractor
 		half     bitstream.HalfComparator
 	}
+	// Rows of the frozen table filtered to Q-portal tails (only Q-portals
+	// evaluate sizes); the filter preserves the table's row order, so the
+	// streamed comparisons match the unfrozen iteration exactly.
+	ct := v.crossings()
 	var crossings []crossing
-	for _, p1 := range v.IDs {
-		if !inQ[p1] {
-			continue // only Q-portals evaluate sizes
+	for i := range ct.from {
+		if !inQ[ct.from[i]] {
+			continue
 		}
-		for _, p2 := range v.P.Nbr[p1] {
-			if !v.inView[p2] {
-				continue
-			}
-			lu, ord := v.crossingOrdinal(p1, p2)
-			crossings = append(crossings, crossing{from: p1, to: p2, local: lu, ord: ord})
-		}
+		crossings = append(crossings, crossing{
+			from: ct.from[i], to: ct.to[i], local: ct.local[i], ord: int(ct.ord[i]),
+		})
 	}
 	for !run.Done() {
 		run.Step(clock)

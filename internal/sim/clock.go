@@ -83,6 +83,19 @@ func (c *Clock) Phase(name string, fn func()) {
 	c.addPhase(name, c.rounds-start)
 }
 
+// AttributePhase adds rounds to the named phase without advancing the
+// clock: the replay side of record/replay accounting. A shared batch solve
+// charges each member clock its deterministic round deltas directly (the
+// Phase callback bracket is not available per member there) and then
+// attributes the phase by name; the resulting snapshot is identical to the
+// one a Phase-wrapped solo run produces.
+func (c *Clock) AttributePhase(name string, rounds int64) {
+	if rounds < 0 {
+		panic("sim: negative phase rounds")
+	}
+	c.addPhase(name, rounds)
+}
+
 // PhaseRounds returns the rounds attributed to the named phase.
 func (c *Clock) PhaseRounds(name string) int64 { return c.phases[name] }
 
