@@ -32,6 +32,56 @@ func (d Delta) String() string {
 	return fmt.Sprintf("Delta(+%d -%d)", len(d.Add), len(d.Remove))
 }
 
+// Footprint is the locality of a delta: the coordinates whose occupancy
+// or 6-neighborhood occupancy the delta changes. Every per-structure
+// decomposition (portal runs, implicit-tree edges, view trees) is a local
+// function of a cell's neighborhood, so anything outside the footprint is
+// untouched by the mutation — the rule the delta-aware preprocessing
+// repair of engine.Apply relies on to avoid rescanning the structure.
+type Footprint struct {
+	// Coords lists, in canonical structure order and without duplicates,
+	// the delta's own cells plus every neighbor of a delta cell. A cell in
+	// Coords may be occupied before, after, both or neither; cells outside
+	// Coords keep both their occupancy and their entire neighborhood.
+	Coords []Coord
+}
+
+// Size returns the number of footprint coordinates.
+func (f Footprint) Size() int { return len(f.Coords) }
+
+// Footprint computes the delta's footprint from the delta alone — O(|d|)
+// coordinate arithmetic, no structure scan. It is exactly the locality the
+// incremental validation of Structure.Apply walks (the delta cells and
+// their neighborhoods), packaged for the layers above: a decomposition
+// entry whose cell is outside the footprint is bitwise unchanged by the
+// mutation (modulo index remapping). All three portal axes are incident to
+// every non-empty delta — a cell belongs to one run per axis — so the
+// footprint carries no per-axis split; per-axis damage is judged by the
+// portal layer against its own runs.
+func (d Delta) Footprint() Footprint {
+	if d.IsEmpty() {
+		return Footprint{}
+	}
+	seen := make(map[Coord]bool, 7*d.Size())
+	coords := make([]Coord, 0, 7*d.Size())
+	add := func(c Coord) {
+		if !seen[c] {
+			seen[c] = true
+			coords = append(coords, c)
+		}
+	}
+	for _, cs := range [2][]Coord{d.Add, d.Remove} {
+		for _, c := range cs {
+			add(c)
+			for dir := Direction(0); dir < NumDirections; dir++ {
+				add(c.Neighbor(dir))
+			}
+		}
+	}
+	sort.Slice(coords, func(i, j int) bool { return lessCoord(coords[i], coords[j]) })
+	return Footprint{Coords: coords}
+}
+
 // NeighborArcs counts, for coordinate c under the given occupancy, the
 // occupied neighbors of c (deg) and the number of maximal runs they form in
 // the cyclic order of the six directions (arcs). The occupancy of c itself

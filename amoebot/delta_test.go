@@ -313,3 +313,72 @@ func randomDelta(rng *rand.Rand, s *amoebot.Structure) amoebot.Delta {
 	}
 	return d
 }
+
+// TestFootprint: the footprint is exactly the delta cells plus their
+// neighborhoods, deduped and in canonical order, and every cell outside it
+// keeps its occupancy and full neighborhood across Apply.
+func TestFootprint(t *testing.T) {
+	if got := (amoebot.Delta{}).Footprint(); got.Size() != 0 {
+		t.Fatalf("empty delta footprint has %d coords", got.Size())
+	}
+	rng := rand.New(rand.NewSource(61))
+	s := shapes.RandomBlob(rng, 180)
+	for trial := 0; trial < 20; trial++ {
+		d := shapes.RandomDelta(rng, s, 4, 4)
+		if d.IsEmpty() {
+			continue
+		}
+		f := d.Footprint()
+		in := make(map[amoebot.Coord]bool, f.Size())
+		for i, c := range f.Coords {
+			if in[c] {
+				t.Fatalf("trial %d: duplicate footprint coord %v", trial, c)
+			}
+			in[c] = true
+			if i > 0 {
+				a, b := f.Coords[i-1], c
+				if a.Z > b.Z || (a.Z == b.Z && a.X >= b.X) {
+					t.Fatalf("trial %d: footprint not in canonical order at %d", trial, i)
+				}
+			}
+		}
+		// Membership: exactly cells of the delta and their neighbors.
+		want := make(map[amoebot.Coord]bool)
+		for _, cs := range [][]amoebot.Coord{d.Add, d.Remove} {
+			for _, c := range cs {
+				want[c] = true
+				for dir := amoebot.Direction(0); dir < amoebot.NumDirections; dir++ {
+					want[c.Neighbor(dir)] = true
+				}
+			}
+		}
+		if len(want) != f.Size() {
+			t.Fatalf("trial %d: footprint size %d, want %d", trial, f.Size(), len(want))
+		}
+		for c := range want {
+			if !in[c] {
+				t.Fatalf("trial %d: footprint missing %v", trial, c)
+			}
+		}
+		// Locality: outside the footprint, occupancy and neighborhoods are
+		// untouched by the mutation.
+		ns, err := s.Apply(d)
+		if err != nil {
+			continue // RandomDelta aims for validity; skip the rare miss
+		}
+		for _, c := range s.Coords() {
+			if in[c] {
+				continue
+			}
+			if !ns.Occupied(c) {
+				t.Fatalf("trial %d: clean cell %v lost occupancy", trial, c)
+			}
+			for dir := amoebot.Direction(0); dir < amoebot.NumDirections; dir++ {
+				n := c.Neighbor(dir)
+				if s.Occupied(n) != ns.Occupied(n) {
+					t.Fatalf("trial %d: clean cell %v neighborhood changed at %v", trial, c, n)
+				}
+			}
+		}
+	}
+}

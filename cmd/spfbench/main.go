@@ -1,11 +1,13 @@
 // Command spfbench regenerates every experiment table of EXPERIMENTS.md:
-// one table per quantitative claim of the paper plus the E14 dynamic-churn
-// workload (see DESIGN.md §4 for the per-experiment index E1–E17). Usage:
+// one table per quantitative claim of the paper plus the E14/E18
+// dynamic-churn workloads (see DESIGN.md §4 for the per-experiment index
+// E1–E18). Usage:
 //
 //	spfbench              # run everything
 //	spfbench -run E4      # run tables whose id contains "E4"
 //	spfbench -quick       # smaller sweeps
 //	spfbench -json        # machine-readable per-experiment records
+//	spfbench -churn grow  # E18: churn profile driving the delta stream
 //
 // With -json the human-readable tables are suppressed and a JSON array of
 // records — one per measured data point plus one "total" record per
@@ -55,6 +57,7 @@ var (
 	quick      = flag.Bool("quick", false, "smaller parameter sweeps")
 	jsonOut    = flag.Bool("json", false, "emit machine-readable JSON records instead of tables")
 	scenarios  = flag.String("scenarios", "", "E15: only sweep registry scenarios whose name contains this substring")
+	churnProf  = flag.String("churn", "steady", "E18: churn workload profile driving the delta stream (see internal/scenario.Workloads)")
 	intra      = flag.Int("intra-workers", 0, "intra-query parallelism for every engine (1 = serial per query, 0 = GOMAXPROCS); rounds/beeps are identical at every setting")
 	cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
 	memProfile = flag.String("memprofile", "", "write a pprof heap profile (taken after the run) to this file")
@@ -137,6 +140,7 @@ func main() {
 		{"E15", "scenario registry sweep: per-scenario per-solver rounds", e15},
 		{"E16", "intra-query parallelism: wall-time scaling vs IntraWorkers", e16},
 		{"E17", "cross-query sharing: Batch vs a solo query loop at n ≥ 10⁶", e17},
+		{"E18", "incremental preprocessing: patched Apply+Warm vs fresh rebuild under churn at n ≥ 10⁶", e18},
 	}
 	for _, e := range experiments {
 		if *runFilter != "" && !strings.Contains(e.id, *runFilter) {
@@ -757,6 +761,104 @@ func e14() {
 	printf("pooled       %13d %17d %10v\n", pooled.rounds, pooled.elections, pooled.wall.Round(time.Millisecond))
 	printf("pool: %d engines, %d hits, %d misses, %d evictions\n",
 		st.Engines, st.Hits, st.Misses, st.Evictions)
+}
+
+// e18 measures the delta-aware preprocessing under churn: a million-amoebot
+// hexagon absorbs the -churn profile's delta stream (1000 steps full, a
+// short chain in -quick) with every step served by the incremental chain —
+// Engine.Apply patching the warmed portal decompositions and views around
+// the delta footprint, then Warm to force whatever was not migrated —
+// against a sampled fresh-rebuild baseline (NewStructure + engine.New +
+// Warm from raw coordinates). Every step emits a JSON record carrying |Δ|,
+// the patch-vs-rebuild decision (CacheStats.PortalsPatched/PortalsRebuilt)
+// and the wall time, so BENCH captures the per-step scaling curve; the
+// churn-patched / churn-fresh summary records carry the mean per-step wall
+// the CI gate checks (patched ≤ 0.5× fresh).
+func e18() {
+	r, steps, every := 577, 1000, 100
+	if *quick {
+		r, steps, every = 24, 20, 5
+	}
+	prof, ok := scenario.Workloads()[*churnProf]
+	if !ok {
+		die(fmt.Errorf("E18: unknown churn profile %q", *churnProf))
+	}
+	prof.Steps = steps
+	s := spforest.Hexagon(r)
+	cur := mustEngine(s, &engine.Config{Seed: 1})
+	ldr, _ := cur.Leader()
+	cur.Warm()
+	stepper, err := prof.Stepper(s, ldr)
+	die(err)
+
+	var patchedWall, freshWall time.Duration
+	var patchedSteps, freshSamples int64
+	var patchedAxes, rebuiltAxes, deltaCells int64
+	step := 0
+	for {
+		d, _, more, err := stepper.Next()
+		die(err)
+		if !more {
+			break
+		}
+		if d.IsEmpty() {
+			continue
+		}
+		start := time.Now()
+		ne, err := cur.Apply(d)
+		die(err)
+		ne.Warm()
+		wall := time.Since(start)
+		cs := ne.CacheStats()
+		emit("step", map[string]int64{
+			"step":    int64(step),
+			"delta":   int64(d.Size()),
+			"patched": cs.PortalsPatched,
+			"rebuilt": cs.PortalsRebuilt,
+		}, 0, 0, wall)
+		patchedWall += wall
+		patchedSteps++
+		patchedAxes += cs.PortalsPatched
+		rebuiltAxes += cs.PortalsRebuilt
+		deltaCells += int64(d.Size())
+		if step%every == 0 {
+			rs, err := amoebot.NewStructure(ne.Structure().Coords())
+			die(err)
+			fstart := time.Now()
+			fe := mustEngine(rs, &engine.Config{Seed: 1})
+			fe.Leader()
+			fe.Warm()
+			fwall := time.Since(fstart)
+			emit("fresh-sample", map[string]int64{
+				"step": int64(step),
+				"n":    int64(rs.N()),
+			}, 0, 0, fwall)
+			freshWall += fwall
+			freshSamples++
+		}
+		cur = ne
+		step++
+	}
+	if patchedSteps == 0 || freshSamples == 0 {
+		die(fmt.Errorf("E18: churn profile %q produced no usable steps", *churnProf))
+	}
+	params := map[string]int64{
+		"n":               int64(s.N()),
+		"steps":           patchedSteps,
+		"portals_patched": patchedAxes,
+		"portals_rebuilt": rebuiltAxes,
+		"delta_cells":     deltaCells,
+	}
+	meanPatched := patchedWall / time.Duration(patchedSteps)
+	meanFresh := freshWall / time.Duration(freshSamples)
+	emit("churn-patched", params, 0, 0, meanPatched)
+	emit("churn-fresh", map[string]int64{"n": int64(s.N()), "samples": freshSamples}, 0, 0, meanFresh)
+	printf("hexagon n=%d, %s profile, %d steps (Σ|Δ| = %d cells)\n",
+		s.N(), *churnProf, patchedSteps, deltaCells)
+	printf("portal axes patched %d, rebuilt %d\n", patchedAxes, rebuiltAxes)
+	printf("per-step preprocessing   patched %10v   fresh %10v   ratio %.3f\n",
+		meanPatched.Round(time.Microsecond), meanFresh.Round(time.Microsecond),
+		float64(meanPatched)/float64(meanFresh))
 }
 
 // e16 sweeps the intra-query parallelism: the same large single queries —

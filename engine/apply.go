@@ -4,6 +4,7 @@ import (
 	"spforest/amoebot"
 	"spforest/internal/baseline"
 	"spforest/internal/core"
+	"spforest/internal/portal"
 )
 
 // Apply derives a new engine for the structure obtained by applying the
@@ -19,12 +20,18 @@ import (
 //     the derived engine back to lazy election;
 //   - every memoized exact-distance entry whose source set survives is
 //     remapped onto the new indexing and incrementally repaired
-//     (baseline.RepairExact); only entries that lost a source are evicted.
+//     (baseline.RepairExact); only entries that lost a source are evicted;
+//   - every portal decomposition (and whole-structure view) the receiver
+//     memoized is patched around the delta's footprint
+//     (portal.Patch/PatchWholeView) when the footprint admits local
+//     repair, and invalidated back to lazy recomputation otherwise — see
+//     migratePortals and DESIGN.md §8.
 //
 // The receiver is unchanged and remains usable; both engines may serve
 // queries concurrently. The derived engine's CacheStats records the
-// migration (DistKept, DistEvicted, RepairWrites) and its Generation is
-// the receiver's plus one. An empty delta returns the receiver itself.
+// migration (DistKept, DistEvicted, RepairWrites, PortalsPatched,
+// PortalsRebuilt) and its Generation is the receiver's plus one. An empty
+// delta returns the receiver itself, every memo intact.
 func (e *Engine) Apply(d amoebot.Delta) (*Engine, error) {
 	ns, err := e.s.Apply(d)
 	if err != nil {
@@ -68,15 +75,94 @@ func (e *Engine) Apply(d amoebot.Delta) (*Engine, error) {
 		}
 	}
 
-	ne.migrateDistances(e, d)
+	// Index translation old -> new, shared by the distance and portal
+	// migrations.
+	remap := make([]int32, e.s.N())
+	for i := range remap {
+		if j, ok := ns.Index(e.s.Coord(int32(i))); ok {
+			remap[i] = j
+		} else {
+			remap[i] = amoebot.None
+		}
+	}
+	ne.migrateDistances(e, d, remap)
+	ne.migratePortals(e, d, remap)
 	return ne, nil
+}
+
+// migratePortals patches the parent's memoized portal decompositions (and
+// their whole-structure views) into the derived engine when the delta's
+// footprint admits local repair: each axis whose memo exists on the parent
+// is repaired around the footprint (portal.Patch / PatchWholeView) instead
+// of leaving the child to recompute it from scratch on first use. Axes the
+// parent never built have nothing to migrate; when the footprint is too
+// large for the patch to beat a rebuild — or either engine is holed, where
+// views don't exist — the built axes are invalidated and the counters
+// record the decision (CacheStats.PortalsPatched / PortalsRebuilt).
+func (ne *Engine) migratePortals(e *Engine, d amoebot.Delta, remap []int32) {
+	built := 0
+	for axis := amoebot.Axis(0); axis < amoebot.NumAxes; axis++ {
+		if e.inspect.portalBuilt[axis].Load() {
+			built++
+		}
+	}
+	if built == 0 {
+		return
+	}
+	fp := d.Footprint()
+	// Local-repair policy: the patch walks the whole index space once but
+	// does portal-shaped work only inside the footprint; past a quarter of
+	// the structure the dirty zone dominates and a fresh compute is no
+	// worse. Holed structures keep the lazy rebuild: patched views assume
+	// the portal graph is a tree.
+	if e.holed || ne.holed || fp.Size() > ne.s.N()/4 {
+		ne.distStats.PortalsRebuilt += int64(built)
+		return
+	}
+	oldOf := make([]int32, ne.s.N())
+	for i := range oldOf {
+		if j, ok := e.s.Index(ne.s.Coord(int32(i))); ok {
+			oldOf[i] = j
+		} else {
+			oldOf[i] = amoebot.None
+		}
+	}
+	footOld := make([]int32, 0, len(fp.Coords))
+	footNew := make([]int32, 0, len(fp.Coords))
+	for _, c := range fp.Coords {
+		if i, ok := e.s.Index(c); ok {
+			footOld = append(footOld, i)
+		}
+		if i, ok := ne.s.Index(c); ok {
+			footNew = append(footNew, i)
+		}
+	}
+	sp := portal.NewPatchSpec(ne.region, remap, oldOf, footOld, footNew)
+	for axis := amoebot.Axis(0); axis < amoebot.NumAxes; axis++ {
+		if !e.inspect.portalBuilt[axis].Load() {
+			continue
+		}
+		np := e.inspect.raw[axis].Patch(sp)
+		ne.inspect.portalOnce[axis].Do(func() {
+			ne.inspect.raw[axis] = np
+			ne.inspect.portalBuilt[axis].Store(true)
+		})
+		if e.inspect.viewBuilt[axis].Load() {
+			nv := np.PatchWholeView(e.inspect.views[axis], sp)
+			ne.inspect.viewOnce[axis].Do(func() {
+				ne.inspect.views[axis] = nv
+				ne.inspect.viewBuilt[axis].Store(true)
+			})
+		}
+		ne.distStats.PortalsPatched++
+	}
 }
 
 // migrateDistances carries the parent's exact-distance memo across the
 // delta: entries whose sources all survive are remapped to the new
 // indexing and repaired around the delta; entries that lost a source are
 // evicted.
-func (ne *Engine) migrateDistances(e *Engine, d amoebot.Delta) {
+func (ne *Engine) migrateDistances(e *Engine, d amoebot.Delta, remap []int32) {
 	ns := ne.s
 	// Entries migrate in the parent's insertion order, so the derived
 	// engine's FIFO eviction ring starts in a deterministic state (map
@@ -93,15 +179,7 @@ func (ne *Engine) migrateDistances(e *Engine, d amoebot.Delta) {
 		return
 	}
 
-	// Index translation and the repair frontier are shared by all entries.
-	remap := make([]int32, e.s.N())
-	for i := range remap {
-		if j, ok := ns.Index(e.s.Coord(int32(i))); ok {
-			remap[i] = j
-		} else {
-			remap[i] = amoebot.None
-		}
-	}
+	// The repair frontier is shared by all entries.
 	var suspects, added []int32
 	for _, c := range d.Remove {
 		for dir := amoebot.Direction(0); dir < amoebot.NumDirections; dir++ {

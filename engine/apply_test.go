@@ -11,17 +11,41 @@ import (
 	"spforest/internal/shapes"
 )
 
+// TestApplyEmptyDeltaReturnsReceiver pins the empty-delta short-circuit:
+// no new engine, no generation bump, and every warmed memo — leader,
+// portals, views, distances — served as-is, because the receiver IS the
+// same-structure engine.
 func TestApplyEmptyDeltaReturnsReceiver(t *testing.T) {
 	e, err := engine.New(spforest.Hexagon(2), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
+	e.Warm()
+	srcs := spforest.RandomCoords(1, e.Structure(), 2)
+	if _, err := e.Distances(srcs); err != nil {
+		t.Fatal(err)
+	}
+	before := e.CacheStats()
 	ne, err := e.Apply(amoebot.Delta{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if ne != e {
 		t.Fatal("empty delta built a new engine")
+	}
+	if ne.Generation() != e.Generation() {
+		t.Fatal("empty delta bumped the generation")
+	}
+	after := ne.CacheStats()
+	if after != before {
+		t.Fatalf("empty delta disturbed the caches: %+v -> %+v", before, after)
+	}
+	res, err := ne.Run(engine.Query{Sources: srcs, Dests: ne.Structure().Coords()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := res.Stats.Phases["preprocess"]; p != 0 {
+		t.Fatalf("warmed engine charged %d preprocess rounds after empty Apply", p)
 	}
 }
 

@@ -1,0 +1,180 @@
+package engine_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"spforest"
+	"spforest/amoebot"
+	"spforest/engine"
+	"spforest/internal/shapes"
+)
+
+// requireSameAnswers runs the same exact-forest query on both engines and
+// requires byte-identical forests, identical round/beep accounting and
+// identical memoized distances.
+func requireSameAnswers(t *testing.T, incr, fresh *engine.Engine, srcs []amoebot.Coord, ctx string) {
+	t.Helper()
+	q := engine.Query{Algo: engine.AlgoExact, Sources: srcs, Dests: incr.Structure().Coords()}
+	a, err := incr.Run(q)
+	if err != nil {
+		t.Fatalf("%s: incremental: %v", ctx, err)
+	}
+	b, err := fresh.Run(q)
+	if err != nil {
+		t.Fatalf("%s: fresh: %v", ctx, err)
+	}
+	ab, _ := a.Forest.MarshalText()
+	bb, _ := b.Forest.MarshalText()
+	if !bytes.Equal(ab, bb) {
+		t.Fatalf("%s: patched engine's forest differs from fresh", ctx)
+	}
+	if a.Stats.Rounds != b.Stats.Rounds || a.Stats.Beeps != b.Stats.Beeps {
+		t.Fatalf("%s: patched charged %d/%d rounds/beeps, fresh %d/%d",
+			ctx, a.Stats.Rounds, a.Stats.Beeps, b.Stats.Rounds, b.Stats.Beeps)
+	}
+	di, err := incr.Distances(srcs)
+	if err != nil {
+		t.Fatalf("%s: incremental distances: %v", ctx, err)
+	}
+	df, err := fresh.Distances(srcs)
+	if err != nil {
+		t.Fatalf("%s: fresh distances: %v", ctx, err)
+	}
+	for j := range di {
+		if di[j] != df[j] {
+			t.Fatalf("%s: distance %d != fresh %d at node %d", ctx, di[j], df[j], j)
+		}
+	}
+}
+
+// TestApplyChurnPatchedByteIdentical: a warmed engine's Apply chain patches
+// the portal decompositions and views of every axis (never rebuilding) and
+// still answers byte-identically to fresh engines, at every IntraWorkers
+// setting.
+func TestApplyChurnPatchedByteIdentical(t *testing.T) {
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		workers := workers
+		t.Run(fmt.Sprintf("intra%d", workers), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(41))
+			s := spforest.RandomBlob(11, 300)
+			cfg := engine.Config{Seed: 5, IntraWorkers: workers}
+			cur, err := engine.New(s, &cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			srcs := spforest.RandomCoords(3, s, 3)
+			ldr, _ := cur.Leader()
+			cur.Warm()
+			protect := append(append([]amoebot.Coord(nil), srcs...), ldr)
+			for step := 0; step < 6; step++ {
+				d := shapes.RandomDelta(rng, cur.Structure(), 3, 3, protect...)
+				if d.IsEmpty() {
+					continue
+				}
+				ne, err := cur.Apply(d)
+				if err != nil {
+					t.Fatalf("step %d: %v", step, err)
+				}
+				cs := ne.CacheStats()
+				if cs.PortalsPatched != 3 || cs.PortalsRebuilt != 0 {
+					t.Fatalf("step %d: patched %d axes, rebuilt %d; want 3 patched",
+						step, cs.PortalsPatched, cs.PortalsRebuilt)
+				}
+				fresh, err := engine.New(amoebot.MustStructure(ne.Structure().Coords()), &cfg)
+				if err != nil {
+					t.Fatalf("step %d: fresh engine: %v", step, err)
+				}
+				requireSameAnswers(t, ne, fresh, srcs, fmt.Sprintf("step %d", step))
+				cur = ne
+			}
+		})
+	}
+}
+
+// TestApplyChurnRebuildFallback: oversized footprints and unwarmed parents
+// take the lazy-rebuild path, with the decision visible in CacheStats.
+func TestApplyChurnRebuildFallback(t *testing.T) {
+	s := spforest.Hexagon(3)
+	e, err := engine.New(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := amoebot.Delta{Add: []amoebot.Coord{amoebot.XZ(4, 0)}}
+
+	// Cold parent: nothing is built, so nothing is patched or rebuilt.
+	ne, err := e.Apply(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs := ne.CacheStats(); cs.PortalsPatched != 0 || cs.PortalsRebuilt != 0 {
+		t.Fatalf("cold parent: patched %d, rebuilt %d; want 0/0", cs.PortalsPatched, cs.PortalsRebuilt)
+	}
+
+	// Warmed parent, footprint over a quarter of the structure: the built
+	// axes are invalidated, not patched.
+	small, err := engine.New(spforest.Line(6), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small.Warm()
+	wide := amoebot.Delta{Add: []amoebot.Coord{
+		amoebot.XZ(0, -1), amoebot.XZ(1, -1), amoebot.XZ(2, -1), amoebot.XZ(3, -1),
+	}}
+	nw, err := small.Apply(wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs := nw.CacheStats(); cs.PortalsPatched != 0 || cs.PortalsRebuilt != 3 {
+		t.Fatalf("wide footprint: patched %d, rebuilt %d; want 0/3", cs.PortalsPatched, cs.PortalsRebuilt)
+	}
+	sources := nw.Structure().Coords()[:1]
+	res, err := nw.Run(engine.Query{Sources: sources, Dests: nw.Structure().Coords()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Verify(sources, nw.Structure().Coords(), res.Forest); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FuzzApplyIncremental: for fuzzed churn parameters, a warmed engine's
+// Apply chain must answer exactly like fresh engines built from the
+// mutated structures' raw coordinates.
+func FuzzApplyIncremental(f *testing.F) {
+	f.Add(int64(1), uint8(2), uint8(3), uint8(3))
+	f.Add(int64(7), uint8(4), uint8(1), uint8(6))
+	f.Add(int64(42), uint8(3), uint8(8), uint8(0))
+	f.Fuzz(func(t *testing.T, seed int64, steps, adds, removes uint8) {
+		rng := rand.New(rand.NewSource(seed))
+		s := shapes.RandomBlob(rng, 40+rng.Intn(80))
+		cfg := engine.Config{Seed: seed}
+		cur, err := engine.New(s, &cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srcs := spforest.RandomCoords(seed, s, 2)
+		ldr, _ := cur.Leader()
+		cur.Warm()
+		protect := append(append([]amoebot.Coord(nil), srcs...), ldr)
+		for step := 0; step < int(steps%4)+1; step++ {
+			d := shapes.RandomDelta(rng, cur.Structure(), int(adds%8), int(removes%8), protect...)
+			if d.IsEmpty() {
+				continue
+			}
+			ne, err := cur.Apply(d)
+			if err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+			fresh, err := engine.New(amoebot.MustStructure(ne.Structure().Coords()), &cfg)
+			if err != nil {
+				t.Fatalf("step %d: fresh engine: %v", step, err)
+			}
+			requireSameAnswers(t, ne, fresh, srcs, fmt.Sprintf("step %d", step))
+			cur = ne
+		}
+	})
+}

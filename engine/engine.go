@@ -389,6 +389,11 @@ type CacheStats struct {
 	// RepairWrites counts the distance values the migrations rewrote;
 	// small values mean the deltas barely disturbed the cached entries.
 	RepairWrites int64
+	// PortalsPatched and PortalsRebuilt count, for the Apply that built
+	// this engine, the parent's memoized portal axes that were repaired in
+	// place around the delta footprint versus invalidated back to lazy
+	// recomputation (footprint too large, or a holed structure).
+	PortalsPatched, PortalsRebuilt int64
 }
 
 func sourceKey(srcs []int32) string {

@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"spforest/amoebot"
 	"spforest/internal/core"
@@ -48,6 +49,12 @@ type inspectState struct {
 
 	viewOnce [amoebot.NumAxes]sync.Once
 	views    [amoebot.NumAxes]*portal.View
+
+	// portalBuilt / viewBuilt are set after the corresponding memo exists.
+	// Apply reads them on the parent — without racing the onces — to decide
+	// per axis whether there is anything to patch into the child.
+	portalBuilt [amoebot.NumAxes]atomic.Bool
+	viewBuilt   [amoebot.NumAxes]atomic.Bool
 }
 
 // portalsFor returns the memoized decomposition along the axis, computing
@@ -57,6 +64,7 @@ type inspectState struct {
 func (e *Engine) portalsFor(axis amoebot.Axis) *portal.Portals {
 	e.inspect.portalOnce[axis].Do(func() {
 		e.inspect.raw[axis] = portal.Compute(e.region, axis)
+		e.inspect.portalBuilt[axis].Store(true)
 	})
 	return e.inspect.raw[axis]
 }
@@ -68,8 +76,25 @@ func (e *Engine) viewFor(axis amoebot.Axis) *portal.View {
 	p := e.portalsFor(axis)
 	e.inspect.viewOnce[axis].Do(func() {
 		e.inspect.views[axis] = p.WholeView()
+		e.inspect.viewBuilt[axis].Store(true)
 	})
 	return e.inspect.views[axis]
+}
+
+// Warm forces the per-structure preprocessing that queries would otherwise
+// pay lazily: the leader election plus the portal decomposition and
+// whole-structure view of every axis (views only on hole-free engines —
+// they require the portal graph to be a tree). After Warm, a subsequent
+// Apply can migrate every axis instead of leaving the child to rebuild.
+func (e *Engine) Warm() {
+	var clock sim.Clock
+	e.leaderFor(&clock)
+	for axis := amoebot.Axis(0); axis < amoebot.NumAxes; axis++ {
+		e.portalsFor(axis)
+		if !e.holed {
+			e.viewFor(axis)
+		}
+	}
 }
 
 // enginePortalSource adapts the engine's portal memo to core.PortalSource:

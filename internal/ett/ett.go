@@ -114,10 +114,16 @@ type Tour struct {
 }
 
 // BuildTour constructs the Euler tour of t rooted at root, starting along
-// the root's first neighbor.
+// the root's first neighbor. The walk terminates when it closes (returns
+// to the root with every incident edge consumed), so t may also be a
+// forest over the shared index space: the tour covers root's component and
+// the instance tables keep -1 for every other component's edge.
 func BuildTour(t *Tree, root int32) *Tour {
 	n := t.Len()
-	edges := 2 * (n - 1)
+	edges := 0
+	for u := 0; u < n; u++ {
+		edges += t.Degree(int32(u))
+	}
 	tour := &Tour{
 		tree:    t,
 		root:    root,
@@ -132,15 +138,14 @@ func BuildTour(t *Tree, root int32) *Tour {
 		tour.outInst[i] = -1
 		tour.inInst[i] = -1
 	}
-	tour.node = make([]int32, 0, edges+1)
-	u := root
-	var jOut int
-	if n == 1 {
-		tour.node = append(tour.node, root)
+	if t.Degree(root) == 0 {
+		tour.node = []int32{root}
 		return tour
 	}
-	jOut = 0 // root exits via its first neighbor
-	for i := 0; i < edges; i++ {
+	tour.node = make([]int32, 0, edges+1)
+	u := root
+	jOut := 0 // root exits via its first neighbor
+	for i := 0; ; i++ {
 		v := t.Neighbors[u][jOut]
 		tour.node = append(tour.node, u)
 		tour.outInst[tour.off[u]+int32(jOut)] = int32(i)
@@ -150,11 +155,14 @@ func BuildTour(t *Tree, root int32) *Tour {
 		// Next outgoing edge at v: the neighbor after u counterclockwise.
 		jOut = (jIn + 1) % t.Degree(v)
 		u = v
+		// The canonical tour exits each node's ordinals in cyclic order from
+		// the arrival ordinal +1; it returns to the root poised to exit
+		// ordinal 0 again exactly once — when the component is consumed.
+		if u == root && jOut == 0 {
+			break
+		}
 	}
 	tour.node = append(tour.node, u)
-	if u != root {
-		panic("ett: euler tour did not return to root")
-	}
 	return tour
 }
 

@@ -1,0 +1,339 @@
+package ett
+
+// Splice operations on Euler tours: Clone, Rerooted, Cut and Link.
+//
+// All operations are copy-on-write: they never modify their receiver and
+// share every backing array that a change does not touch (the tree's
+// unmodified neighbor rows, the off table under Rerooted). Each result is
+// byte-identical to what BuildTour would produce on the mutated tree, so
+// a caller holding a patched tour and a caller rebuilding from scratch
+// observe exactly the same instance tables — the property the engine's
+// incremental preprocessing relies on for bit-identical outputs.
+//
+// The key invariant is that the canonical tour is determined by the
+// successor rule alone: the cyclic sequence of directed edges is unique,
+// and rooting merely selects the rotation that starts with the root's
+// ordinal-0 exit. Cut excises the detached component's contiguous
+// instance segment, Link splices a rotated component between an arrival
+// and the exit it used to precede, and Rerooted is pure index rotation.
+
+// Clone returns a shallow copy of the tour. Because splice operations are
+// copy-on-write, the clone shares every backing array with the receiver;
+// Clone is O(1).
+func (t *Tour) Clone() *Tour {
+	c := *t
+	return &c
+}
+
+// Rerooted returns the canonical tour of the receiver's component rooted
+// at root: the rotation of the circular edge sequence that starts with
+// root's ordinal-0 exit. It is O(E) in the component's edges and shares
+// the tree and off table with the receiver. root must belong to the
+// receiver's component.
+func (t *Tour) Rerooted(root int32) *Tour {
+	if t.tree.Degree(root) == 0 {
+		if t.root != root {
+			panic("ett: Rerooted: root is an isolated node outside the tour")
+		}
+		return t
+	}
+	shift := t.outInst[t.off[root]]
+	if shift < 0 {
+		panic("ett: Rerooted: root not in the tour's component")
+	}
+	if shift == 0 {
+		// Instance 0 already exits root's ordinal 0: canonical as-is.
+		return t
+	}
+	e := int32(t.Edges())
+	nt := &Tour{
+		tree:    t.tree,
+		root:    root,
+		node:    make([]int32, e+1),
+		off:     t.off,
+		outInst: make([]int32, len(t.outInst)),
+		inInst:  make([]int32, len(t.inInst)),
+	}
+	copy(nt.node, t.node[shift:e])
+	copy(nt.node[e-shift:], t.node[:shift])
+	nt.node[e] = root
+	for i, x := range t.outInst {
+		if x < 0 {
+			nt.outInst[i] = -1
+		} else {
+			nt.outInst[i] = (x - shift + e) % e
+		}
+	}
+	for i, x := range t.inInst {
+		if x < 0 {
+			nt.inInst[i] = -1
+		} else {
+			nt.inInst[i] = (x-1-shift+e)%e + 1
+		}
+	}
+	return nt
+}
+
+// Cut removes the tree edge between u and its j-th neighbor. It returns
+// two canonical tours over the resulting forest (a new Tree sharing all
+// neighbor rows except the two endpoints'): keep spans the component
+// containing the receiver's root, still rooted there; detached spans the
+// other component, rooted at whichever endpoint (u or its ex-neighbor) it
+// contains. O(n) in the receiver's component.
+func (t *Tour) Cut(u int32, j int) (keep, detached *Tour) {
+	v := t.tree.Neighbors[u][j]
+	jv := t.tree.ordinal(v, u)
+	out := t.outInst[t.off[u]+int32(j)]
+	in := t.inInst[t.off[u]+int32(j)]
+	if out < 0 || in < 0 {
+		panic("ett: Cut: edge not in the tour's component")
+	}
+	if out >= in {
+		// The root lies on v's side (u is interior or a non-root leaf of
+		// the far side); cut from v's perspective so the [out+1, in-1]
+		// segment below is exactly the detached component.
+		u, v = v, u
+		j, jv = jv, j
+		out = t.outInst[t.off[u]+int32(j)]
+		in = t.inInst[t.off[u]+int32(j)]
+	}
+
+	rows := make([][]int32, len(t.tree.Neighbors))
+	copy(rows, t.tree.Neighbors)
+	rows[u] = removeAt(rows[u], j)
+	rows[v] = removeAt(rows[v], jv)
+	ft := &Tree{Neighbors: rows}
+	n := len(rows)
+	off := make([]int32, n+1)
+	for i := 0; i < n; i++ {
+		off[i+1] = off[i] + int32(len(rows[i]))
+	}
+
+	// Instances out+1 .. in-1 are exactly the v-side component's tour,
+	// starting and ending at v (2·n_v − 1 instances).
+	seg := make([]int32, in-out-1)
+	copy(seg, t.node[out+1:in])
+	side := make([]bool, n) // true: node is on the detached (v) side
+	for _, w := range seg {
+		side[w] = true
+	}
+
+	kn := make([]int32, 0, int(int32(t.Edges())-in+out)+1)
+	kn = append(kn, t.node[:out+1]...)
+	kn = append(kn, t.node[in+1:]...)
+
+	shiftK := in - out
+	kv := func(x int32) int32 {
+		switch {
+		case x <= out:
+			return x
+		case x >= in+1:
+			return x - shiftK
+		default: // x == in: u's arrival from v merges into instance out
+			return out
+		}
+	}
+	kOut := fillNeg(off[n])
+	kIn := fillNeg(off[n])
+	dOut := fillNeg(off[n])
+	dIn := fillNeg(off[n])
+	for w := int32(0); w < int32(n); w++ {
+		for jj := range rows[w] {
+			jo := jj
+			if w == u && jj >= j {
+				jo = jj + 1
+			} else if w == v && jj >= jv {
+				jo = jj + 1
+			}
+			ov := t.outInst[t.off[w]+int32(jo)]
+			iv := t.inInst[t.off[w]+int32(jo)]
+			if ov < 0 {
+				continue // another component of a forest receiver
+			}
+			if side[w] {
+				dOut[off[w]+int32(jj)] = ov - (out + 1)
+				dIn[off[w]+int32(jj)] = iv - (out + 1)
+			} else {
+				kOut[off[w]+int32(jj)] = kv(ov)
+				kIn[off[w]+int32(jj)] = kv(iv)
+			}
+		}
+	}
+	keep = &Tour{tree: ft, root: t.root, node: kn, off: off, outInst: kOut, inInst: kIn}
+	det := &Tour{tree: ft, root: v, node: seg, off: off, outInst: dOut, inInst: dIn}
+	// seg starts at v's exit after the ex-edge to u, not necessarily at
+	// v's new ordinal 0; rotate to canonical form.
+	detached = det.Rerooted(v)
+	return keep, detached
+}
+
+// Link joins the receiver's component with o's by inserting the tree edge
+// u—v: u is in the receiver, v in o, v becomes u's ju-th neighbor
+// (0 ≤ ju ≤ deg(u)) and u becomes v's jv-th neighbor. Both tours must
+// cover disjoint components of the same node index space (as the two
+// results of Cut do). The result is the canonical tour of the joined
+// component, rooted at the receiver's root. O(n) in the joined component.
+func (t *Tour) Link(u int32, ju int, o *Tour, v int32, jv int) *Tour {
+	n := len(t.tree.Neighbors)
+	rows := make([][]int32, n)
+	copy(rows, t.tree.Neighbors)
+	oSide := make([]bool, n)
+	for _, w := range o.node {
+		if !oSide[w] {
+			oSide[w] = true
+			rows[w] = o.tree.Neighbors[w]
+		}
+	}
+	if oSide[u] || !oSide[v] {
+		panic("ett: Link: endpoints on wrong sides")
+	}
+	degU := len(rows[u])
+	degV := len(rows[v])
+	rows[u] = insertAt(rows[u], ju, v)
+	rows[v] = insertAt(rows[v], jv, u)
+	nt := &Tree{Neighbors: rows}
+	off := make([]int32, n+1)
+	for i := 0; i < n; i++ {
+		off[i+1] = off[i] + int32(len(rows[i]))
+	}
+
+	// The v-visit is spliced where u previously exited the neighbor that
+	// now follows v: old ordinal ju (mod old degree). For a singleton u
+	// that is instance 0 of the trivial tour [u]. One wrap case differs:
+	// at the root the (arrive from last ordinal, exit ordinal 0) pair is
+	// split across the terminal and first instances, so appending v as the
+	// root's last neighbor splices at the terminal instance instead.
+	var a int32
+	if degU > 0 {
+		if u == t.root && ju == degU {
+			a = int32(t.Edges())
+		} else {
+			a = t.outInst[t.off[u]+int32(ju%degU)]
+		}
+		if a < 0 {
+			panic("ett: Link: u not in the receiver's component")
+		}
+	}
+	// Rotate o to start at v's exit after the new edge: new ordinal
+	// (jv+1) mod (degV+1), which is old ordinal jv — or 0 when u was
+	// appended at the end of v's row.
+	eo := int32(o.Edges())
+	var shiftO int32
+	if degV > 0 {
+		k := jv
+		if k >= degV {
+			k = 0
+		}
+		shiftO = o.outInst[o.off[v]+int32(k)]
+		if shiftO < 0 {
+			panic("ett: Link: v not in o's component")
+		}
+	}
+
+	et := int32(t.Edges())
+	nn := make([]int32, 0, et+eo+3)
+	nn = append(nn, t.node[:a+1]...)
+	if eo == 0 {
+		nn = append(nn, v)
+	} else {
+		nn = append(nn, o.node[shiftO:eo]...)
+		nn = append(nn, o.node[:shiftO]...)
+		nn = append(nn, v)
+	}
+	nn = append(nn, t.node[a:]...)
+
+	// Receiver-side instance remaps: instances after a shift past the
+	// spliced span. Instance a itself splits — its arrival stays at the
+	// first u copy, but its old outgoing edge now fires at the second u
+	// copy after the span (its new outgoing edge is the one to v).
+	tvOut := func(x int32) int32 {
+		if x < a {
+			return x
+		}
+		return x + eo + 2
+	}
+	tvIn := func(y int32) int32 {
+		if y <= a {
+			return y
+		}
+		return y + eo + 2
+	}
+	// o-side instance remaps: circular slot s of o lands at span position
+	// (s − shiftO) mod eo, i.e. new index a+1+that. An out-value names the
+	// slot whose exit it is, so slot shiftO is the span start. An in-value
+	// names the slot its edge arrives at; the arrival into slot shiftO now
+	// belongs to the closing v instance at the span's end (the span start's
+	// arrival is the new edge from u).
+	ovOut := func(x int32) int32 {
+		return a + 1 + (x-shiftO+eo)%eo
+	}
+	ovIn := func(y int32) int32 {
+		rel := (y%eo - shiftO + eo) % eo
+		if rel == 0 {
+			return a + 1 + eo
+		}
+		return a + 1 + rel
+	}
+	nOut := fillNeg(off[n])
+	nIn := fillNeg(off[n])
+	for w := int32(0); w < int32(n); w++ {
+		for jj := range rows[w] {
+			idx := off[w] + int32(jj)
+			if w == u && jj == ju {
+				nOut[idx] = a
+				nIn[idx] = a + eo + 2
+				continue
+			}
+			if w == v && jj == jv {
+				nOut[idx] = a + 1 + eo
+				nIn[idx] = a + 1
+				continue
+			}
+			jo := jj
+			if w == u && jj > ju {
+				jo = jj - 1
+			} else if w == v && jj > jv {
+				jo = jj - 1
+			}
+			if oSide[w] {
+				x := o.outInst[o.off[w]+int32(jo)]
+				y := o.inInst[o.off[w]+int32(jo)]
+				if x < 0 {
+					continue
+				}
+				nOut[idx] = ovOut(x)
+				nIn[idx] = ovIn(y)
+			} else {
+				x := t.outInst[t.off[w]+int32(jo)]
+				y := t.inInst[t.off[w]+int32(jo)]
+				if x < 0 {
+					continue
+				}
+				nOut[idx] = tvOut(x)
+				nIn[idx] = tvIn(y)
+			}
+		}
+	}
+	return &Tour{tree: nt, root: t.root, node: nn, off: off, outInst: nOut, inInst: nIn}
+}
+
+func fillNeg(n int32) []int32 {
+	s := make([]int32, n)
+	for i := range s {
+		s[i] = -1
+	}
+	return s
+}
+
+func removeAt(row []int32, j int) []int32 {
+	out := make([]int32, 0, len(row)-1)
+	out = append(out, row[:j]...)
+	return append(out, row[j+1:]...)
+}
+
+func insertAt(row []int32, j int, v int32) []int32 {
+	out := make([]int32, 0, len(row)+1)
+	out = append(out, row[:j]...)
+	out = append(out, v)
+	return append(out, row[j:]...)
+}

@@ -1,0 +1,177 @@
+package ett
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// shuffledTree builds a random tree with shuffled cyclic neighbor orders so
+// splice tests exercise arbitrary ordinals, not insertion order.
+func shuffledTree(rng *rand.Rand, n int) *Tree {
+	nbrs := make([][]int32, n)
+	for i := 1; i < n; i++ {
+		p := int32(rng.Intn(i))
+		nbrs[p] = append(nbrs[p], int32(i))
+		nbrs[i] = append(nbrs[i], p)
+	}
+	for i := range nbrs {
+		row := nbrs[i]
+		rng.Shuffle(len(row), func(a, b int) { row[a], row[b] = row[b], row[a] })
+	}
+	return MustTree(nbrs)
+}
+
+func requireTourEqual(t *testing.T, got, want *Tour, ctx string) {
+	t.Helper()
+	if got.root != want.root {
+		t.Fatalf("%s: root %d, want %d", ctx, got.root, want.root)
+	}
+	if !reflect.DeepEqual(got.node, want.node) {
+		t.Fatalf("%s: node mismatch\n got %v\nwant %v", ctx, got.node, want.node)
+	}
+	if !reflect.DeepEqual(got.off, want.off) {
+		t.Fatalf("%s: off mismatch\n got %v\nwant %v", ctx, got.off, want.off)
+	}
+	if !reflect.DeepEqual(got.outInst, want.outInst) {
+		t.Fatalf("%s: outInst mismatch\n got %v\nwant %v", ctx, got.outInst, want.outInst)
+	}
+	if !reflect.DeepEqual(got.inInst, want.inInst) {
+		t.Fatalf("%s: inInst mismatch\n got %v\nwant %v", ctx, got.inInst, want.inInst)
+	}
+}
+
+func TestRerootedMatchesBuildTour(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(40)
+		tree := shuffledTree(rng, n)
+		r1 := int32(rng.Intn(n))
+		tour := BuildTour(tree, r1)
+		for r2 := int32(0); r2 < int32(n); r2++ {
+			requireTourEqual(t, tour.Rerooted(r2), BuildTour(tree, r2), "Rerooted")
+		}
+	}
+}
+
+func TestCutMatchesBuildTour(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	for trial := 0; trial < 120; trial++ {
+		n := 2 + rng.Intn(40)
+		tree := shuffledTree(rng, n)
+		root := int32(rng.Intn(n))
+		tour := BuildTour(tree, root)
+		u := int32(rng.Intn(n))
+		for tree.Degree(u) == 0 {
+			u = int32(rng.Intn(n))
+		}
+		j := rng.Intn(tree.Degree(u))
+		keep, det := tour.Cut(u, j)
+		// Independently remove the edge and rebuild both components.
+		v := tree.Neighbors[u][j]
+		rows := make([][]int32, n)
+		for i := range rows {
+			rows[i] = append([]int32(nil), tree.Neighbors[i]...)
+		}
+		rows[u] = removeAt(rows[u], j)
+		rows[v] = removeAt(rows[v], tree.ordinal(v, u))
+		ft := &Tree{Neighbors: rows}
+		if !reflect.DeepEqual(keep.Tree().Neighbors, rows) {
+			t.Fatalf("Cut tree rows mismatch")
+		}
+		if keep.Root() != root {
+			t.Fatalf("keep rooted at %d, want %d", keep.Root(), root)
+		}
+		if dr := det.Root(); dr != u && dr != v {
+			t.Fatalf("detached rooted at %d, want %d or %d", dr, u, v)
+		}
+		requireTourEqual(t, keep, BuildTour(ft, root), "Cut keep")
+		requireTourEqual(t, det, BuildTour(ft, det.Root()), "Cut detached")
+	}
+}
+
+func TestCutLinkRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for trial := 0; trial < 120; trial++ {
+		n := 2 + rng.Intn(40)
+		tree := shuffledTree(rng, n)
+		root := int32(rng.Intn(n))
+		tour := BuildTour(tree, root)
+		u := int32(rng.Intn(n))
+		for tree.Degree(u) == 0 {
+			u = int32(rng.Intn(n))
+		}
+		j := rng.Intn(tree.Degree(u))
+		v := tree.Neighbors[u][j]
+		jv := tree.ordinal(v, u)
+		keep, det := tour.Cut(u, j)
+		var relinked *Tour
+		if det.Root() == v {
+			relinked = keep.Link(u, j, det, v, jv)
+		} else {
+			relinked = keep.Link(v, jv, det, u, j)
+		}
+		requireTourEqual(t, relinked, tour, "Cut+Link round trip")
+		if !reflect.DeepEqual(relinked.Tree().Neighbors, tree.Neighbors) {
+			t.Fatalf("round-trip tree rows mismatch")
+		}
+	}
+}
+
+func TestLinkMatchesBuildTour(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	for trial := 0; trial < 120; trial++ {
+		n1 := 1 + rng.Intn(25)
+		n2 := 1 + rng.Intn(25)
+		n := n1 + n2
+		// A forest over a shared index space: component A on 0..n1-1,
+		// component B on n1..n-1.
+		rows := make([][]int32, n)
+		for i := 1; i < n1; i++ {
+			p := int32(rng.Intn(i))
+			rows[p] = append(rows[p], int32(i))
+			rows[i] = append(rows[i], p)
+		}
+		for i := n1 + 1; i < n; i++ {
+			p := int32(n1 + rng.Intn(i-n1))
+			rows[p] = append(rows[p], int32(i))
+			rows[i] = append(rows[i], p)
+		}
+		for i := range rows {
+			row := rows[i]
+			rng.Shuffle(len(row), func(a, b int) { row[a], row[b] = row[b], row[a] })
+		}
+		forest := &Tree{Neighbors: rows}
+		rootA := int32(rng.Intn(n1))
+		rootB := int32(n1 + rng.Intn(n2))
+		ta := BuildTour(forest, rootA)
+		tb := BuildTour(forest, rootB)
+		u := int32(rng.Intn(n1))
+		v := int32(n1 + rng.Intn(n2))
+		ju := rng.Intn(len(rows[u]) + 1)
+		jv := rng.Intn(len(rows[v]) + 1)
+		linked := ta.Link(u, ju, tb, v, jv)
+		// Independently build the joined tree and its canonical tour.
+		want := make([][]int32, n)
+		for i := range want {
+			want[i] = append([]int32(nil), rows[i]...)
+		}
+		want[u] = insertAt(want[u], ju, v)
+		want[v] = insertAt(want[v], jv, u)
+		requireTourEqual(t, linked, BuildTour(&Tree{Neighbors: want}, rootA), "Link")
+		if !reflect.DeepEqual(linked.Tree().Neighbors, want) {
+			t.Fatalf("Link tree rows mismatch")
+		}
+	}
+}
+
+func TestCloneShares(t *testing.T) {
+	rng := rand.New(rand.NewSource(75))
+	tree := shuffledTree(rng, 12)
+	tour := BuildTour(tree, 3)
+	c := tour.Clone()
+	requireTourEqual(t, c, tour, "Clone")
+	if &c.node[0] != &tour.node[0] || &c.outInst[0] != &tour.outInst[0] {
+		t.Fatal("Clone must share backing arrays")
+	}
+}

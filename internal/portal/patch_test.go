@@ -1,0 +1,121 @@
+package portal
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"spforest/amoebot"
+	"spforest/internal/shapes"
+)
+
+// specFor builds the PatchSpec for a delta the way the engine does: index
+// remaps from coordinate lookups, footprint sets from Delta.Footprint.
+func specFor(s, ns *amoebot.Structure, d amoebot.Delta) *PatchSpec {
+	remap := make([]int32, s.N())
+	for i := int32(0); i < int32(s.N()); i++ {
+		if j, ok := ns.Index(s.Coord(i)); ok {
+			remap[i] = j
+		} else {
+			remap[i] = -1
+		}
+	}
+	oldOf := make([]int32, ns.N())
+	for i := int32(0); i < int32(ns.N()); i++ {
+		if j, ok := s.Index(ns.Coord(i)); ok {
+			oldOf[i] = j
+		} else {
+			oldOf[i] = -1
+		}
+	}
+	var footOld, footNew []int32
+	for _, c := range d.Footprint().Coords {
+		if i, ok := s.Index(c); ok {
+			footOld = append(footOld, i)
+		}
+		if i, ok := ns.Index(c); ok {
+			footNew = append(footNew, i)
+		}
+	}
+	return NewPatchSpec(amoebot.WholeRegion(ns), remap, oldOf, footOld, footNew)
+}
+
+func requirePortalsEqual(t *testing.T, got, want *Portals, ctx string) {
+	t.Helper()
+	if !reflect.DeepEqual(got.ID, want.ID) {
+		t.Fatalf("%s: ID mismatch", ctx)
+	}
+	if !reflect.DeepEqual(got.off, want.off) {
+		t.Fatalf("%s: off mismatch\n got %v\nwant %v", ctx, got.off, want.off)
+	}
+	if !reflect.DeepEqual(got.nodes, want.nodes) {
+		t.Fatalf("%s: nodes mismatch", ctx)
+	}
+	if !reflect.DeepEqual(got.Nbr, want.Nbr) {
+		t.Fatalf("%s: Nbr mismatch", ctx)
+	}
+	if !reflect.DeepEqual(got.conn, want.conn) {
+		t.Fatalf("%s: conn mismatch\n got %v\nwant %v", ctx, got.conn, want.conn)
+	}
+}
+
+func requireViewsEqual(t *testing.T, got, want *View, ctx string) {
+	t.Helper()
+	if !reflect.DeepEqual(got.IDs, want.IDs) {
+		t.Fatalf("%s: IDs mismatch", ctx)
+	}
+	if !reflect.DeepEqual(got.nodes, want.nodes) {
+		t.Fatalf("%s: nodes mismatch", ctx)
+	}
+	if !reflect.DeepEqual(got.tree.Neighbors, want.tree.Neighbors) {
+		t.Fatalf("%s: tree rows mismatch", ctx)
+	}
+	gct, wct := got.crossings(), want.crossings()
+	if !reflect.DeepEqual(gct.from, wct.from) || !reflect.DeepEqual(gct.to, wct.to) ||
+		!reflect.DeepEqual(gct.local, wct.local) || !reflect.DeepEqual(gct.ord, wct.ord) {
+		t.Fatalf("%s: crossing table mismatch", ctx)
+	}
+}
+
+// TestPatchMatchesCompute drives chains of random deltas, maintaining the
+// decomposition and whole view of every axis exclusively through
+// Patch/PatchWholeView, and asserts deep equality with fresh
+// Compute/WholeView at every step — including patches of patches.
+func TestPatchMatchesCompute(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	for trial := 0; trial < 12; trial++ {
+		s := shapes.RandomBlob(rng, 60+rng.Intn(120))
+		var cur [amoebot.NumAxes]*Portals
+		var curV [amoebot.NumAxes]*View
+		for axis := amoebot.Axis(0); axis < amoebot.NumAxes; axis++ {
+			cur[axis] = Compute(amoebot.WholeRegion(s), axis)
+			curV[axis] = cur[axis].WholeView()
+		}
+		// Exercise both crossing-table paths: materialized tables must
+		// migrate, unmaterialized ones stay lazy.
+		if trial%2 == 0 {
+			for axis := amoebot.Axis(0); axis < amoebot.NumAxes; axis++ {
+				curV[axis].crossings()
+			}
+		}
+		for step := 0; step < 6; step++ {
+			d := shapes.RandomDelta(rng, s, 1+rng.Intn(5), 1+rng.Intn(5))
+			if d.IsEmpty() {
+				continue
+			}
+			ns, err := s.Apply(d)
+			if err != nil {
+				t.Fatalf("trial %d step %d: apply: %v", trial, step, err)
+			}
+			sp := specFor(s, ns, d)
+			for axis := amoebot.Axis(0); axis < amoebot.NumAxes; axis++ {
+				cur[axis] = cur[axis].Patch(sp)
+				want := Compute(sp.Region, axis)
+				requirePortalsEqual(t, cur[axis], want, "Patch")
+				curV[axis] = cur[axis].PatchWholeView(curV[axis], sp)
+				requireViewsEqual(t, curV[axis], want.WholeView(), "PatchWholeView")
+			}
+			s = ns
+		}
+	}
+}

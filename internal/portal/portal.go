@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"spforest/amoebot"
 	"spforest/internal/ett"
@@ -39,7 +40,22 @@ type Portals struct {
 	nodes []int32
 	off   []int32
 
-	conn map[[2]int32]int32 // (from portal, to portal) -> connecting amoebot in "from"
+	// conn maps each directed adjacent portal pair to the endpoints of its
+	// unique crossing tree edge: u is the connector amoebot in "from", v its
+	// neighbor in "to". Storing both endpoints lets Patch remap surviving
+	// entries without re-probing the grid.
+	conn map[[2]int32]connEnds
+
+	// oldIDof maps each portal id to the id of the identical portal in the
+	// pre-patch decomposition, -1 for portals rebuilt from the delta's dirty
+	// zone. Only set on decompositions produced by Patch; PatchWholeView
+	// uses it to reuse untouched crossing-table columns.
+	oldIDof []int32
+}
+
+// connEnds is a directed crossing tree edge (u in "from", v in "to").
+type connEnds struct {
+	u, v int32
 }
 
 // Compute builds the portal decomposition of the region along the axis.
@@ -50,7 +66,7 @@ func Compute(region *amoebot.Region, axis amoebot.Axis) *Portals {
 		Region: region,
 		ID:     make([]int32, s.N()),
 		off:    []int32{0},
-		conn:   make(map[[2]int32]int32),
+		conn:   make(map[[2]int32]connEnds),
 	}
 	for i := range p.ID {
 		p.ID[i] = -1
@@ -78,12 +94,19 @@ func Compute(region *amoebot.Region, axis amoebot.Axis) *Portals {
 			v := region.Neighbor(u, d)
 			p1, p2 := p.ID[u], p.ID[v]
 			key := [2]int32{p1, p2}
-			if prev, dup := p.conn[key]; dup && prev != u {
+			if prev, dup := p.conn[key]; dup && prev.u != u {
 				panic(fmt.Sprintf("portal: two crossing tree edges between portals %d and %d", p1, p2))
 			}
-			p.conn[key] = u
+			p.conn[key] = connEnds{u, v}
 		}
 	}
+	p.buildNbr()
+	return p
+}
+
+// buildNbr derives the per-portal adjacency lists from the crossing-edge
+// map's keys, sorted ascending.
+func (p *Portals) buildNbr() {
 	p.Nbr = make([][]int32, p.Len())
 	for key := range p.conn {
 		p.Nbr[key[0]] = append(p.Nbr[key[0]], key[1])
@@ -91,7 +114,6 @@ func Compute(region *amoebot.Region, axis amoebot.Axis) *Portals {
 	for i := range p.Nbr {
 		sort.Slice(p.Nbr[i], func(a, b int) bool { return p.Nbr[i][a] < p.Nbr[i][b] })
 	}
-	return p
 }
 
 // Len returns the number of portals.
@@ -108,11 +130,11 @@ func (p *Portals) Rep(id int32) int32 { return p.nodes[p.off[id]] }
 // incident to the unique implicit-tree edge towards the adjacent portal
 // "to". By construction (Definition 12) it exists and is unique.
 func (p *Portals) Connector(from, to int32) int32 {
-	u, ok := p.conn[[2]int32{from, to}]
+	e, ok := p.conn[[2]int32{from, to}]
 	if !ok {
 		panic(fmt.Sprintf("portal: portals %d and %d are not adjacent", from, to))
 	}
-	return u
+	return e.u
 }
 
 // Adjacent reports whether two portals share an implicit-tree edge.
@@ -203,9 +225,58 @@ type View struct {
 	toLocalMap map[int32]int32
 
 	// Frozen crossing-edge table, built once per view on first use (see
-	// crossings).
-	crossOnce sync.Once
-	cross     *crossTab
+	// crossings). crossReady is set after the table exists so PatchWholeView
+	// can observe — without racing the once — whether the parent view ever
+	// materialized its table and is worth migrating.
+	crossOnce  sync.Once
+	cross      *crossTab
+	crossReady atomic.Bool
+
+	// Canonical Euler tours of the implicit tree, memoized per root local
+	// index (see TourAt). Bounded; guarded by tourMu.
+	tourMu sync.Mutex
+	tours  map[int32]*ett.Tour
+}
+
+// maxTourMemo bounds the per-view tour memo. Whole-structure views see one
+// root per query leader; sub-views of the centroid decomposition see one.
+const maxTourMemo = 8
+
+// TourAt returns the canonical Euler tour of the view's implicit tree
+// rooted at the given local index, memoizing a bounded number of roots.
+// When any root's tour is already cached, a new root is derived from it by
+// rotation (Tour.Rerooted) — byte-identical to BuildTour, without the
+// pointer-chasing walk. Returned tours are shared and must not be mutated.
+func (v *View) TourAt(root int32) *ett.Tour {
+	v.tourMu.Lock()
+	if t, ok := v.tours[root]; ok {
+		v.tourMu.Unlock()
+		return t
+	}
+	var seed *ett.Tour
+	for _, t := range v.tours {
+		seed = t
+		break
+	}
+	v.tourMu.Unlock()
+	var t *ett.Tour
+	if seed != nil {
+		t = seed.Rerooted(root)
+	} else {
+		t = ett.BuildTour(v.tree, root)
+	}
+	v.tourMu.Lock()
+	defer v.tourMu.Unlock()
+	if prev, ok := v.tours[root]; ok {
+		return prev // a concurrent builder won; results are identical
+	}
+	if v.tours == nil {
+		v.tours = make(map[int32]*ett.Tour)
+	}
+	if len(v.tours) < maxTourMemo {
+		v.tours[root] = t
+	}
+	return t
 }
 
 // WholeView returns the view containing every portal.
@@ -340,6 +411,7 @@ func (v *View) crossings() *crossTab {
 			}
 		}
 		v.cross = ct
+		v.crossReady.Store(true)
 	})
 	return v.cross
 }

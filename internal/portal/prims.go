@@ -59,7 +59,7 @@ func RootPrune(clock *sim.Clock, v *View, rootPortal int32, inQ []bool) *RootPru
 		}
 		return res
 	}
-	tour := ett.BuildTour(v.tree, v.Local(v.P.Rep(rootPortal)))
+	tour := v.TourAt(v.Local(v.P.Rep(rootPortal)))
 	run := ett.NewRun(tour, hatQ(v, inQ))
 	// One streaming subtractor per directed crossing edge, operated by the
 	// connector amoebot (Lemma 32: the implicit-tree prefix difference
@@ -187,7 +187,9 @@ func Centroids(clock *sim.Clock, v *View, rootPortal int32, inQ []bool) *Centroi
 		res.IsCentroid[rootPortal] = inQ[rootPortal]
 		return res
 	}
-	tour := ett.BuildTour(v.tree, v.Local(v.P.Rep(rootPortal)))
+	// Shares the root-and-prune execution's memoized tour (TourAt): the
+	// second ETT of Lemma 36 runs over the same canonical tour.
+	tour := v.TourAt(v.Local(v.P.Rep(rootPortal)))
 	run := ett.NewRun(tour, hatQ(v, inQ))
 	type crossing struct {
 		from, to int32

@@ -8,6 +8,16 @@ import (
 	"spforest/internal/shapes"
 )
 
+// Churn kinds. The zero value is the original random add/remove drift;
+// the moving-structure kinds emit directed "joint movement" style
+// sequences (arXiv:2603.10720): a translating blob shedding its tail as
+// its front grows, and a structure growing a thin tail along one axis.
+const (
+	KindRandom    = ""
+	KindTranslate = "translate-front"
+	KindGrowTail  = "grow-tail"
+)
+
 // Churn is a deterministic dynamic workload: Steps validity-preserving
 // deltas, each adding up to Adds and removing up to Removes cells chosen
 // by the single-arc local rule (see amoebot.NeighborArcs), so every
@@ -15,14 +25,37 @@ import (
 // drive the incremental paths — Structure.Apply, Engine.Apply and
 // service.Mutate — whose results the harness compares against fresh
 // rebuilds.
+//
+// Kind selects the cell-selection policy (see the Kind* constants); the
+// moving kinds march along the direction Seed selects, so distinct seeds
+// translate distinct ways.
 type Churn struct {
 	Seed          int64
 	Steps         int
 	Adds, Removes int
+	Kind          string
 }
 
 func (c Churn) String() string {
-	return fmt.Sprintf("churn(seed=%d,steps=%d,+%d,-%d)", c.Seed, c.Steps, c.Adds, c.Removes)
+	if c.Kind == KindRandom {
+		return fmt.Sprintf("churn(seed=%d,steps=%d,+%d,-%d)", c.Seed, c.Steps, c.Adds, c.Removes)
+	}
+	return fmt.Sprintf("churn(kind=%s,seed=%d,steps=%d,+%d,-%d)", c.Kind, c.Seed, c.Steps, c.Adds, c.Removes)
+}
+
+// delta emits one step's delta under the workload's kind.
+func (c Churn) delta(rng *rand.Rand, s *amoebot.Structure, protect []amoebot.Coord) (amoebot.Delta, error) {
+	dir := amoebot.Direction(uint64(c.Seed) % uint64(amoebot.NumDirections))
+	switch c.Kind {
+	case KindRandom:
+		return shapes.RandomDelta(rng, s, c.Adds, c.Removes, protect...), nil
+	case KindTranslate:
+		return shapes.DirectedDelta(rng, s, dir, c.Adds, c.Removes, false, protect...), nil
+	case KindGrowTail:
+		return shapes.DirectedDelta(rng, s, dir, c.Adds, c.Removes, true, protect...), nil
+	default:
+		return amoebot.Delta{}, fmt.Errorf("scenario: unknown churn kind %q", c.Kind)
+	}
 }
 
 // Sequence emits the workload's delta chain over the base structure s and
@@ -31,32 +64,76 @@ func (c Churn) String() string {
 // (queries' sources and a pre-elected leader typically are). Individual
 // deltas may be smaller than Adds+Removes — or empty — when the local rule
 // finds no mutable cells; they still apply cleanly.
+//
+// Sequence retains every intermediate structure; at large scales use
+// Stepper, which streams the same chain while holding only the current
+// state.
 func (c Churn) Sequence(s *amoebot.Structure, protect ...amoebot.Coord) ([]amoebot.Delta, []*amoebot.Structure, error) {
-	if err := s.Validate(); err != nil {
-		return nil, nil, fmt.Errorf("scenario: churn base: %w", err)
+	st, err := c.Stepper(s, protect...)
+	if err != nil {
+		return nil, nil, err
 	}
-	rng := rand.New(rand.NewSource(c.Seed))
 	deltas := make([]amoebot.Delta, 0, c.Steps)
 	states := []*amoebot.Structure{s}
-	for i := 0; i < c.Steps; i++ {
-		d := shapes.RandomDelta(rng, states[i], c.Adds, c.Removes, protect...)
-		ns, err := states[i].Apply(d)
+	for {
+		d, ns, ok, err := st.Next()
 		if err != nil {
-			return nil, nil, fmt.Errorf("scenario: churn step %d: %w", i, err)
+			return nil, nil, err
+		}
+		if !ok {
+			return deltas, states, nil
 		}
 		deltas = append(deltas, d)
 		states = append(states, ns)
 	}
-	return deltas, states, nil
+}
+
+// Stepper streams a churn workload one delta at a time: each Next emits
+// the next delta of the same chain Sequence would produce, together with
+// the structure it leads to, retaining only the current state.
+type Stepper struct {
+	c       Churn
+	rng     *rand.Rand
+	cur     *amoebot.Structure
+	protect []amoebot.Coord
+	step    int
+}
+
+// Stepper validates the base structure and positions a stream at step 0.
+func (c Churn) Stepper(s *amoebot.Structure, protect ...amoebot.Coord) (*Stepper, error) {
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("scenario: churn base: %w", err)
+	}
+	return &Stepper{c: c, rng: rand.New(rand.NewSource(c.Seed)), cur: s, protect: protect}, nil
+}
+
+// Next advances the stream by one step, returning the delta and the
+// structure it produces. ok is false once Steps deltas have been emitted.
+func (st *Stepper) Next() (amoebot.Delta, *amoebot.Structure, bool, error) {
+	if st.step >= st.c.Steps {
+		return amoebot.Delta{}, nil, false, nil
+	}
+	d, err := st.c.delta(st.rng, st.cur, st.protect)
+	if err != nil {
+		return amoebot.Delta{}, nil, false, err
+	}
+	ns, err := st.cur.Apply(d)
+	if err != nil {
+		return amoebot.Delta{}, nil, false, fmt.Errorf("scenario: churn step %d: %w", st.step, err)
+	}
+	st.cur, st.step = ns, st.step+1
+	return d, ns, true, nil
 }
 
 // Workloads returns the named churn profiles of the test suite, from
 // steady background drift to growth-heavy and shrink-heavy bursts.
 func Workloads() map[string]Churn {
 	return map[string]Churn{
-		"steady": {Seed: 101, Steps: 8, Adds: 3, Removes: 3},
-		"grow":   {Seed: 102, Steps: 6, Adds: 8, Removes: 1},
-		"shrink": {Seed: 103, Steps: 6, Adds: 1, Removes: 6},
-		"bursty": {Seed: 104, Steps: 4, Adds: 12, Removes: 12},
+		"steady":    {Seed: 101, Steps: 8, Adds: 3, Removes: 3},
+		"grow":      {Seed: 102, Steps: 6, Adds: 8, Removes: 1},
+		"shrink":    {Seed: 103, Steps: 6, Adds: 1, Removes: 6},
+		"bursty":    {Seed: 104, Steps: 4, Adds: 12, Removes: 12},
+		"translate": {Seed: 105, Steps: 6, Adds: 6, Removes: 6, Kind: KindTranslate},
+		"growtail":  {Seed: 106, Steps: 6, Adds: 5, Removes: 1, Kind: KindGrowTail},
 	}
 }

@@ -3,6 +3,8 @@ package scenario
 import (
 	"strings"
 	"testing"
+
+	"spforest/amoebot"
 )
 
 // TestRegistryShape pins the registry's acceptance-level structure: at
@@ -158,6 +160,64 @@ func TestChurnSequenceShape(t *testing.T) {
 	holed := Holed()[0]
 	if _, _, err := c.Sequence(holed.S); err == nil {
 		t.Fatal("churn accepted a holed base")
+	}
+}
+
+// TestChurnMovingProfiles: the directed kinds actually move — the
+// translate profile advances the structure's mean projection along its
+// direction while holding the size near-constant, and the grow-tail
+// profile stretches the structure's extent along it.
+func TestChurnMovingProfiles(t *testing.T) {
+	sc, ok := ByName("blob/n250")
+	if !ok {
+		t.Fatal("missing base scenario")
+	}
+	proj := func(s *amoebot.Structure, dir amoebot.Direction) (sum, max int) {
+		u := amoebot.Coord{}.Neighbor(dir)
+		max = -1 << 30
+		for _, c := range s.Coords() {
+			p := c.X*u.X + c.Y*u.Y + c.Z*u.Z
+			sum += p
+			if p > max {
+				max = p
+			}
+		}
+		return sum, max
+	}
+
+	tr := Churn{Seed: 105, Steps: 8, Adds: 8, Removes: 8, Kind: KindTranslate}
+	dir := amoebot.Direction(uint64(tr.Seed) % uint64(amoebot.NumDirections))
+	_, states, err := tr.Sequence(sc.S)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := states[0], states[len(states)-1]
+	s0, _ := proj(first, dir)
+	s1, _ := proj(last, dir)
+	if float64(s1)/float64(last.N()) <= float64(s0)/float64(first.N()) {
+		t.Fatalf("translate-front did not advance: mean projection %f -> %f",
+			float64(s0)/float64(first.N()), float64(s1)/float64(last.N()))
+	}
+
+	gt := Churn{Seed: 106, Steps: 8, Adds: 6, Removes: 0, Kind: KindGrowTail}
+	dir = amoebot.Direction(uint64(gt.Seed) % uint64(amoebot.NumDirections))
+	_, states, err = gt.Sequence(sc.S)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last = states[0], states[len(states)-1]
+	_, m0 := proj(first, dir)
+	_, m1 := proj(last, dir)
+	if m1 <= m0 {
+		t.Fatalf("grow-tail did not extend the leading tip: max projection %d -> %d", m0, m1)
+	}
+	if last.N() <= first.N() {
+		t.Fatalf("grow-tail did not grow: %d -> %d cells", first.N(), last.N())
+	}
+
+	// Unknown kinds are rejected up front.
+	if _, _, err := (Churn{Kind: "spiral", Steps: 1}).Sequence(sc.S); err == nil {
+		t.Fatal("unknown churn kind accepted")
 	}
 }
 

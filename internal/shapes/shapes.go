@@ -341,6 +341,156 @@ func RandomDelta(rng *rand.Rand, s *amoebot.Structure, adds, removes int, protec
 	return d
 }
 
+// DirectedDelta returns a validity-preserving delta that moves the
+// structure along dir, in the style of the joint-movement reconfiguration
+// workloads: cells are added on the leading boundary (highest projection
+// onto dir first) and removed from the trailing boundary (lowest
+// projection first), every cell still chosen by the same single-arc local
+// rule as RandomDelta so the result stays connected and hole-free. With
+// tail=true the additions instead extend the current leading tip cell,
+// growing a thin tail along dir. The rng only breaks ties between cells
+// of equal projection. Protected coordinates are never removed; a delta
+// smaller than requested (possibly empty) is returned when no suitable
+// cells exist.
+func DirectedDelta(rng *rand.Rand, s *amoebot.Structure, dir amoebot.Direction, adds, removes int, tail bool, protect ...amoebot.Coord) amoebot.Delta {
+	// Occupancy is s plus a small overlay, so the call costs one pass over
+	// the precomputed adjacency (candidate seeding below) plus work
+	// proportional to the boundary — not O(n) per picked cell; E18 runs
+	// this at million-amoebot scale.
+	changes := make(map[amoebot.Coord]bool, adds+removes)
+	occ := func(c amoebot.Coord) bool {
+		if v, ok := changes[c]; ok {
+			return v
+		}
+		return s.Occupied(c)
+	}
+	mutable := func(c amoebot.Coord) bool {
+		deg, arcs := amoebot.NeighborArcs(occ, c)
+		return deg >= 1 && deg <= 5 && arcs == 1
+	}
+	prot := make(map[amoebot.Coord]bool, len(protect))
+	for _, c := range protect {
+		prot[c] = true
+	}
+	unit := amoebot.Coord{}.Neighbor(dir)
+	proj := func(c amoebot.Coord) int { return c.X*unit.X + c.Y*unit.Y + c.Z*unit.Z }
+
+	// Candidate pools: empty cells that may be added, occupied boundary
+	// cells that may be removed. Deterministic append order (index order,
+	// then pick order); staleness is fine because mutability and occupancy
+	// are re-checked at pick time. Picks extend the pools locally.
+	var addCands, rmCands []amoebot.Coord
+	addSeen := make(map[amoebot.Coord]bool)
+	rmSeen := make(map[amoebot.Coord]bool)
+	for i := int32(0); i < int32(s.N()); i++ {
+		if s.Degree(i) == 6 {
+			continue // interior: no empty neighbor, not removable either
+		}
+		c := s.Coord(i)
+		rmCands = append(rmCands, c)
+		rmSeen[c] = true
+		for d := amoebot.Direction(0); d < amoebot.NumDirections; d++ {
+			if s.Neighbor(i, d) != amoebot.None {
+				continue
+			}
+			e := c.Neighbor(d)
+			if !addSeen[e] {
+				addSeen[e] = true
+				addCands = append(addCands, e)
+			}
+		}
+	}
+
+	// pick selects the candidate extremizing the projection (sign=+1 for
+	// the leading boundary, -1 for the trailing one) among those the
+	// filter admits, breaking projection ties with rng.
+	pick := func(cands []amoebot.Coord, sign int, admit func(amoebot.Coord) bool) (amoebot.Coord, bool) {
+		var best []amoebot.Coord
+		bestP := 0
+		for _, c := range cands {
+			if !admit(c) {
+				continue
+			}
+			if p := sign * proj(c); len(best) == 0 || p > bestP {
+				best, bestP = best[:0], p
+				best = append(best, c)
+			} else if p == bestP {
+				best = append(best, c)
+			}
+		}
+		if len(best) == 0 {
+			return amoebot.Coord{}, false
+		}
+		return best[rng.Intn(len(best))], true
+	}
+
+	added := make(map[amoebot.Coord]bool, adds)
+	tip, haveTip := amoebot.Coord{}, false
+	for a := 0; a < adds; a++ {
+		admit := func(c amoebot.Coord) bool { return !occ(c) && mutable(c) }
+		cands := addCands
+		if tail && haveTip {
+			// Extend the tail from the last added tip only.
+			cands = cands[:0:0]
+			for d := amoebot.Direction(0); d < amoebot.NumDirections; d++ {
+				cands = append(cands, tip.Neighbor(d))
+			}
+		}
+		c, ok := pick(cands, +1, admit)
+		if !ok {
+			break
+		}
+		changes[c] = true
+		added[c] = true
+		tip, haveTip = c, true
+		if !rmSeen[c] {
+			rmSeen[c] = true
+			rmCands = append(rmCands, c)
+		}
+		for d := amoebot.Direction(0); d < amoebot.NumDirections; d++ {
+			e := c.Neighbor(d)
+			if !occ(e) && !addSeen[e] {
+				addSeen[e] = true
+				addCands = append(addCands, e)
+			}
+		}
+	}
+	live := s.N() + len(added)
+	for r := 0; r < removes && live > 1; r++ {
+		admit := func(c amoebot.Coord) bool {
+			// Just-added cells are exempt: a coordinate may not appear on
+			// both sides of one delta.
+			return occ(c) && !prot[c] && !added[c] && mutable(c)
+		}
+		c, ok := pick(rmCands, -1, admit)
+		if !ok {
+			break
+		}
+		changes[c] = false
+		live--
+		for d := amoebot.Direction(0); d < amoebot.NumDirections; d++ {
+			e := c.Neighbor(d)
+			if occ(e) && !rmSeen[e] {
+				rmSeen[e] = true
+				rmCands = append(rmCands, e)
+			}
+		}
+	}
+
+	var d amoebot.Delta
+	for _, c := range addCands {
+		if changes[c] && !s.Occupied(c) {
+			d.Add = append(d.Add, c)
+		}
+	}
+	for _, c := range rmCands {
+		if v, ok := changes[c]; ok && !v && s.Occupied(c) {
+			d.Remove = append(d.Remove, c)
+		}
+	}
+	return d
+}
+
 // RandomSubset picks k distinct node indices of s uniformly at random,
 // sorted ascending. It panics if k exceeds the structure size.
 func RandomSubset(rng *rand.Rand, s *amoebot.Structure, k int) []int32 {
