@@ -1,0 +1,407 @@
+// Command spfload is the closed-loop load generator for spfserve: it
+// replays deterministic scenario-registry query mixes (churn mutations
+// included) against a running server at a configurable request rate and
+// connection count, and reports the latency distribution (p50/p90/p99),
+// throughput, shed rate and the server's batch-coalescing factor — the
+// serving tier's BENCH dimension (experiment E19).
+//
+//	spfserve -addr :8080 &
+//	spfload -addr http://localhost:8080 -scenarios hexagon -qps 200 -conns 8 -duration 10s
+//	spfload -json > e19.json       # BENCH-compatible records
+//
+// Closed loop means every connection waits for its answer before firing
+// the next request; -qps throttles the aggregate rate below the natural
+// closed-loop ceiling (0 = unthrottled).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"spforest/amoebot"
+	"spforest/internal/scenario"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "http://localhost:8080", "spfserve base URL")
+		scenarios   = flag.String("scenarios", "", "comma-separated scenario families or full names to mix (empty: all)")
+		qps         = flag.Float64("qps", 0, "aggregate request rate (0: unthrottled closed loop)")
+		conns       = flag.Int("conns", 4, "closed-loop connections")
+		duration    = flag.Duration("duration", 10*time.Second, "run length")
+		requests    = flag.Int("requests", 0, "stop after this many requests (0: run for -duration)")
+		mutateEvery = flag.Int("mutate-every", 0, "emit a churn mutation every N mix steps (0: queries only)")
+		seed        = flag.Int64("seed", 1, "mix seed (same seed: same request sequence)")
+		label       = flag.String("label", "scenario-mix", "BENCH record label")
+		jsonOut     = flag.Bool("json", false, "emit BENCH-compatible JSON records on stdout")
+	)
+	flag.Parse()
+
+	scs := selectScenarios(*scenarios)
+	if len(scs) == 0 {
+		log.Fatalf("spfload: no scenarios match %q", *scenarios)
+	}
+	mix, err := scenario.NewMix(*seed, scs, *mutateEvery)
+	if err != nil {
+		log.Fatalf("spfload: %v", err)
+	}
+
+	ld := &loader{
+		base: strings.TrimRight(*addr, "/"),
+		mix:  mix,
+		fps:  make(map[string]string),
+		client: &http.Client{Timeout: 60 * time.Second, Transport: &http.Transport{
+			MaxIdleConns:        *conns,
+			MaxIdleConnsPerHost: *conns,
+		}},
+		maxRequests: *requests,
+	}
+	before, err := ld.stats()
+	if err != nil {
+		log.Fatalf("spfload: cannot reach %s: %v (is spfserve running?)", *addr, err)
+	}
+
+	// Pacing is a token bucket fed at -qps: a coarse ticker (a
+	// one-tick-per-request ticker undershoots badly at high rates — timer
+	// granularity on a busy host is ~1ms) releases a batch of tokens
+	// proportional to the wall time actually elapsed, so the long-run rate
+	// is exact even when individual ticks fire late. The bucket banks
+	// tokens while every connection is busy; tokens beyond its capacity
+	// are discarded, bounding the burst after a stall.
+	var pace chan time.Time
+	if *qps > 0 {
+		const paceTick = 5 * time.Millisecond
+		t := time.NewTicker(paceTick)
+		defer t.Stop()
+		pace = make(chan time.Time, 2**conns)
+		go func() {
+			carry := 0.0
+			last := time.Now()
+			for tick := range t.C {
+				carry += *qps * tick.Sub(last).Seconds()
+				last = tick
+				for ; carry >= 1; carry-- {
+					select {
+					case pace <- tick:
+					default:
+						carry = 0 // bucket full: discard the excess
+					}
+				}
+			}
+		}()
+	}
+	deadline := time.Now().Add(*duration)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < *conns; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ld.run(deadline, pace)
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	after, err := ld.stats()
+	if err != nil {
+		log.Fatalf("spfload: final stats: %v", err)
+	}
+
+	rep := ld.report(wall, before, after)
+	if *jsonOut {
+		emitJSON(*label, *qps, *conns, wall, rep)
+	} else {
+		printHuman(*label, wall, rep)
+	}
+	if rep.errors > 0 {
+		os.Exit(1)
+	}
+}
+
+// selectScenarios filters the registry by comma-separated family or full
+// scenario names (empty: every registered scenario).
+func selectScenarios(filter string) []scenario.Scenario {
+	all := scenario.All()
+	if filter == "" {
+		return all
+	}
+	want := make(map[string]bool)
+	for _, f := range strings.Split(filter, ",") {
+		want[strings.TrimSpace(f)] = true
+	}
+	var out []scenario.Scenario
+	for _, sc := range all {
+		if want[sc.Family] || want[sc.Name] {
+			out = append(out, sc)
+		}
+	}
+	return out
+}
+
+// loader is the shared state of the closed-loop workers.
+type loader struct {
+	base   string
+	client *http.Client
+
+	mu          sync.Mutex
+	mix         *scenario.Mix
+	fps         map[string]string // scenario name -> current (churned) fingerprint
+	issued      int
+	maxRequests int
+
+	statsMu   sync.Mutex
+	latencies []int64
+	ok        int
+	shed      int
+	errors    int
+	mutations int
+	rounds    int64
+	beeps     int64
+}
+
+// next draws the next query step and the fingerprint it currently
+// targets. Mutation steps are applied inline, under the draw lock:
+// mutations are sparse, and the atomicity keeps a scenario's delta chain
+// in lockstep with the server's fingerprint chain — without it, two
+// connections could draw deltas N and N+1 before the mutate response for
+// N lands, and delta N+1 would target a structure the server never built.
+func (ld *loader) next() (scenario.MixStep, string, bool) {
+	ld.mu.Lock()
+	defer ld.mu.Unlock()
+	for {
+		if ld.maxRequests > 0 && ld.issued >= ld.maxRequests {
+			return scenario.MixStep{}, "", false
+		}
+		ld.issued++
+		step := ld.mix.Next()
+		if !step.IsMutation() {
+			return step, ld.fps[step.Scenario], true
+		}
+		ld.applyMutation(step)
+	}
+}
+
+// applyMutation posts the delta and records the successor fingerprint.
+// Called with ld.mu held.
+func (ld *loader) applyMutation(step scenario.MixStep) {
+	body := ref(step, ld.fps[step.Scenario])
+	body["add"] = pairs(step.Delta.Add)
+	body["remove"] = pairs(step.Delta.Remove)
+	if ans, ok := ld.post("/v1/mutate", body); ok {
+		ld.fps[step.Scenario] = ans.FP
+		ld.statsMu.Lock()
+		ld.mutations++
+		ld.statsMu.Unlock()
+	}
+}
+
+// run is one closed-loop connection.
+func (ld *loader) run(deadline time.Time, pace <-chan time.Time) {
+	for time.Now().Before(deadline) {
+		if pace != nil {
+			select {
+			case <-pace:
+			case <-time.After(time.Until(deadline)):
+				return
+			}
+		}
+		step, fp, ok := ld.next()
+		if !ok {
+			return
+		}
+		ld.query(step, fp)
+	}
+}
+
+// ref builds the structure reference: the scenario's churned fingerprint
+// once a mutation happened, the scenario name before.
+func ref(step scenario.MixStep, fp string) map[string]any {
+	if fp != "" {
+		return map[string]any{"fp": fp}
+	}
+	return map[string]any{"scenario": step.Scenario}
+}
+
+func pairs(cs []amoebot.Coord) [][2]int {
+	if len(cs) == 0 {
+		return nil
+	}
+	out := make([][2]int, len(cs))
+	for i, c := range cs {
+		out[i] = [2]int{c.X, c.Z}
+	}
+	return out
+}
+
+// wireAnswer is the subset of spfserve's responses the loader reads.
+type wireAnswer struct {
+	Err    string `json:"err"`
+	Rounds int64  `json:"rounds"`
+	Beeps  int64  `json:"beeps"`
+	FP     string `json:"fp"`
+}
+
+// post fires one request and classifies the outcome.
+func (ld *loader) post(path string, body map[string]any) (wireAnswer, bool) {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		log.Fatalf("spfload: %v", err)
+	}
+	start := time.Now()
+	resp, err := ld.client.Post(ld.base+path, "application/json", bytes.NewReader(payload))
+	lat := time.Since(start).Nanoseconds()
+	var ans wireAnswer
+	var decodeErr error
+	if err == nil {
+		decodeErr = json.NewDecoder(resp.Body).Decode(&ans)
+		resp.Body.Close()
+	}
+	ld.statsMu.Lock()
+	defer ld.statsMu.Unlock()
+	switch {
+	case err != nil:
+		ld.errors++
+		return ans, false
+	case resp.StatusCode == http.StatusTooManyRequests:
+		ld.shed++
+		return ans, false
+	case resp.StatusCode != http.StatusOK || decodeErr != nil || ans.Err != "":
+		ld.errors++
+		return ans, false
+	}
+	ld.ok++
+	ld.latencies = append(ld.latencies, lat)
+	ld.rounds += ans.Rounds
+	ld.beeps += ans.Beeps
+	return ans, true
+}
+
+func (ld *loader) query(step scenario.MixStep, fp string) {
+	body := ref(step, fp)
+	body["algo"] = step.Query.Algo
+	body["sources"] = pairs(step.Query.Sources)
+	body["dests"] = pairs(step.Query.Dests)
+	body["tag"] = step.Query.Tag
+	ld.post("/v1/query", body)
+}
+
+// serverStats is the subset of /v1/stats the loader reads.
+type serverStats struct {
+	Admission struct {
+		Flushes   int64 `json:"Flushes"`
+		Coalesced int64 `json:"Coalesced"`
+		Shed      int64 `json:"Shed"`
+	} `json:"admission"`
+}
+
+func (ld *loader) stats() (serverStats, error) {
+	var st serverStats
+	resp, err := ld.client.Get(ld.base + "/v1/stats")
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+// reportData aggregates one run.
+type reportData struct {
+	ok, shed, errors, mutations int
+	rounds, beeps               int64
+	p50, p90, p99, mean         int64
+	coalesceX1000               int64
+}
+
+// report folds the counters and the server-side coalescing delta.
+func (ld *loader) report(wall time.Duration, before, after serverStats) reportData {
+	ld.statsMu.Lock()
+	defer ld.statsMu.Unlock()
+	rep := reportData{
+		ok: ld.ok, shed: ld.shed, errors: ld.errors, mutations: ld.mutations,
+		rounds: ld.rounds, beeps: ld.beeps,
+	}
+	if len(ld.latencies) > 0 {
+		sorted := append([]int64(nil), ld.latencies...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		var sum int64
+		for _, l := range sorted {
+			sum += l
+		}
+		rep.mean = sum / int64(len(sorted))
+		rep.p50 = percentile(sorted, 50)
+		rep.p90 = percentile(sorted, 90)
+		rep.p99 = percentile(sorted, 99)
+	}
+	if flushes := after.Admission.Flushes - before.Admission.Flushes; flushes > 0 {
+		rep.coalesceX1000 = (after.Admission.Coalesced - before.Admission.Coalesced) * 1000 / flushes
+	}
+	return rep
+}
+
+func percentile(sorted []int64, p int) int64 {
+	idx := (p*len(sorted) + 99) / 100
+	if idx < 1 {
+		idx = 1
+	}
+	if idx > len(sorted) {
+		idx = len(sorted)
+	}
+	return sorted[idx-1]
+}
+
+// emitJSON writes the run as spfbench-compatible BENCH records
+// (experiment E19). Realized counts ride in params, which also keeps the
+// record from false-matching across runs in benchcmp's strict gate —
+// load-test latencies measure the host and the moment, not the code.
+func emitJSON(label string, qps float64, conns int, wall time.Duration, rep reportData) {
+	type record struct {
+		Experiment string           `json:"experiment"`
+		Label      string           `json:"label"`
+		Params     map[string]int64 `json:"params,omitempty"`
+		Rounds     int64            `json:"rounds"`
+		Beeps      int64            `json:"beeps"`
+		WallNS     int64            `json:"wall_ns"`
+	}
+	recs := []record{{
+		Experiment: "E19",
+		Label:      label,
+		Params: map[string]int64{
+			"qps":            int64(qps),
+			"conns":          int64(conns),
+			"ok":             int64(rep.ok),
+			"shed":           int64(rep.shed),
+			"errors":         int64(rep.errors),
+			"mutations":      int64(rep.mutations),
+			"p50_ns":         rep.p50,
+			"p90_ns":         rep.p90,
+			"p99_ns":         rep.p99,
+			"mean_ns":        rep.mean,
+			"rps_x1000":      int64(float64(rep.ok) / wall.Seconds() * 1000),
+			"coalesce_x1000": rep.coalesceX1000,
+		},
+		Rounds: rep.rounds,
+		Beeps:  rep.beeps,
+		WallNS: wall.Nanoseconds(),
+	}}
+	json.NewEncoder(os.Stdout).Encode(recs)
+}
+
+func printHuman(label string, wall time.Duration, rep reportData) {
+	fmt.Printf("E19 %s: %d ok, %d shed, %d errors, %d mutations in %v (%.1f req/s)\n",
+		label, rep.ok, rep.shed, rep.errors, rep.mutations, wall.Round(time.Millisecond),
+		float64(rep.ok)/wall.Seconds())
+	fmt.Printf("  latency p50 %v  p90 %v  p99 %v  mean %v\n",
+		time.Duration(rep.p50), time.Duration(rep.p90), time.Duration(rep.p99), time.Duration(rep.mean))
+	fmt.Printf("  coalescing factor %.3f (server-side requests per Engine.Batch flush)\n",
+		float64(rep.coalesceX1000)/1000)
+	fmt.Printf("  simulated totals: %d rounds, %d beeps\n", rep.rounds, rep.beeps)
+}

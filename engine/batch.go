@@ -272,9 +272,20 @@ func (e *Engine) Batch(queries []Query) *BatchResult {
 			for name, rounds := range rep.Result.Stats.Phases {
 				st.Phases[name] = rounds
 			}
+			// Strip what the representative actually recorded, not what the
+			// engine's one-off election cost: the two agree on an engine that
+			// elected its own leader, but a migrated engine (leader inherited
+			// across Apply, preprocessing attributed via Warm or Leader) can
+			// carry prepStats that diverge from the phase the representative
+			// was charged — subtracting prepStats would then silently
+			// underflow the totals. Beeps have no per-phase attribution, so
+			// the election beep charge is stripped only when the recorded
+			// phase provably is the election (it matches prepStats).
 			if p := st.Phases["preprocess"]; p > 0 {
-				st.Rounds -= e.prepStats.Rounds
-				st.Beeps -= e.prepStats.Beeps
+				st.Rounds -= p
+				if p == e.prepStats.Rounds {
+					st.Beeps -= e.prepStats.Beeps
+				}
 				delete(st.Phases, "preprocess")
 			}
 			out.Results[i] = QueryResult{

@@ -1,12 +1,14 @@
 package engine_test
 
 import (
+	"math/rand"
 	"runtime"
 	"testing"
 
 	"spforest"
 	"spforest/amoebot"
 	"spforest/engine"
+	"spforest/internal/shapes"
 )
 
 // TestBatchDedupesIdenticalQueries: identical queries in one batch are
@@ -90,6 +92,96 @@ func TestBatchDedupesIdenticalQueries(t *testing.T) {
 	r0.Result.Stats.Phases["forest"] = -1
 	if r1.Result.Stats.Phases["forest"] == -1 {
 		t.Fatal("duplicate results share a phase map")
+	}
+}
+
+// TestBatchDedupeElectionStripMatchesPrep: whenever a representative's
+// stats carry a positive "preprocess" phase, that recorded value must be
+// exactly the engine's one-off election cost — the invariant the
+// duplicate-fill relies on when it strips the election charge from the
+// copies. Runs under -race in CI alongside the concurrent dispatch.
+func TestBatchDedupeElectionStripMatchesPrep(t *testing.T) {
+	s := spforest.RandomBlob(41, 240)
+	sources := spforest.RandomCoords(7, s, 4)
+	q := engine.Query{Algo: engine.AlgoForest, Sources: sources, Dests: s.Coords()}
+
+	e, err := engine.New(s, &engine.Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := e.Batch([]engine.Query{q, q, q, q})
+	if batch.Stats.Deduped != 3 {
+		t.Fatalf("Deduped = %d, want 3", batch.Stats.Deduped)
+	}
+	_, prep := e.Leader()
+	var positive int
+	for i, r := range batch.Results {
+		if r.Err != nil {
+			t.Fatalf("query %d: %v", i, r.Err)
+		}
+		if p := r.Result.Stats.Phases["preprocess"]; p > 0 {
+			positive++
+			if p != prep.Rounds {
+				t.Fatalf("query %d: recorded preprocess phase %d != election cost %d", i, p, prep.Rounds)
+			}
+		}
+	}
+	if positive != 1 {
+		t.Fatalf("%d results carry a positive preprocess phase, want exactly 1 (the representative)", positive)
+	}
+}
+
+// TestBatchDedupeOnChurnedEngine: the duplicate-fill on a migrated engine
+// (built by Apply, leader inherited, preprocessing attributed via Warm)
+// must report dedupe stats identical to a repeat Run on that engine — in
+// particular the election strip must not underflow the totals by
+// subtracting a charge no query on this engine ever paid.
+func TestBatchDedupeOnChurnedEngine(t *testing.T) {
+	s := spforest.RandomBlob(43, 260)
+	sources := spforest.RandomCoords(9, s, 4)
+
+	parent, err := engine.New(s, &engine.Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parent.Warm() // election paid here, before any query records a phase
+
+	d := shapes.RandomDelta(rand.New(rand.NewSource(11)), s, 4, 4, sources...)
+	child, err := parent.Apply(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	child.Warm()
+	ns := child.Structure()
+	q := engine.Query{Algo: engine.AlgoForest, Sources: sources, Dests: ns.Coords()}
+
+	want, err := child.Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := want.Stats.Phases["preprocess"]; p != 0 {
+		t.Fatalf("warmed churned engine charged a %d-round preprocess phase to a query", p)
+	}
+
+	batch := child.Batch([]engine.Query{q, q, q})
+	if batch.Stats.Deduped != 2 {
+		t.Fatalf("Deduped = %d, want 2", batch.Stats.Deduped)
+	}
+	for i, r := range batch.Results {
+		if r.Err != nil {
+			t.Fatalf("query %d: %v", i, r.Err)
+		}
+		gs := r.Result.Stats
+		if gs.Rounds != want.Stats.Rounds || gs.Beeps != want.Stats.Beeps {
+			t.Fatalf("query %d: %d rounds / %d beeps, repeat Run %d / %d",
+				i, gs.Rounds, gs.Beeps, want.Stats.Rounds, want.Stats.Beeps)
+		}
+		if gs.Rounds < 0 || gs.Beeps < 0 {
+			t.Fatalf("query %d: negative totals %d rounds / %d beeps (election strip underflow)", i, gs.Rounds, gs.Beeps)
+		}
+		if _, ok := gs.Phases["preprocess"]; ok {
+			t.Fatalf("query %d: unexpected preprocess phase on a churned engine", i)
+		}
 	}
 }
 

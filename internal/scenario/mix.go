@@ -1,0 +1,112 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+
+	"spforest/amoebot"
+	"spforest/engine"
+)
+
+// MixStep is one step of a replayable serving workload: either a query
+// against a scenario's structure (Delta empty) or a churn mutation of it
+// (Delta non-empty). Query sources are drawn from the scenario's
+// protected coordinate set, so they remain valid on every churned
+// successor of the structure — a mix consumer can apply deltas and keep
+// firing the queries that follow at the mutated shape.
+type MixStep struct {
+	// Scenario names the registry instance the step targets.
+	Scenario string
+	// Query is the step's query (zero value on mutation steps).
+	Query engine.Query
+	// Delta, when non-empty, mutates the scenario's current structure.
+	Delta amoebot.Delta
+}
+
+// IsMutation reports whether the step mutates instead of querying.
+func (st MixStep) IsMutation() bool { return !st.Delta.IsEmpty() }
+
+// mixEntry is one scenario's generator state inside a Mix.
+type mixEntry struct {
+	sc      Scenario
+	algos   []string
+	sets    [][]amoebot.Coord
+	stepper *Stepper // nil for holed scenarios (churn requires validity)
+	queries int      // queries emitted, cycles algos × source sets
+}
+
+// Mix is a deterministic, replayable stream of serving traffic over a set
+// of registered scenarios: scenario picks, solver/source-set cycling and
+// churn cadence all derive from one seed, so the same seed always denotes
+// the same request sequence — spfload replays mixes against a running
+// spfserve and two runs with equal flags are directly comparable.
+//
+// Queries follow the differential harness's QueryFor arities: hole-free
+// scenarios cycle the distributed solver battery (spt, spsp, sssp,
+// forest, bfs) over the scenario's deterministic source sets; holed
+// scenarios stay on the hole-tolerant wavefront (bfs). With MutateEvery >
+// 0, every MutateEvery-th step is a validity-preserving churn delta for
+// the scenario it lands on (holed scenarios skip their turn and query
+// instead); the deltas protect every query source, so queries stay valid
+// across the whole churned chain.
+//
+// A Mix is not safe for concurrent use; concurrent consumers (spfload's
+// -conns workers) serialize Next calls behind one lock.
+type Mix struct {
+	rng         *rand.Rand
+	entries     []*mixEntry
+	mutateEvery int
+	steps       int
+}
+
+// NewMix builds a mix over the given scenarios (commonly a registry
+// subset selected by family or name). MutateEvery ≤ 0 disables churn.
+func NewMix(seed int64, scs []Scenario, mutateEvery int) (*Mix, error) {
+	if len(scs) == 0 {
+		return nil, fmt.Errorf("scenario: empty mix")
+	}
+	m := &Mix{rng: rand.New(rand.NewSource(seed)), mutateEvery: mutateEvery}
+	for _, sc := range scs {
+		en := &mixEntry{sc: sc, sets: sc.SourceSets()}
+		if sc.Holed() {
+			en.algos = []string{engine.AlgoBFS}
+		} else {
+			en.algos = []string{engine.AlgoSPT, engine.AlgoSPSP, engine.AlgoSSSP, engine.AlgoForest, engine.AlgoBFS}
+			// Churn deltas protect every source coordinate the mix can
+			// query, so no churned successor invalidates a query.
+			var protect []amoebot.Coord
+			for _, set := range en.sets {
+				protect = append(protect, set...)
+			}
+			churn := Churn{Seed: nameSeed(sc.Name) + 1, Steps: 1 << 30, Adds: 2, Removes: 2}
+			st, err := churn.Stepper(sc.S, protect...)
+			if err != nil {
+				return nil, fmt.Errorf("scenario: mix churn for %s: %w", sc.Name, err)
+			}
+			en.stepper = st
+		}
+		m.entries = append(m.entries, en)
+	}
+	return m, nil
+}
+
+// Next emits the mix's next step.
+func (m *Mix) Next() MixStep {
+	en := m.entries[m.rng.Intn(len(m.entries))]
+	m.steps++
+	if m.mutateEvery > 0 && m.steps%m.mutateEvery == 0 && en.stepper != nil {
+		if d, _, ok, err := en.stepper.Next(); err == nil && ok && !d.IsEmpty() {
+			return MixStep{Scenario: en.sc.Name, Delta: d}
+		}
+	}
+	algo := en.algos[en.queries%len(en.algos)]
+	srcs := en.sets[(en.queries/len(en.algos))%len(en.sets)]
+	en.queries++
+	spread := en.sets[len(en.sets)-1]
+	// The spread set doubles as the full-arity destination set: unlike the
+	// harness (which targets every amoebot), a mix query must only name
+	// protected coordinates, or churn would invalidate it mid-stream.
+	q, _ := QueryFor(algo, srcs, spread, spread)
+	q.Tag = fmt.Sprintf("%s#%d", en.sc.Name, en.queries)
+	return MixStep{Scenario: en.sc.Name, Query: q}
+}

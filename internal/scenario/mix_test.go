@@ -1,0 +1,77 @@
+package scenario
+
+import (
+	"testing"
+
+	"spforest/amoebot"
+	"spforest/engine"
+)
+
+// TestMixDeterministic: the same seed must denote the same step sequence
+// — scenario picks, queries, tags and churn deltas — so load runs are
+// replayable and comparable.
+func TestMixDeterministic(t *testing.T) {
+	scs := All()[:6]
+	a, err := NewMix(7, scs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewMix(7, scs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		sa, sb := a.Next(), b.Next()
+		if sa.Scenario != sb.Scenario || sa.Query.Tag != sb.Query.Tag || sa.Query.Algo != sb.Query.Algo {
+			t.Fatalf("step %d diverged: %+v vs %+v", i, sa, sb)
+		}
+		if sa.IsMutation() != sb.IsMutation() {
+			t.Fatalf("step %d: mutation on one replay only", i)
+		}
+	}
+}
+
+// TestMixQueriesStayValidUnderChurn: every query the mix emits must
+// resolve against the scenario's *current* structure — including after
+// the mix's own churn deltas mutated it — because the deltas protect all
+// query sources and destinations.
+func TestMixQueriesStayValidUnderChurn(t *testing.T) {
+	scs := All()[:8]
+	m, err := NewMix(11, scs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	current := make(map[string]*amoebot.Structure, len(scs))
+	engines := make(map[string]*engine.Engine, len(scs))
+	for _, sc := range scs {
+		current[sc.Name] = sc.S
+	}
+	mutations := 0
+	for i := 0; i < 300; i++ {
+		step := m.Next()
+		s := current[step.Scenario]
+		if step.IsMutation() {
+			mutations++
+			ns, err := s.Apply(step.Delta)
+			if err != nil {
+				t.Fatalf("step %d: churn delta for %s does not apply: %v", i, step.Scenario, err)
+			}
+			current[step.Scenario] = ns
+			delete(engines, step.Scenario)
+			continue
+		}
+		e, ok := engines[step.Scenario]
+		if !ok {
+			if e, err = engine.New(s, &engine.Config{AllowHoles: true}); err != nil {
+				t.Fatalf("step %d: engine for %s: %v", i, step.Scenario, err)
+			}
+			engines[step.Scenario] = e
+		}
+		if _, err := e.Run(step.Query); err != nil {
+			t.Fatalf("step %d: query %q against %s failed: %v", i, step.Query.Tag, step.Scenario, err)
+		}
+	}
+	if mutations == 0 {
+		t.Fatal("mix with MutateEvery=3 emitted no mutation in 300 steps")
+	}
+}

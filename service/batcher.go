@@ -1,0 +1,364 @@
+package service
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spforest/amoebot"
+	"spforest/engine"
+)
+
+// ErrOverloaded is returned by Batcher.Submit when admission is refused —
+// the per-fingerprint queue is at QueueDepth or the global in-flight cap
+// is reached. The serving tier answers it with 429 and a Retry-After
+// hint; a caller that backs off for about MaxWait usually lands in the
+// next flush window.
+var ErrOverloaded = errors.New("service: admission queue overloaded")
+
+// ErrDraining is returned by Batcher.Submit after Close started: the
+// batcher flushes what it holds but admits nothing new.
+var ErrDraining = errors.New("service: batcher draining")
+
+// BatcherConfig tunes a Batcher.
+type BatcherConfig struct {
+	// BatchSize flushes a fingerprint's queue as soon as it holds this
+	// many requests. Zero or negative means 16.
+	BatchSize int
+	// MaxWait flushes a non-empty queue this long after its oldest
+	// request arrived, so a lone request never waits for company that is
+	// not coming. Zero or negative means 2ms.
+	MaxWait time.Duration
+	// QueueDepth bounds each fingerprint's queue; requests beyond it are
+	// shed with ErrOverloaded. Zero or negative means 256.
+	QueueDepth int
+	// MaxInFlight bounds the admitted-but-unanswered requests across all
+	// fingerprints; requests beyond it are shed with ErrOverloaded. Zero
+	// or negative means 4096.
+	MaxInFlight int
+	// Idle retires a fingerprint's flush goroutine after this long
+	// without traffic (mutating workloads mint a fresh fingerprint per
+	// delta; without retirement every one would pin a goroutine forever).
+	// Zero or negative means 100 × MaxWait.
+	Idle time.Duration
+}
+
+// SubmitTiming splits one coalesced request's wall time by phase.
+type SubmitTiming struct {
+	// Queue is the admission-queue wait: enqueue to flush dispatch.
+	Queue time.Duration
+	// Build is the engine-obtaining share of the flush (the pool build on
+	// a miss, ~zero on a hit), identical for every request of one flush.
+	Build time.Duration
+	// Solve is the Engine.Batch wall of the flush, identical for every
+	// request of one flush.
+	Solve time.Duration
+	// BatchSize is the number of coalesced requests in the flush that
+	// answered this request.
+	BatchSize int
+}
+
+// BatcherStats is a point-in-time snapshot of the admission counters.
+type BatcherStats struct {
+	// Submitted counts admitted requests; Shed counts refusals.
+	Submitted, Shed int64
+	// Flushes counts Engine.Batch calls; FlushedBySize and
+	// FlushedByDeadline split them by trigger (drain flushes count as
+	// deadline flushes). Coalesced sums the requests those flushes
+	// carried, so Coalesced/Flushes is the mean coalescing factor.
+	Flushes, FlushedBySize, FlushedByDeadline, Coalesced int64
+	// InFlight is the current number of admitted, unanswered requests.
+	InFlight int64
+	// ActiveQueues is the current number of live per-fingerprint flush
+	// goroutines.
+	ActiveQueues int
+}
+
+// Batcher is the admission queue of the serving tier: it coalesces
+// concurrently submitted single queries against the same structure into
+// one Engine.Batch call under a size-or-deadline flush policy. Each
+// active structure fingerprint owns a queue and a dedicated flush
+// goroutine; a queue flushes the moment it holds BatchSize requests, or
+// MaxWait after its oldest request arrived, whichever happens first.
+//
+// Coalescing is invisible in the answers: every submitted query is
+// answered with its own forest and its own simulated stats, byte- and
+// count-identical to Service.Query (Engine.Batch shares host-side work
+// only). What changes is the wall-time economics — PR 6 made a batch cost
+// ≈0.21× the equivalent solo-query loop at n ≥ 10⁶ — and the admission
+// bound, which sheds overflow instead of collapsing under it.
+type Batcher struct {
+	svc *Service
+	cfg BatcherConfig
+
+	mu     sync.Mutex
+	queues map[string]*admissionQueue
+	closed bool
+	wg     sync.WaitGroup
+
+	inFlight          atomic.Int64
+	submitted         atomic.Int64
+	shed              atomic.Int64
+	flushes           atomic.Int64
+	flushedBySize     atomic.Int64
+	flushedByDeadline atomic.Int64
+	coalesced         atomic.Int64
+}
+
+// NewBatcher wraps the service in an admission queue. A nil config uses
+// the defaults.
+func NewBatcher(svc *Service, cfg *BatcherConfig) *Batcher {
+	b := &Batcher{svc: svc, queues: make(map[string]*admissionQueue)}
+	if cfg != nil {
+		b.cfg = *cfg
+	}
+	if b.cfg.BatchSize <= 0 {
+		b.cfg.BatchSize = 16
+	}
+	if b.cfg.MaxWait <= 0 {
+		b.cfg.MaxWait = 2 * time.Millisecond
+	}
+	if b.cfg.QueueDepth <= 0 {
+		b.cfg.QueueDepth = 256
+	}
+	if b.cfg.MaxInFlight <= 0 {
+		b.cfg.MaxInFlight = 4096
+	}
+	if b.cfg.Idle <= 0 {
+		b.cfg.Idle = 100 * b.cfg.MaxWait
+	}
+	return b
+}
+
+// pending is one admitted request waiting for its flush.
+type pending struct {
+	q    engine.Query
+	enq  time.Time
+	done chan answer
+}
+
+// answer is what a flush hands back to one submitter.
+type answer struct {
+	res    *engine.Result
+	err    error
+	timing SubmitTiming
+}
+
+// admissionQueue is the per-fingerprint queue. Sends happen only under
+// Batcher.mu, so the flush goroutine can retire safely by checking
+// emptiness under the same lock. depth counts the requests admitted but
+// not yet dispatched to a flush — the channel alone cannot bound the
+// queue, because the flush goroutine buffers requests out of the channel
+// while a batch accumulates. depth never exceeds the channel capacity
+// (QueueDepth), so admitted sends never block.
+type admissionQueue struct {
+	fp    string
+	s     *amoebot.Structure
+	ch    chan *pending
+	depth atomic.Int64
+}
+
+// Submit enqueues one query against s and blocks until its flush answers
+// (at most about MaxWait of queueing plus the batch solve). It returns
+// the query's own result — identical to Service.Query(s, q) — plus the
+// per-phase timing split. Admission failures (ErrOverloaded, ErrDraining)
+// return immediately.
+func (b *Batcher) Submit(s *amoebot.Structure, q engine.Query) (*engine.Result, SubmitTiming, error) {
+	if n := b.inFlight.Add(1); n > int64(b.cfg.MaxInFlight) {
+		b.inFlight.Add(-1)
+		b.shed.Add(1)
+		return nil, SubmitTiming{}, ErrOverloaded
+	}
+	p := &pending{q: q, enq: time.Now(), done: make(chan answer, 1)}
+
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		b.inFlight.Add(-1)
+		return nil, SubmitTiming{}, ErrDraining
+	}
+	fp := s.Fingerprint()
+	aq, ok := b.queues[fp]
+	if !ok {
+		aq = &admissionQueue{fp: fp, s: s, ch: make(chan *pending, b.cfg.QueueDepth)}
+		b.queues[fp] = aq
+		b.wg.Add(1)
+		go b.run(aq)
+	}
+	if aq.depth.Load() >= int64(b.cfg.QueueDepth) {
+		b.mu.Unlock()
+		b.inFlight.Add(-1)
+		b.shed.Add(1)
+		return nil, SubmitTiming{}, ErrOverloaded
+	}
+	aq.depth.Add(1)
+	aq.ch <- p // cannot block: depth < QueueDepth == cap(ch)
+	b.mu.Unlock()
+	b.submitted.Add(1)
+
+	a := <-p.done
+	b.inFlight.Add(-1)
+	return a.res, a.timing, a.err
+}
+
+// RetryAfter is the back-off hint for shed requests: one flush window.
+func (b *Batcher) RetryAfter() time.Duration { return b.cfg.MaxWait }
+
+// run is the dedicated flush loop of one fingerprint. It collects
+// requests into a buffer, flushing on size or deadline, and retires
+// itself after Idle without traffic (verified empty under Batcher.mu, so
+// no request can slip into a retired queue).
+func (b *Batcher) run(aq *admissionQueue) {
+	defer b.wg.Done()
+	idle := time.NewTimer(b.cfg.Idle)
+	defer idle.Stop()
+	var (
+		buf      []*pending
+		deadline *time.Timer
+	)
+	for {
+		if len(buf) == 0 {
+			// Empty buffer: wait for the first request of the next batch,
+			// or retire after Idle.
+			if !idle.Stop() {
+				select {
+				case <-idle.C:
+				default:
+				}
+			}
+			idle.Reset(b.cfg.Idle)
+			select {
+			case p, ok := <-aq.ch:
+				if !ok {
+					return // Close drained us
+				}
+				buf = append(buf, p)
+				if len(buf) >= b.cfg.BatchSize {
+					b.flush(aq, buf, false)
+					buf = nil
+					continue
+				}
+				if deadline == nil {
+					deadline = time.NewTimer(b.cfg.MaxWait)
+				} else {
+					deadline.Reset(b.cfg.MaxWait)
+				}
+			case <-idle.C:
+				b.mu.Lock()
+				if aq.depth.Load() > 0 || b.closed {
+					// A request raced the idle timer (or Close owns the
+					// queue now): stay alive and pick it up.
+					b.mu.Unlock()
+					continue
+				}
+				delete(b.queues, aq.fp)
+				b.mu.Unlock()
+				return
+			}
+			continue
+		}
+		select {
+		case p, ok := <-aq.ch:
+			if !ok {
+				b.flush(aq, buf, true)
+				return
+			}
+			buf = append(buf, p)
+			if len(buf) >= b.cfg.BatchSize {
+				stopTimer(deadline)
+				b.flush(aq, buf, false)
+				buf = nil
+			}
+		case <-deadline.C:
+			b.flush(aq, buf, true)
+			buf = nil
+		}
+	}
+}
+
+func stopTimer(t *time.Timer) {
+	if t != nil && !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+}
+
+// flush answers one buffered batch with a single BatchTimed call,
+// splitting the shared build/solve wall into every request's timing.
+func (b *Batcher) flush(aq *admissionQueue, buf []*pending, byDeadline bool) {
+	aq.depth.Add(int64(-len(buf))) // dispatched: the queue-depth slots free up
+	dispatch := time.Now()
+	qs := make([]engine.Query, len(buf))
+	for i, p := range buf {
+		qs[i] = p.q
+	}
+	res, build, err := b.svc.BatchTimed(aq.s, qs)
+	solve := time.Since(dispatch) - build
+
+	b.flushes.Add(1)
+	b.coalesced.Add(int64(len(buf)))
+	if byDeadline {
+		b.flushedByDeadline.Add(1)
+	} else {
+		b.flushedBySize.Add(1)
+	}
+
+	for i, p := range buf {
+		a := answer{timing: SubmitTiming{
+			Queue:     dispatch.Sub(p.enq),
+			Build:     build,
+			Solve:     solve,
+			BatchSize: len(buf),
+		}}
+		switch {
+		case err != nil:
+			a.err = err // engine build failed: every request of the flush fails
+		case res.Results[i].Err != nil:
+			a.err = res.Results[i].Err
+		default:
+			a.res = res.Results[i].Result
+		}
+		p.done <- a
+	}
+}
+
+// Close drains the batcher: no new submissions are admitted, every queued
+// request is flushed and answered, and all flush goroutines exit before
+// Close returns. The serving tier calls it between http.Server.Shutdown
+// (stop accepting) and process exit, so a SIGTERM never drops an admitted
+// request.
+func (b *Batcher) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		b.wg.Wait()
+		return
+	}
+	b.closed = true
+	for fp, aq := range b.queues {
+		close(aq.ch) // no sends can race: sends happen under b.mu
+		delete(b.queues, fp)
+	}
+	b.mu.Unlock()
+	b.wg.Wait()
+}
+
+// Stats returns a snapshot of the admission counters.
+func (b *Batcher) Stats() BatcherStats {
+	b.mu.Lock()
+	active := len(b.queues)
+	b.mu.Unlock()
+	return BatcherStats{
+		Submitted:         b.submitted.Load(),
+		Shed:              b.shed.Load(),
+		Flushes:           b.flushes.Load(),
+		FlushedBySize:     b.flushedBySize.Load(),
+		FlushedByDeadline: b.flushedByDeadline.Load(),
+		Coalesced:         b.coalesced.Load(),
+		InFlight:          b.inFlight.Load(),
+		ActiveQueues:      active,
+	}
+}

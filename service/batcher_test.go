@@ -1,0 +1,349 @@
+package service_test
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"spforest"
+	"spforest/amoebot"
+	"spforest/engine"
+	"spforest/service"
+)
+
+// batcherQueries returns nq distinct single-source tree queries against s
+// (distinct sources, shared destination spread), so a coalesced flush
+// exercises both the shared-group and the solo paths of Engine.Batch.
+func batcherQueries(s *amoebot.Structure, nq int) []engine.Query {
+	coords := s.Coords()
+	dests := []amoebot.Coord{coords[len(coords)-1], coords[len(coords)/2]}
+	qs := make([]engine.Query, nq)
+	for i := range qs {
+		qs[i] = engine.Query{Algo: engine.AlgoSPT, Sources: []amoebot.Coord{coords[i%len(coords)]}, Dests: dests}
+	}
+	return qs
+}
+
+// TestBatcherDeadlineFlushesLoneRequest: a lone sub-batch-size request
+// must be answered within (about) MaxWait — the deadline flush — not wait
+// for a batch that never fills.
+func TestBatcherDeadlineFlushesLoneRequest(t *testing.T) {
+	s := spforest.Hexagon(4)
+	b := service.NewBatcher(service.New(nil), &service.BatcherConfig{
+		BatchSize: 8,
+		MaxWait:   50 * time.Millisecond,
+	})
+	defer b.Close()
+
+	start := time.Now()
+	res, timing, err := b.Submit(s, batcherQueries(s, 1)[0])
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil || res.Forest == nil {
+		t.Fatal("no result")
+	}
+	if timing.BatchSize != 1 {
+		t.Fatalf("BatchSize = %d, want 1", timing.BatchSize)
+	}
+	// Generous bound: the flush must be deadline-driven (~MaxWait plus the
+	// solve), nowhere near a stuck queue.
+	if elapsed > 2*time.Second {
+		t.Fatalf("lone request took %v, deadline flush apparently never fired", elapsed)
+	}
+	st := b.Stats()
+	if st.FlushedByDeadline != 1 || st.FlushedBySize != 0 {
+		t.Fatalf("stats = %+v, want exactly one deadline flush", st)
+	}
+}
+
+// TestBatcherSizeFlushIsImmediate: the moment a queue holds BatchSize
+// requests it must flush, long before the (deliberately huge) deadline.
+func TestBatcherSizeFlushIsImmediate(t *testing.T) {
+	const n = 4
+	s := spforest.Hexagon(4)
+	b := service.NewBatcher(service.New(nil), &service.BatcherConfig{
+		BatchSize: n,
+		MaxWait:   time.Hour, // a deadline flush would time the test out
+	})
+	defer b.Close()
+
+	qs := batcherQueries(s, n)
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	sizes := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, timing, err := b.Submit(s, qs[i])
+			errs[i], sizes[i] = err, timing.BatchSize
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("full batch did not flush (size trigger dead, deadline is 1h)")
+	}
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if sizes[i] != n {
+			t.Fatalf("request %d coalesced into a batch of %d, want %d", i, sizes[i], n)
+		}
+	}
+	st := b.Stats()
+	if st.FlushedBySize != 1 || st.FlushedByDeadline != 0 || st.Coalesced != n {
+		t.Fatalf("stats = %+v, want one size flush of %d requests", st, n)
+	}
+}
+
+// TestBatcherShedsOverflow: requests beyond QueueDepth (and beyond
+// MaxInFlight) are refused with ErrOverloaded while the already admitted
+// requests still complete successfully.
+func TestBatcherShedsOverflow(t *testing.T) {
+	const depth = 2
+	s := spforest.Hexagon(4)
+	b := service.NewBatcher(service.New(nil), &service.BatcherConfig{
+		BatchSize:  64, // never reached: flushes are deadline-driven
+		MaxWait:    300 * time.Millisecond,
+		QueueDepth: depth,
+	})
+	defer b.Close()
+
+	qs := batcherQueries(s, depth)
+	var wg sync.WaitGroup
+	admitted := make([]error, depth)
+	for i := 0; i < depth; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, admitted[i] = b.Submit(s, qs[i])
+		}(i)
+	}
+	// Wait until both admitted requests are queued (the queue is full),
+	// then overflow must shed immediately.
+	deadline := time.Now().Add(5 * time.Second)
+	for b.Stats().Submitted < depth {
+		if time.Now().After(deadline) {
+			t.Fatal("admitted requests never enqueued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	start := time.Now()
+	_, _, err := b.Submit(s, qs[0])
+	if !errors.Is(err, service.ErrOverloaded) {
+		t.Fatalf("overflow err = %v, want ErrOverloaded", err)
+	}
+	if waited := time.Since(start); waited > 100*time.Millisecond {
+		t.Fatalf("shed took %v, want immediate refusal", waited)
+	}
+	wg.Wait()
+	for i, err := range admitted {
+		if err != nil {
+			t.Fatalf("admitted request %d failed: %v (shedding must not fail in-flight work)", i, err)
+		}
+	}
+	if st := b.Stats(); st.Shed < 1 {
+		t.Fatalf("stats = %+v, want at least one shed", st)
+	}
+
+	// The global in-flight cap sheds the same way.
+	tight := service.NewBatcher(service.New(nil), &service.BatcherConfig{
+		BatchSize:   64,
+		MaxWait:     300 * time.Millisecond,
+		MaxInFlight: 1,
+	})
+	defer tight.Close()
+	release := make(chan error, 1)
+	go func() {
+		_, _, err := tight.Submit(s, qs[0])
+		release <- err
+	}()
+	deadline = time.Now().Add(5 * time.Second)
+	for tight.Stats().InFlight < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("first request never admitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, _, err := tight.Submit(s, qs[1]); !errors.Is(err, service.ErrOverloaded) {
+		t.Fatalf("over-cap err = %v, want ErrOverloaded", err)
+	}
+	if err := <-release; err != nil {
+		t.Fatalf("capped in-flight request failed: %v", err)
+	}
+}
+
+// TestBatcherCoalescedMatchesDirect: answers coming out of a coalesced
+// flush must be byte-identical — forests, rounds, beeps, phase maps — to
+// direct service.Query answers for the same queries. Coalescing is a
+// wall-time optimization only.
+func TestBatcherCoalescedMatchesDirect(t *testing.T) {
+	const n = 6
+	s := spforest.RandomBlob(17, 200)
+	qs := batcherQueries(s, n)
+
+	// Pre-elect the leader on both services so no single query is charged
+	// the one-off election and the per-query stats are directly comparable.
+	direct := service.New(nil)
+	if _, _, err := direct.Leader(s); err != nil {
+		t.Fatal(err)
+	}
+	want := make([]*engine.Result, n)
+	for i, q := range qs {
+		var err error
+		if want[i], err = direct.Query(s, q); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	pooled := service.New(nil)
+	if _, _, err := pooled.Leader(s); err != nil {
+		t.Fatal(err)
+	}
+	b := service.NewBatcher(pooled, &service.BatcherConfig{
+		BatchSize: n,
+		MaxWait:   time.Hour, // force one size-triggered coalesced flush
+	})
+	defer b.Close()
+
+	got := make([]*engine.Result, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i], _, errs[i] = b.Submit(s, qs[i])
+		}(i)
+	}
+	wg.Wait()
+
+	for i := range qs {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		w, g := want[i], got[i]
+		if g.Stats.Rounds != w.Stats.Rounds || g.Stats.Beeps != w.Stats.Beeps {
+			t.Fatalf("request %d: coalesced %d rounds / %d beeps, direct %d / %d",
+				i, g.Stats.Rounds, g.Stats.Beeps, w.Stats.Rounds, w.Stats.Beeps)
+		}
+		if len(g.Stats.Phases) != len(w.Stats.Phases) {
+			t.Fatalf("request %d: phases %v, direct %v", i, g.Stats.Phases, w.Stats.Phases)
+		}
+		for name, rounds := range w.Stats.Phases {
+			if g.Stats.Phases[name] != rounds {
+				t.Fatalf("request %d: phase %s = %d, direct %d", i, name, g.Stats.Phases[name], rounds)
+			}
+		}
+		wb, _ := w.Forest.MarshalText()
+		gb, _ := g.Forest.MarshalText()
+		if !bytes.Equal(wb, gb) {
+			t.Fatalf("request %d: coalesced forest differs from direct service.Query", i)
+		}
+	}
+	if st := b.Stats(); st.Flushes != 1 || st.Coalesced != n {
+		t.Fatalf("stats = %+v, want the %d requests answered by one flush", st, n)
+	}
+}
+
+// TestBatcherCloseDrains: Close must answer every admitted request before
+// returning, and refuse new ones with ErrDraining afterwards.
+func TestBatcherCloseDrains(t *testing.T) {
+	s := spforest.Hexagon(3)
+	b := service.NewBatcher(service.New(nil), &service.BatcherConfig{
+		BatchSize: 64,
+		MaxWait:   time.Hour, // only the drain can flush these
+	})
+	q := batcherQueries(s, 1)[0]
+
+	const n = 3
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, errs[i] = b.Submit(s, q)
+		}(i)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for b.Stats().Submitted < n {
+		if time.Now().After(deadline) {
+			t.Fatal("requests never enqueued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	b.Close()
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("drained request %d failed: %v", i, err)
+		}
+	}
+	if _, _, err := b.Submit(s, q); !errors.Is(err, service.ErrDraining) {
+		t.Fatalf("post-Close err = %v, want ErrDraining", err)
+	}
+}
+
+// TestBatcherConcurrentMixedFingerprints: heavy concurrent traffic over
+// several structures must come back fully answered — every request either
+// a correct result or an explicit shed — with queues forming per
+// fingerprint. Primarily a -race exercise of the admission paths.
+func TestBatcherConcurrentMixedFingerprints(t *testing.T) {
+	structs := []*amoebot.Structure{
+		spforest.Hexagon(3),
+		spforest.Triangle(6),
+		spforest.Parallelogram(6, 4),
+	}
+	b := service.NewBatcher(service.New(nil), &service.BatcherConfig{
+		BatchSize: 4,
+		MaxWait:   5 * time.Millisecond,
+	})
+	defer b.Close()
+
+	const perStruct = 12
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var answered, shed int
+	for _, s := range structs {
+		qs := batcherQueries(s, perStruct)
+		for i := 0; i < perStruct; i++ {
+			wg.Add(1)
+			go func(s *amoebot.Structure, q engine.Query) {
+				defer wg.Done()
+				res, _, err := b.Submit(s, q)
+				mu.Lock()
+				defer mu.Unlock()
+				switch {
+				case errors.Is(err, service.ErrOverloaded):
+					shed++
+				case err != nil:
+					t.Errorf("submit: %v", err)
+				case res == nil || res.Forest == nil:
+					t.Error("answered request without a result")
+				default:
+					answered++
+				}
+			}(s, qs[i])
+		}
+	}
+	wg.Wait()
+	if answered+shed != len(structs)*perStruct {
+		t.Fatalf("answered %d + shed %d != %d requests", answered, shed, len(structs)*perStruct)
+	}
+	st := b.Stats()
+	if st.InFlight != 0 {
+		t.Fatalf("stats = %+v, want zero in-flight after all submits returned", st)
+	}
+	if st.Coalesced != int64(answered) || st.Submitted != int64(answered) {
+		t.Fatalf("stats = %+v, want %d submitted and coalesced", st, answered)
+	}
+}

@@ -1,0 +1,91 @@
+package service
+
+import (
+	"errors"
+	"hash/fnv"
+	"testing"
+
+	"spforest/amoebot"
+	"spforest/engine"
+)
+
+// TestErroredEntryNotServedFromPool pins the errored-entry lifecycle at
+// the lookup layer: a pooled entry whose build failed must be treated as
+// absent — dropped, not served — and the lookup that finds it counts a
+// miss (retrying a failed build is not a cache hit). This simulates a
+// transient failure, which the deterministic engine.New cannot produce
+// through the public API: the first build for a fingerprint errors, the
+// retry of the very same fingerprint succeeds.
+func TestErroredEntryNotServedFromPool(t *testing.T) {
+	sv := New(&Config{Shards: 1, MaxEnginesPerShard: 4})
+	s := amoebot.MustStructure([]amoebot.Coord{amoebot.XZ(0, 0), amoebot.XZ(1, 0)})
+	fp := s.Fingerprint()
+
+	// First encounter: the build fails transiently (as engineFor would,
+	// minus the eager drop — the lookup-side guard alone must cope).
+	failed := sv.lookup(fp, true, true)
+	failed.complete(func() (*engine.Engine, error) { return nil, errors.New("transient build failure") })
+	if failed.err == nil {
+		t.Fatal("stub build did not fail")
+	}
+
+	// Retry of the same fingerprint: the errored entry must not be
+	// returned; the lookup counts a miss and hands back a fresh
+	// placeholder whose build can now succeed.
+	retry := sv.lookup(fp, true, true)
+	if retry == failed {
+		t.Fatal("lookup served the errored entry from the pool")
+	}
+	if h, m := sv.hits.Load(), sv.misses.Load(); h != 0 || m != 2 {
+		t.Fatalf("hits=%d misses=%d, want 0 hits and 2 misses (the retry is not a hit)", h, m)
+	}
+	retry.complete(func() (*engine.Engine, error) { return engine.New(s, &sv.cfg.Engine) })
+	if retry.err != nil {
+		t.Fatalf("good rebuild of the same fingerprint failed: %v", retry.err)
+	}
+
+	// The recovered engine is pooled and served as a plain hit.
+	again := sv.lookup(fp, true, true)
+	if again != retry {
+		t.Fatal("recovered engine not served from the pool")
+	}
+	if h := sv.hits.Load(); h != 1 {
+		t.Fatalf("hits=%d, want 1 after recovery", h)
+	}
+
+	// drop is idempotent and identity-guarded: dropping the stale failed
+	// entry must not disturb the recovered one.
+	sv.drop(failed)
+	if en := sv.lookup(fp, false, false); en != retry {
+		t.Fatal("dropping a stale errored entry removed its successor")
+	}
+}
+
+// TestShardForAllocFree pins the alloc-free fingerprint hasher: shardFor
+// sits on the per-request hot path of the serving tier, so it must not
+// allocate (the stdlib fnv hasher plus the []byte conversion used to cost
+// two allocations per lookup).
+func TestShardForAllocFree(t *testing.T) {
+	sv := New(nil)
+	fp := amoebot.MustStructure([]amoebot.Coord{amoebot.XZ(0, 0), amoebot.XZ(1, 0)}).Fingerprint()
+	var sink *shard
+	if allocs := testing.AllocsPerRun(200, func() { sink = sv.shardFor(fp) }); allocs != 0 {
+		t.Fatalf("shardFor allocates %.1f times per call, want 0", allocs)
+	}
+	_ = sink
+}
+
+// TestShardForMatchesStdlibFNV: the inlined loop must implement exactly
+// FNV-1a, so the shard assignment of every fingerprint (and therefore the
+// pool layout of a running service) is unchanged by the optimization.
+func TestShardForMatchesStdlibFNV(t *testing.T) {
+	sv := New(&Config{Shards: 7})
+	for _, fp := range []string{"", "a", "deadbeef", "0123456789abcdef0123456789abcdef"} {
+		h := fnv.New32a()
+		h.Write([]byte(fp))
+		want := sv.shards[h.Sum32()%uint32(len(sv.shards))]
+		if got := sv.shardFor(fp); got != want {
+			t.Fatalf("shardFor(%q) inconsistent", fp)
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+)
+
+// RequestRecord is the flat per-request timing record of the serving
+// tier: one JSON object per answered (or shed) request, covering the
+// queue-wait → engine-build → solve → encode phases plus the engine's
+// simulated cost. spfserve streams one line per request to -metrics-out
+// and aggregates them at /v1/stats; the flat shape keeps the stream
+// trivially loadable into anything columnar.
+type RequestRecord struct {
+	// Endpoint is the serving endpoint ("query", "batch", "mutate").
+	Endpoint string `json:"endpoint"`
+	// Algo is the query's solver ("" for mutate).
+	Algo string `json:"algo,omitempty"`
+	// Fingerprint identifies the structure the request ran against.
+	Fingerprint string `json:"fp,omitempty"`
+	// Status is the HTTP status code the request was answered with.
+	Status int `json:"status"`
+	// Err is the failure, if any.
+	Err string `json:"err,omitempty"`
+	// BatchSize is the number of coalesced requests in the Engine.Batch
+	// flush that answered this request (1 on un-coalesced paths).
+	BatchSize int `json:"batch_size,omitempty"`
+	// QueueNS is the admission-queue wait; BuildNS the engine-obtaining
+	// share of the flush; SolveNS the Engine.Batch wall; EncodeNS the
+	// response encoding; TotalNS the whole server-side request.
+	QueueNS  int64 `json:"queue_ns"`
+	BuildNS  int64 `json:"build_ns"`
+	SolveNS  int64 `json:"solve_ns"`
+	EncodeNS int64 `json:"encode_ns"`
+	TotalNS  int64 `json:"total_ns"`
+	// Rounds and Beeps are the query's simulated cost (zero when shed).
+	Rounds int64 `json:"rounds"`
+	Beeps  int64 `json:"beeps"`
+}
+
+// maxLatencySamples bounds the per-endpoint latency reservoir of the
+// aggregate. Past the bound the recorder keeps a sliding window of the
+// most recent samples: /v1/stats percentiles describe recent traffic, and
+// a long-lived server does not grow without bound.
+const maxLatencySamples = 1 << 16
+
+// Recorder streams RequestRecords as JSON lines and keeps the running
+// aggregate served at /v1/stats. Safe for concurrent use; a nil output
+// writer aggregates only.
+type Recorder struct {
+	mu      sync.Mutex
+	w       io.Writer
+	enc     *json.Encoder
+	byEP    map[string]*epAggregate
+	records int64
+}
+
+// epAggregate accumulates one endpoint's records.
+type epAggregate struct {
+	Count     int64
+	Errors    int64
+	Shed      int64
+	Rounds    int64
+	Beeps     int64
+	QueueNS   int64
+	BuildNS   int64
+	SolveNS   int64
+	Coalesced int64 // sum of batch sizes over answered requests
+	totals    []int64
+	next      int // sliding-window cursor once totals is full
+}
+
+// NewRecorder builds a recorder streaming to w (nil: aggregate only).
+func NewRecorder(w io.Writer) *Recorder {
+	r := &Recorder{w: w, byEP: make(map[string]*epAggregate)}
+	if w != nil {
+		r.enc = json.NewEncoder(w)
+	}
+	return r
+}
+
+// Record streams one request record and folds it into the aggregate.
+func (r *Recorder) Record(rec RequestRecord) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.records++
+	agg, ok := r.byEP[rec.Endpoint]
+	if !ok {
+		agg = &epAggregate{}
+		r.byEP[rec.Endpoint] = agg
+	}
+	agg.Count++
+	if rec.Status == 429 {
+		agg.Shed++
+	} else if rec.Err != "" {
+		agg.Errors++
+	}
+	agg.Rounds += rec.Rounds
+	agg.Beeps += rec.Beeps
+	agg.QueueNS += rec.QueueNS
+	agg.BuildNS += rec.BuildNS
+	agg.SolveNS += rec.SolveNS
+	if rec.Status != 429 {
+		agg.Coalesced += int64(rec.BatchSize)
+		if len(agg.totals) < maxLatencySamples {
+			agg.totals = append(agg.totals, rec.TotalNS)
+		} else {
+			agg.totals[agg.next] = rec.TotalNS
+			agg.next = (agg.next + 1) % maxLatencySamples
+		}
+	}
+	if r.enc != nil {
+		r.enc.Encode(rec) // errors deliberately dropped: metrics never fail a request
+	}
+}
+
+// EndpointStats is one endpoint's aggregate in a stats snapshot.
+type EndpointStats struct {
+	// Count is all records; Errors the non-shed failures; Shed the 429s.
+	Count, Errors, Shed int64
+	// Rounds and Beeps sum the simulated cost of answered requests.
+	Rounds, Beeps int64
+	// MeanQueueNS, MeanBuildNS and MeanSolveNS average the phase splits
+	// over all records.
+	MeanQueueNS, MeanBuildNS, MeanSolveNS int64
+	// P50NS, P90NS and P99NS are total-latency percentiles over the (up
+	// to maxLatencySamples most recent) answered requests.
+	P50NS, P90NS, P99NS int64
+	// CoalescingX1000 is the mean coalesced batch size of answered
+	// requests ×1000 (1000 = no coalescing).
+	CoalescingX1000 int64
+}
+
+// Snapshot returns the per-endpoint aggregates. Percentiles are computed
+// on the spot from the retained samples.
+func (r *Recorder) Snapshot() map[string]EndpointStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]EndpointStats, len(r.byEP))
+	for ep, agg := range r.byEP {
+		st := EndpointStats{
+			Count:  agg.Count,
+			Errors: agg.Errors,
+			Shed:   agg.Shed,
+			Rounds: agg.Rounds,
+			Beeps:  agg.Beeps,
+		}
+		if agg.Count > 0 {
+			st.MeanQueueNS = agg.QueueNS / agg.Count
+			st.MeanBuildNS = agg.BuildNS / agg.Count
+			st.MeanSolveNS = agg.SolveNS / agg.Count
+		}
+		if answered := int64(len(agg.totals)); answered > 0 {
+			sorted := append([]int64(nil), agg.totals...)
+			sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+			st.P50NS = percentile(sorted, 50)
+			st.P90NS = percentile(sorted, 90)
+			st.P99NS = percentile(sorted, 99)
+		}
+		if answered := agg.Count - agg.Shed; answered > 0 {
+			st.CoalescingX1000 = agg.Coalesced * 1000 / answered
+		}
+		out[ep] = st
+	}
+	return out
+}
+
+// Records returns the total number of recorded requests.
+func (r *Recorder) Records() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.records
+}
+
+// percentile reads the p-th percentile from an ascending-sorted sample
+// set (nearest-rank).
+func percentile(sorted []int64, p int) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := (p*len(sorted) + 99) / 100
+	if idx < 1 {
+		idx = 1
+	}
+	if idx > len(sorted) {
+		idx = len(sorted)
+	}
+	return sorted[idx-1]
+}

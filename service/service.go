@@ -19,9 +19,9 @@ package service
 
 import (
 	"container/list"
-	"hash/fnv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"spforest/amoebot"
 	"spforest/engine"
@@ -107,10 +107,22 @@ func New(cfg *Config) *Service {
 	return sv
 }
 
+// FNV-1a constants (hash/fnv), inlined so shardFor stays alloc-free: the
+// stdlib hasher allocates (the hash.Hash32 box plus the []byte conversion
+// of the fingerprint) on every call, and shardFor sits on the per-request
+// hot path the serving tier multiplies by QPS.
+const (
+	fnvOffset32 = 2166136261
+	fnvPrime32  = 16777619
+)
+
 func (sv *Service) shardFor(fp string) *shard {
-	h := fnv.New32a()
-	h.Write([]byte(fp))
-	return sv.shards[h.Sum32()%uint32(len(sv.shards))]
+	h := uint32(fnvOffset32)
+	for i := 0; i < len(fp); i++ {
+		h ^= uint32(fp[i])
+		h *= fnvPrime32
+	}
+	return sv.shards[h%uint32(len(sv.shards))]
 }
 
 // lookup returns the pooled entry for fp, optionally creating a
@@ -123,11 +135,20 @@ func (sv *Service) lookup(fp string, create, counted bool) *entry {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if en, ok := sh.entries[fp]; ok {
-		sh.lru.MoveToFront(en.elem)
-		if counted {
-			sv.hits.Add(1)
+		if en.ready.Load() && en.err != nil {
+			// A failed build must never be served from the pool: it would
+			// occupy an LRU slot forever and hand every later caller the
+			// cached error — counted as a hit. Drop it and fall through to
+			// the create path so this lookup (a miss) retries the build.
+			sh.lru.Remove(en.elem)
+			delete(sh.entries, en.fp)
+		} else {
+			sh.lru.MoveToFront(en.elem)
+			if counted {
+				sv.hits.Add(1)
+			}
+			return en
 		}
-		return en
 	}
 	if !create {
 		if counted {
@@ -192,11 +213,30 @@ func (sv *Service) insert(eng *engine.Engine) {
 	en.complete(func() (*engine.Engine, error) { return eng, nil })
 }
 
+// drop removes the entry from its shard if it is still the pooled entry
+// for its fingerprint (a fresh entry racing under the same fingerprint is
+// left alone).
+func (sv *Service) drop(en *entry) {
+	sh := sv.shardFor(en.fp)
+	sh.mu.Lock()
+	if cur, ok := sh.entries[en.fp]; ok && cur == en {
+		sh.lru.Remove(en.elem)
+		delete(sh.entries, en.fp)
+	}
+	sh.mu.Unlock()
+}
+
 // engineFor returns the pooled engine for s, building and pooling it on
-// the first encounter of s's fingerprint.
+// the first encounter of s's fingerprint. Errored builds are dropped from
+// the pool as soon as complete observes them, so a later request for the
+// same fingerprint retries the build instead of replaying the cached
+// error.
 func (sv *Service) engineFor(s *amoebot.Structure) (*engine.Engine, error) {
 	en := sv.lookup(s.Fingerprint(), true, true)
 	en.complete(func() (*engine.Engine, error) { return engine.New(s, &sv.cfg.Engine) })
+	if en.err != nil {
+		sv.drop(en)
+	}
 	return en.eng, en.err
 }
 
@@ -226,11 +266,23 @@ func (sv *Service) Query(s *amoebot.Structure, q engine.Query) (*engine.Result, 
 // Batch answers a query batch against s through the pooled engine (see
 // Engine.Batch for concurrency and result-ordering semantics).
 func (sv *Service) Batch(s *amoebot.Structure, qs []engine.Query) (*engine.BatchResult, error) {
+	res, _, err := sv.BatchTimed(s, qs)
+	return res, err
+}
+
+// BatchTimed is Batch plus the wall time this call spent obtaining the
+// engine — the build on a pool miss, essentially zero on a hit, and the
+// wait for the in-flight build when racing another first encounter. The
+// serving tier's per-request records split queue-wait, engine-build and
+// solve phases with it.
+func (sv *Service) BatchTimed(s *amoebot.Structure, qs []engine.Query) (*engine.BatchResult, time.Duration, error) {
+	start := time.Now()
 	eng, err := sv.engineFor(s)
+	build := time.Since(start)
 	if err != nil {
-		return nil, err
+		return nil, build, err
 	}
-	return eng.Batch(qs), nil
+	return eng.Batch(qs), build, nil
 }
 
 // Mutate applies the delta to s and returns the mutated structure. When
@@ -248,6 +300,9 @@ func (sv *Service) Mutate(s *amoebot.Structure, d amoebot.Delta) (*amoebot.Struc
 	}
 	if en := sv.lookup(s.Fingerprint(), false, true); en != nil {
 		en.complete(func() (*engine.Engine, error) { return engine.New(s, &sv.cfg.Engine) })
+		if en.err != nil {
+			sv.drop(en) // see engineFor: never pool a failed build
+		}
 		if en.err == nil {
 			derived, err := en.eng.Apply(d)
 			if err != nil {

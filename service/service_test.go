@@ -43,9 +43,49 @@ func TestQueryInvalidStructure(t *testing.T) {
 			t.Fatal("holed structure accepted")
 		}
 	}
-	// The failure is pooled too: second attempt is a hit, not a rebuild.
-	if st := sv.Stats(); st.Hits != 1 || st.Misses != 1 {
-		t.Fatalf("stats = %+v, want the error cached", st)
+	// Failed builds are never pooled: each attempt is a miss that retries
+	// the build, and no errored entry lingers in an LRU slot.
+	st := sv.Stats()
+	if st.Hits != 0 || st.Misses != 2 {
+		t.Fatalf("stats = %+v, want 2 misses and no hits (errors are not cache hits)", st)
+	}
+	if st.Engines != 0 {
+		t.Fatalf("stats = %+v, want no pooled engines after failed builds", st)
+	}
+}
+
+// TestFailedBuildRetriesAndRecovers pins the errored-entry lifecycle fix:
+// a build failure for some fingerprint must not poison the pool — a later
+// request for the same fingerprint under a configuration that succeeds
+// gets a fresh build, not the cached error, and the counters attribute
+// the retry to a miss.
+func TestFailedBuildRetriesAndRecovers(t *testing.T) {
+	var ring []amoebot.Coord
+	for d := amoebot.Direction(0); d < amoebot.NumDirections; d++ {
+		ring = append(ring, amoebot.Coord{}.Neighbor(d))
+	}
+	holed := amoebot.MustStructure(ring)
+	q := engine.Query{Algo: engine.AlgoBFS, Sources: ring[:1]}
+
+	// Under AllowHoles the same fingerprint builds fine; the first service
+	// rejects it, and its pool must end empty (no cached error to serve).
+	strict := service.New(nil)
+	if _, err := strict.Query(holed, q); err == nil {
+		t.Fatal("holed structure accepted without AllowHoles")
+	}
+	if st := strict.Stats(); st.Engines != 0 || st.Hits != 0 || st.Misses != 1 {
+		t.Fatalf("stats after failed build = %+v, want 0 engines, 0 hits, 1 miss", st)
+	}
+
+	tolerant := service.New(&service.Config{Engine: engine.Config{AllowHoles: true}})
+	if _, err := tolerant.Query(holed, q); err != nil {
+		t.Fatalf("good rebuild of the same fingerprint failed: %v", err)
+	}
+	if _, err := tolerant.Query(holed, q); err != nil {
+		t.Fatal(err)
+	}
+	if st := tolerant.Stats(); st.Engines != 1 || st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats after recovery = %+v, want 1 engine, 1 hit, 1 miss", st)
 	}
 }
 
