@@ -1,7 +1,7 @@
 // Command spfbench regenerates every experiment table of EXPERIMENTS.md:
 // one table per quantitative claim of the paper plus the E14/E18
 // dynamic-churn workloads (see DESIGN.md §4 for the per-experiment index
-// E1–E18). Usage:
+// E1–E20). Usage:
 //
 //	spfbench              # run everything
 //	spfbench -run E4      # run tables whose id contains "E4"
@@ -141,6 +141,7 @@ func main() {
 		{"E16", "intra-query parallelism: wall-time scaling vs IntraWorkers", e16},
 		{"E17", "cross-query sharing: Batch vs a solo query loop at n ≥ 10⁶", e17},
 		{"E18", "incremental preprocessing: patched Apply+Warm vs fresh rebuild under churn at n ≥ 10⁶", e18},
+		{"E20", "intra-query wave sharing: lane-packed vs per-wave forest and multi-source bfs", e20},
 	}
 	for _, e := range experiments {
 		if *runFilter != "" && !strings.Contains(e.id, *runFilter) {
@@ -1059,5 +1060,119 @@ func e17() {
 	printf("batch      %9d rounds %10v   (deduped %d, groups %d, ratio %.2f)\n",
 		batch.Stats.Rounds, batchWall.Round(time.Millisecond),
 		batch.Stats.Deduped, batch.Stats.Groups,
+		float64(batchWall)/float64(soloWall))
+}
+
+// e20 measures intra-query wave sharing (DESIGN.md §10) on its two
+// execution paths, pinning zero simulated drift on both:
+//
+//   - forest: one k=32 divide-and-conquer forest query on a large blob,
+//     answered by a per-wave engine (WaveLanes=1: every PASC/beep wave
+//     builds and sweeps its own circuit) and by a lane-packed engine
+//     (default: a merge's two waves — and a parity round's whole batch of
+//     merges — share one physical circuit). Forest bytes, rounds and beeps
+//     are asserted identical; only the host wall may differ.
+//   - bfs: 16 single-source bfs queries on a radius-577 hexagon
+//     (n ≈ 1.0·10⁶) answered per source by a solo Run loop and as lanes of
+//     one MS-BFS sweep by Batch. Summed rounds and beeps are asserted
+//     identical; the shared sweep expands the union frontier once per
+//     layer instead of once per source, which carries the BENCH gate
+//     (packed wall < 0.8× per-wave wall, summed over both points).
+func e20() {
+	nForest, k, r, nbfs := 40000, 32, 577, 16
+	if *quick {
+		nForest, k, r, nbfs = 2000, 8, 24, 8
+	}
+
+	// Forest point: identical query, engines differing only in WaveLanes.
+	s := spforest.RandomBlob(13, nForest)
+	sources := spforest.RandomCoords(17, s, k)
+	fq := engine.Query{Algo: engine.AlgoForest, Sources: sources, Dests: s.Coords()}
+	fparams := map[string]int64{"n": int64(s.N()), "k": int64(k)}
+	type point struct {
+		res  *spforest.Result
+		wall time.Duration
+	}
+	run := func(lanes int) point {
+		eng := mustEngine(s, &engine.Config{Leader: &sources[0], WaveLanes: lanes})
+		eng.Warm()
+		start := time.Now()
+		res, err := eng.Run(fq)
+		die(err)
+		return point{res, time.Since(start)}
+	}
+	perwave, packed := run(1), run(0)
+	wb, _ := perwave.res.Forest.MarshalText()
+	pb, _ := packed.res.Forest.MarshalText()
+	if perwave.res.Stats.Rounds != packed.res.Stats.Rounds ||
+		perwave.res.Stats.Beeps != packed.res.Stats.Beeps || string(wb) != string(pb) {
+		die(fmt.Errorf("E20: lane packing drifted the forest query (%d/%d vs %d/%d rounds/beeps)",
+			packed.res.Stats.Rounds, packed.res.Stats.Beeps,
+			perwave.res.Stats.Rounds, perwave.res.Stats.Beeps))
+	}
+	emit("forest-perwave", fparams, perwave.res.Stats.Rounds, perwave.res.Stats.Beeps, perwave.wall)
+	emit("forest-packed", fparams, packed.res.Stats.Rounds, packed.res.Stats.Beeps, packed.wall)
+	printf("forest: blob n=%d, k=%d\n", s.N(), k)
+	printf("  per-wave  %9d rounds %10v\n", perwave.res.Stats.Rounds, perwave.wall.Round(time.Millisecond))
+	printf("  packed    %9d rounds %10v   (%d waves / %d passes, ratio %.2f)\n",
+		packed.res.Stats.Rounds, packed.wall.Round(time.Millisecond),
+		packed.res.Stats.WavesPacked, packed.res.Stats.LanePasses,
+		float64(packed.wall)/float64(perwave.wall))
+
+	// BFS point: distinct sources drawn from a small disc at the hexagon's
+	// center. Lane packing shares work where wavefronts travel together —
+	// clustered seeds keep every node's per-lane discovery layers within
+	// the cluster diameter, so the union frontier visits each node a few
+	// times instead of once per lane (sources spread across the structure
+	// degrade gracefully towards per-source cost; see EXPERIMENTS.md E20).
+	hex := spforest.Hexagon(r)
+	var cluster []amoebot.Coord
+	for x := -2; x <= 2 && len(cluster) < nbfs; x++ {
+		for z := -2; z <= 2 && len(cluster) < nbfs; z++ {
+			if x+z >= -2 && x+z <= 2 {
+				cluster = append(cluster, amoebot.XZ(x, z))
+			}
+		}
+	}
+	var queries []engine.Query
+	for _, c := range cluster {
+		queries = append(queries, engine.Query{Algo: engine.AlgoBFS, Sources: []amoebot.Coord{c}})
+	}
+	nbfs = len(queries)
+	eng := mustEngine(hex, &engine.Config{Seed: 1})
+	_, err := eng.Run(queries[0]) // warm the per-structure memo
+	die(err)
+
+	soloStart := time.Now()
+	var soloRounds, soloBeeps int64
+	for _, q := range queries {
+		res, err := eng.Run(q)
+		die(err)
+		soloRounds += res.Stats.Rounds
+		soloBeeps += res.Stats.Beeps
+	}
+	soloWall := time.Since(soloStart)
+
+	batchStart := time.Now()
+	batch := eng.Batch(queries)
+	batchWall := time.Since(batchStart)
+	for _, qr := range batch.Results {
+		die(qr.Err)
+	}
+	if batch.Stats.Rounds != soloRounds || batch.Stats.Beeps != soloBeeps {
+		die(fmt.Errorf("E20: lane-packed bfs batch charged %d/%d rounds/beeps, per-source loop charged %d/%d",
+			batch.Stats.Rounds, batch.Stats.Beeps, soloRounds, soloBeeps))
+	}
+	if batch.Stats.WavesPacked != int64(nbfs) {
+		die(fmt.Errorf("E20: bfs batch packed %d waves, want %d", batch.Stats.WavesPacked, nbfs))
+	}
+	bparams := map[string]int64{"n": int64(hex.N()), "queries": int64(nbfs)}
+	emit("bfs-persource", bparams, soloRounds, soloBeeps, soloWall)
+	emit("bfs-packed", bparams, batch.Stats.Rounds, batch.Stats.Beeps, batchWall)
+	printf("bfs: hexagon n=%d, %d distinct sources\n", hex.N(), nbfs)
+	printf("  per-source %8d rounds %10v\n", soloRounds, soloWall.Round(time.Millisecond))
+	printf("  packed     %8d rounds %10v   (%d waves / %d lane passes, ratio %.2f)\n",
+		batch.Stats.Rounds, batchWall.Round(time.Millisecond),
+		batch.Stats.WavesPacked, batch.Stats.LanePasses,
 		float64(batchWall)/float64(soloWall))
 }

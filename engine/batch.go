@@ -68,6 +68,10 @@ type BatchStats struct {
 	// queries. It is nil when no query succeeded (and empty, non-nil, for
 	// an empty batch).
 	Phases map[string]int64
+	// WavesPacked and LanePasses sum the per-query lane-packing telemetry
+	// (Stats.WavesPacked, Stats.LanePasses) over all successful queries.
+	WavesPacked int64
+	LanePasses  int64
 	// Wall is the host wall-clock time of the whole batch.
 	Wall time.Duration
 }
@@ -236,7 +240,7 @@ func (e *Engine) Batch(queries []Query) *BatchResult {
 			ctxs := make([]*Context, len(unit.group))
 			clocks := make([]sim.Clock, len(unit.group))
 			for k, i := range unit.group {
-				ctxs[k] = &Context{Engine: e, Clock: &clocks[k], Sources: plans[i].srcs, Dests: plans[i].dests}
+				ctxs[k] = e.newContext(&clocks[k], plans[i].srcs, plans[i].dests)
 			}
 			fs, errs := unit.shared.SolveShared(ctxs)
 			wall := time.Since(gStart)
@@ -247,7 +251,7 @@ func (e *Engine) Batch(queries []Query) *BatchResult {
 				}
 				out.Results[i] = QueryResult{
 					Query:  queries[i],
-					Result: &Result{Forest: fs[k], Stats: statsOf(&clocks[k])},
+					Result: &Result{Forest: fs[k], Stats: ctxs[k].stats()},
 					Wall:   wall,
 				}
 			}
@@ -331,6 +335,8 @@ func aggregateStats(results []QueryResult) BatchStats {
 		}
 		st.Rounds += r.Result.Stats.Rounds
 		st.Beeps += r.Result.Stats.Beeps
+		st.WavesPacked += r.Result.Stats.WavesPacked
+		st.LanePasses += r.Result.Stats.LanePasses
 		if r.Result.Stats.Rounds > st.MaxRounds {
 			st.MaxRounds = r.Result.Stats.Rounds
 		}

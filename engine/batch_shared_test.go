@@ -305,3 +305,71 @@ func TestBatchGroupsBFSAcrossDests(t *testing.T) {
 		t.Fatal("grouped results share a forest")
 	}
 }
+
+// TestBatchLanePackedBFSMatchesSolo: bfs queries with DIFFERENT source sets
+// form one group and run as lanes of shared MS-BFS sweeps. Forests, rounds
+// and beeps must stay bit-identical to per-query solo Runs both with lane
+// packing at the default width and with WaveLanes=1 (per-wave reference
+// path); only the packing telemetry may differ.
+func TestBatchLanePackedBFSMatchesSolo(t *testing.T) {
+	s := spforest.RandomBlob(37, 300)
+	var queries []engine.Query
+	for i := 0; i < 9; i++ {
+		srcs := spforest.RandomCoords(int64(100+i), s, 1+i%3)
+		queries = append(queries, engine.Query{Algo: engine.AlgoBFS, Sources: srcs})
+	}
+	// A repeated source set exercises the replay path inside the group.
+	queries = append(queries, engine.Query{Algo: engine.AlgoBFS, Sources: queries[0].Sources, Dests: s.Coords()})
+
+	solo, err := engine.New(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]*engine.Result, len(queries))
+	for i, q := range queries {
+		if want[i], err = solo.Run(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for _, lanes := range []int{1, 0} { // 1 = per-wave reference, 0 = default packing
+		e, err := engine.New(s, &engine.Config{Workers: 4, WaveLanes: lanes})
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch := e.Batch(queries)
+		if batch.Stats.Groups != 1 {
+			t.Fatalf("WaveLanes=%d: Groups = %d, want 1 (all bfs queries share)", lanes, batch.Stats.Groups)
+		}
+		for i, r := range batch.Results {
+			if r.Err != nil {
+				t.Fatalf("WaveLanes=%d query %d: %v", lanes, i, r.Err)
+			}
+			ws, gs := want[i].Stats, r.Result.Stats
+			if gs.Rounds != ws.Rounds || gs.Beeps != ws.Beeps {
+				t.Fatalf("WaveLanes=%d query %d: %d rounds / %d beeps, solo %d / %d",
+					lanes, i, gs.Rounds, gs.Beeps, ws.Rounds, ws.Beeps)
+			}
+			if gs.Phases["bfs"] != ws.Phases["bfs"] {
+				t.Fatalf("WaveLanes=%d query %d: bfs phase %d, solo %d",
+					lanes, i, gs.Phases["bfs"], ws.Phases["bfs"])
+			}
+			for n := int32(0); n < int32(s.N()); n++ {
+				if r.Result.Forest.Parent(n) != want[i].Forest.Parent(n) {
+					t.Fatalf("WaveLanes=%d query %d: parent mismatch at node %d", lanes, i, n)
+				}
+			}
+		}
+		if lanes == 1 && batch.Stats.WavesPacked != 0 {
+			t.Fatalf("WaveLanes=1 packed %d waves, want 0", batch.Stats.WavesPacked)
+		}
+		if lanes == 0 {
+			if batch.Stats.WavesPacked < 9 {
+				t.Fatalf("default lanes packed %d waves, want ≥ 9 (one per distinct source set)", batch.Stats.WavesPacked)
+			}
+			if batch.Stats.LanePasses == 0 {
+				t.Fatal("default lanes reported zero lane passes")
+			}
+		}
+	}
+}

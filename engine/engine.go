@@ -35,6 +35,7 @@ import (
 	"spforest/internal/par"
 	"spforest/internal/sim"
 	"spforest/internal/verify"
+	"spforest/internal/wave"
 )
 
 // Config tunes an Engine.
@@ -61,6 +62,14 @@ type Config struct {
 	// and beeps are bit-for-bit identical at every setting — the layer only
 	// changes host wall time.
 	IntraWorkers int
+	// WaveLanes bounds the intra-query wave sharing: how many concurrent
+	// PASC/beep/BFS waves of one query may pack into a single physical
+	// execution (DESIGN.md §10). Zero or out-of-range selects the default
+	// (wave.MaxLanes = 64); 1 disables lane packing and forces the per-wave
+	// reference path. Like IntraWorkers, the setting only changes host
+	// execution: forests, simulated rounds and beeps are bit-for-bit
+	// identical at every lane count.
+	WaveLanes int
 	// AllowHoles admits structures that are connected but not hole-free.
 	// The paper's portal-based algorithms require hole-free structures
 	// (portal graphs are trees only then, Lemma 9), so on a holed engine
@@ -235,11 +244,27 @@ func (e *Engine) planQuery(q Query) plannedQuery {
 // runPlanned executes a successfully planned query on a fresh clock.
 func (e *Engine) runPlanned(pq *plannedQuery) (*Result, error) {
 	var clock sim.Clock
-	f, err := pq.solver.Solve(&Context{Engine: e, Clock: &clock, Sources: pq.srcs, Dests: pq.dests})
+	ctx := e.newContext(&clock, pq.srcs, pq.dests)
+	f, err := pq.solver.Solve(ctx)
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Forest: f, Stats: statsOf(&clock)}, nil
+	return &Result{Forest: f, Stats: ctx.stats()}, nil
+}
+
+// newContext builds one query's execution context: the engine's environment
+// derived with the configured wave lane budget and a fresh set of
+// wave-sharing counters, so Stats attributes packing activity per query.
+func (e *Engine) newContext(clock *sim.Clock, srcs, dests []int32) *Context {
+	ctr := &wave.Counters{}
+	return &Context{
+		Engine:  e,
+		Clock:   clock,
+		Sources: srcs,
+		Dests:   dests,
+		env:     e.env.WithWaves(e.cfg.WaveLanes, ctr),
+		waves:   ctr,
+	}
 }
 
 // leaderFor returns the memoized leader index, running the randomized

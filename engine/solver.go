@@ -11,6 +11,7 @@ import (
 	"spforest/internal/dense"
 	"spforest/internal/par"
 	"spforest/internal/sim"
+	"spforest/internal/wave"
 )
 
 // Context carries the per-query execution state handed to a Solver: the
@@ -22,6 +23,13 @@ type Context struct {
 	Clock   *sim.Clock
 	Sources []int32
 	Dests   []int32 // nil when the query gave no destinations
+
+	// env is the engine environment derived with the query's wave lane
+	// budget (Config.WaveLanes); nil falls back to the engine's base
+	// environment (lane packing at the default width, no counters).
+	env *core.Env
+	// waves collects this query's lane-packing counters for Stats.
+	waves *wave.Counters
 }
 
 // Region returns the whole-structure region the engine memoizes.
@@ -39,10 +47,25 @@ func (ctx *Context) Arena() *dense.Arena { return ctx.Engine.arena }
 // worker count (see internal/par for the determinism rules).
 func (ctx *Context) Exec() *par.Exec { return ctx.Engine.exec }
 
-// Env returns the engine's core execution environment: the executor plus
-// the engine's memoized portal decompositions, ready to hand to the
-// core.*Env algorithm entry points.
-func (ctx *Context) Env() *core.Env { return ctx.Engine.env }
+// Env returns the query's core execution environment: the executor plus
+// the engine's memoized portal decompositions, derived with the query's
+// wave lane budget, ready to hand to the core.*Env algorithm entry points.
+func (ctx *Context) Env() *core.Env {
+	if ctx.env != nil {
+		return ctx.env
+	}
+	return ctx.Engine.env
+}
+
+// stats snapshots the query's clock plus its wave-sharing counters.
+func (ctx *Context) stats() Stats {
+	st := statsOf(ctx.Clock)
+	if ctx.waves != nil {
+		st.WavesPacked = ctx.waves.WavesPacked.Load()
+		st.LanePasses = ctx.waves.LanePasses.Load()
+	}
+	return st
+}
 
 // Solver is one shortest-path-forest algorithm behind the engine. Solvers
 // must be safe for concurrent use: Solve may be called from many goroutines

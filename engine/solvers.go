@@ -165,33 +165,95 @@ func (bfsSolver) Solve(ctx *Context) (*amoebot.Forest, error) {
 	return f, nil
 }
 
-// ShareKey groups by the exact source sequence: the wavefront ignores
-// destinations entirely, so queries differing only in Dests (or Tag)
-// produce the same forest. The key preserves source order — the wavefront's
-// claim tie-break depends on it.
+// ShareKey groups every bfs query in the batch: the wavefront ignores
+// destinations, and distinct source sequences no longer block sharing —
+// SolveShared packs up to 64 wavefronts into one MS-BFS-style physical
+// sweep (baseline.BFSForestMany), so the whole batch of bfs queries is one
+// group regardless of sources.
 func (bfsSolver) ShareKey(sources, dests []int32) (string, bool) {
-	return orderedKey(sources), true
+	return "", true
 }
 
-// SolveShared solves the representative and replays its cost onto the other
-// members' clocks (forests are cloned, so results stay independent).
+// SolveShared answers the group's distinct source sequences as lanes of
+// shared multi-source sweeps, then replays each representative's cost onto
+// the members that repeat its sources (forests are cloned, so results stay
+// independent). Every member's clock is charged exactly what its solo Solve
+// charges; the packing only changes host execution.
 func (b bfsSolver) SolveShared(ctxs []*Context) ([]*amoebot.Forest, []error) {
 	fs := make([]*amoebot.Forest, len(ctxs))
 	errs := make([]error, len(ctxs))
-	c0 := ctxs[0].Clock
-	r0, b0 := c0.Rounds(), c0.Beeps()
-	f, err := b.Solve(ctxs[0])
-	fs[0], errs[0] = f, err
-	dr, db := c0.Rounds()-r0, c0.Beeps()-b0
-	for i := 1; i < len(ctxs); i++ {
-		if err != nil {
-			errs[i] = err
+
+	// Distinct source sequences become lane representatives, in first
+	// occurrence order (the key preserves source order — the wavefront's
+	// claim tie-break depends on it).
+	repOf := make(map[string]int, len(ctxs))
+	var reps []int
+	startR := make([]int64, len(ctxs))
+	startB := make([]int64, len(ctxs))
+	for i, ctx := range ctxs {
+		key := orderedKey(ctx.Sources)
+		if _, seen := repOf[key]; !seen {
+			repOf[key] = i
+			reps = append(reps, i)
+			startR[i] = ctx.Clock.Rounds()
+			startB[i] = ctx.Clock.Beeps()
+		}
+	}
+
+	lanes := ctxs[0].Env().Lanes()
+	if lanes > baseline.MaxBFSLanes {
+		lanes = baseline.MaxBFSLanes
+	}
+	if lanes >= 2 && len(reps) >= 2 {
+		// Lane-packed path: chunks of up to `lanes` representatives run as
+		// one physical sweep each. BFSForestMany charges each lane's clock
+		// its exact solo layers, so only phase attribution and the packing
+		// telemetry are added here.
+		for lo := 0; lo < len(reps); lo += lanes {
+			hi := lo + lanes
+			if hi > len(reps) {
+				hi = len(reps)
+			}
+			chunk := reps[lo:hi]
+			clocks := make([]*sim.Clock, len(chunk))
+			sets := make([][]int32, len(chunk))
+			for k, i := range chunk {
+				clocks[k] = ctxs[i].Clock
+				sets[k] = ctxs[i].Sources
+			}
+			packed := baseline.BFSForestMany(clocks, ctxs[0].Region(), sets)
+			for k, i := range chunk {
+				fs[i] = packed[k]
+				dr := ctxs[i].Clock.Rounds() - startR[i]
+				ctxs[i].Clock.AttributePhase("bfs", dr)
+				if w := ctxs[i].waves; w != nil {
+					w.WavesPacked.Add(1)
+					w.LanePasses.Add(dr)
+				}
+			}
+		}
+	} else {
+		for _, i := range reps {
+			fs[i], errs[i] = b.Solve(ctxs[i])
+		}
+	}
+
+	// Members repeating a representative's sources replay its cost.
+	for i, ctx := range ctxs {
+		rep := repOf[orderedKey(ctx.Sources)]
+		if rep == i {
 			continue
 		}
-		ctxs[i].Clock.Tick(dr)
-		ctxs[i].Clock.AddBeeps(db)
-		ctxs[i].Clock.AttributePhase("bfs", dr)
-		fs[i] = f.Clone()
+		if errs[rep] != nil {
+			errs[i] = errs[rep]
+			continue
+		}
+		dr := ctxs[rep].Clock.Rounds() - startR[rep]
+		db := ctxs[rep].Clock.Beeps() - startB[rep]
+		ctx.Clock.Tick(dr)
+		ctx.Clock.AddBeeps(db)
+		ctx.Clock.AttributePhase("bfs", dr)
+		fs[i] = fs[rep].Clone()
 	}
 	return fs, errs
 }

@@ -19,6 +19,14 @@ type Stats struct {
 	// Phases attributes rounds to named algorithm phases ("preprocess",
 	// "spt", "forest", ...).
 	Phases map[string]int64
+	// WavesPacked counts the logical beep waves this query executed inside
+	// lane-packed physical passes (DESIGN.md §10). Host-side execution
+	// telemetry only: it never feeds Rounds or Beeps, and it is zero when
+	// the engine runs with Config.WaveLanes = 1.
+	WavesPacked int64
+	// LanePasses counts the shared physical passes those waves rode on;
+	// WavesPacked/LanePasses is the achieved packing factor.
+	LanePasses int64
 }
 
 func statsOf(c *sim.Clock) Stats {
@@ -40,6 +48,9 @@ func (s Stats) String() string {
 	sort.Strings(names)
 	for _, k := range names {
 		fmt.Fprintf(&b, " %s=%d", k, s.Phases[k])
+	}
+	if s.WavesPacked > 0 {
+		fmt.Fprintf(&b, " waves=%d lane_passes=%d", s.WavesPacked, s.LanePasses)
 	}
 	return b.String()
 }

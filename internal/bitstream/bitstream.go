@@ -55,6 +55,38 @@ func (c *Comparator) Feed(a, b uint8) {
 // Result returns the ordering of the streams consumed so far.
 func (c *Comparator) Result() Ordering { return c.rel }
 
+// Byte-encoded comparator states, for hot loops that keep one comparator
+// per slot in a flat arena-recycled byte column instead of a []Comparator
+// allocation: CmpEqual is the zero value, so a zeroed column is a column of
+// fresh comparators.
+const (
+	CmpEqual   uint8 = 0
+	CmpGreater uint8 = 1
+	CmpLess    uint8 = 2
+)
+
+// CmpFeed advances a byte-encoded comparator state by one bit pair,
+// branch-free: the most recent differing bit dominates, exactly like
+// Comparator.Feed.
+func CmpFeed(state, a, b uint8) uint8 {
+	d := a ^ b              // 1 when the bits differ
+	n := a&d | (d&^a)<<1    // verdict of this pair: CmpGreater / CmpLess / CmpEqual
+	return state&^(0-d) | n // a differing pair overwrites the prior state
+}
+
+// CmpOrdering decodes a byte-encoded comparator state into the Ordering
+// Comparator.Result would report.
+func CmpOrdering(state uint8) Ordering {
+	switch state {
+	case CmpGreater:
+		return Greater
+	case CmpLess:
+		return Less
+	default:
+		return Equal
+	}
+}
+
 // Subtractor computes a − b for two equal-length LSB-first streams with a
 // single borrow bit of state, emitting the difference bits of a − b modulo
 // 2^len. After the streams end, Negative reports whether a < b and NonZero

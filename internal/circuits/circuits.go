@@ -156,6 +156,18 @@ func (n *Net) Freeze(ex *par.Exec) {
 // SameCircuit reports whether two partition sets belong to the same circuit.
 func (n *Net) SameCircuit(a, b PS) bool { return n.root(int32(a)) == n.root(int32(b)) }
 
+// CircuitRoot returns the frozen circuit root of ps: a dense stable handle
+// in [0, Len()) that identifies the circuit, equal for exactly the
+// partition sets SameCircuit groups together. Lane-multiplexed overlays
+// (internal/wave) key their per-circuit lane words by it. The net must be
+// frozen — the root table is what makes the handle stable.
+func (n *Net) CircuitRoot(ps PS) int32 {
+	if n.circ == nil {
+		panic("circuits: CircuitRoot on an unfrozen net; call Freeze first")
+	}
+	return n.circ[ps]
+}
+
 // MaxLinksPerEdge returns the largest number of links this configuration
 // places on any single grid edge; constructions assert it stays within the
 // constant c of the model (our constructions use at most 4).

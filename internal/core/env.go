@@ -5,6 +5,7 @@ import (
 	"spforest/internal/dense"
 	"spforest/internal/par"
 	"spforest/internal/portal"
+	"spforest/internal/wave"
 )
 
 // PortalSource supplies memoized portal decompositions. The engine
@@ -23,13 +24,52 @@ type PortalSource interface {
 // omitted part — degrades to the serial, compute-fresh, shared-arena
 // behavior of the plain entry points, so internal code never branches.
 type Env struct {
-	ex  *par.Exec
-	src PortalSource
+	ex    *par.Exec
+	src   PortalSource
+	lanes int            // wave lane budget; 0 selects the default (wave.MaxLanes)
+	waves *wave.Counters // wave-sharing counters, usually per query; may be nil
 }
 
 // NewEnv returns an Env executing on ex and consulting src for memoized
 // portal decompositions. Both may be nil.
 func NewEnv(ex *par.Exec, src PortalSource) *Env { return &Env{ex: ex, src: src} }
+
+// WithWaves derives an Env carrying the given wave lane budget and
+// wave-sharing counters (DESIGN.md §10). Out-of-range budgets clamp to the
+// default wave.MaxLanes; 1 disables lane packing (the per-wave reference
+// path). The engine derives one such Env per query so the counters
+// attribute per query; the receiver is not modified.
+func (env *Env) WithWaves(lanes int, ctr *wave.Counters) *Env {
+	var cp Env
+	if env != nil {
+		cp = *env
+	}
+	if lanes <= 0 || lanes > wave.MaxLanes {
+		lanes = wave.MaxLanes
+	}
+	cp.lanes, cp.waves = lanes, ctr
+	return &cp
+}
+
+// Lanes returns the wave lane budget: how many concurrent PASC/beep waves
+// of one query may pack into a single shared execution. A nil Env — and an
+// Env that never chose — defaults to wave.MaxLanes; 1 means lane packing is
+// disabled.
+func (env *Env) Lanes() int {
+	if env == nil || env.lanes == 0 {
+		return wave.MaxLanes
+	}
+	return env.lanes
+}
+
+// Waves returns the wave-sharing counters lane-packed executions report
+// into; nil (always safe to pass on) disables counting.
+func (env *Env) Waves() *wave.Counters {
+	if env == nil {
+		return nil
+	}
+	return env.waves
+}
 
 // envArena builds the Env used by the Arena-style entry points: full host
 // parallelism (matching the previous runParallel behavior) over the given

@@ -77,7 +77,8 @@ func ForestEnv(env *Env, clock *sim.Clock, region *amoebot.Region, sources, dest
 
 	// ---- §5.4.1: Q, Q', marks, base regions.
 	ports, view := env.portalsView(region, amoebot.AxisX)
-	inQ := make([]bool, ports.Len())
+	inQ := ar.Bools(ports.Len())
+	defer ar.PutBools(inQ)
 	for _, src := range sources {
 		inQ[ports.ID[src]] = true
 	}
@@ -86,7 +87,8 @@ func ForestEnv(env *Env, clock *sim.Clock, region *amoebot.Region, sources, dest
 	leaderPortal := ports.ID[leader]
 	rpQ := portal.RootPrune(clock, view, leaderPortal, inQ)
 	aq := portal.Augment(clock, view, rpQ)
-	inQP := make([]bool, ports.Len())
+	inQP := ar.Bools(ports.Len())
+	defer ar.PutBools(inQP)
 	qpCount := 0
 	for id := range inQP {
 		inQP[id] = inQ[id] || aq[id]
@@ -144,13 +146,26 @@ func ForestEnv(env *Env, clock *sim.Clock, region *amoebot.Region, sources, dest
 	case ScheduleTreeDepth:
 		// Bottom-up in the rooted portal tree, strictly one portal per
 		// level; identifying the current portal costs a PASC depth
-		// comparison against the level counter.
+		// comparison against the level counter. Depths come from one
+		// memoized O(p) walk over the parent pointers (each portal's depth
+		// is resolved exactly once) instead of a per-portal root walk.
+		depth := ar.Int32s(ports.Len()) // stored depth+1; 0 = not yet known
+		defer ar.PutInt32s(depth)
+		var pending []int32
 		depthOf := func(id int32) int {
-			d := 0
-			for p := id; rpQP.Parent[p] >= 0; p = rpQP.Parent[p] {
-				d++
+			for u := id; depth[u] == 0; u = rpQP.Parent[u] {
+				if rpQP.Parent[u] < 0 {
+					depth[u] = 1
+					break
+				}
+				pending = append(pending, u)
 			}
-			return d
+			for i := len(pending) - 1; i >= 0; i-- {
+				u := pending[i]
+				depth[u] = depth[rpQP.Parent[u]] + 1
+			}
+			pending = pending[:0]
+			return int(depth[id] - 1)
 		}
 		type pd struct {
 			id int32
@@ -414,7 +429,9 @@ func mergeTouching(env *Env, clock *sim.Clock, s *amoebot.Structure, sp *splitRe
 		bySide[side] = append(bySide[side], st)
 	}
 
-	// Phase 1: per side, merge across the marked amoebots by PASC parity.
+	// Phase 1: per side, merge across the marked amoebots by PASC parity,
+	// each pairing round's independent pair merges packed as lanes of one
+	// shared tree-PASC pass (mergeParityRound).
 	marks := sp.marksOf[p]
 	for side := amoebot.Side(0); side < amoebot.NumSides; side++ {
 		regions := bySide[side]
@@ -432,33 +449,7 @@ func mergeTouching(env *Env, clock *sim.Clock, s *amoebot.Structure, sp *splitRe
 					even = append(even, m)
 				}
 			}
-			branches := make([]*sim.Clock, 0, len(odd))
-			for _, m := range odd {
-				var a, b *regionState
-				for _, st := range regions {
-					if st.region.Contains(m) {
-						if a == nil {
-							a = st
-						} else if st != a {
-							b = st
-						}
-					}
-				}
-				if a == nil || b == nil {
-					continue // the mark no longer separates two regions here
-				}
-				branch := clock.Fork()
-				branches = append(branches, branch)
-				merged := mergePairAtCut(env, branch, s, a, b, m)
-				var next []*regionState
-				for _, st := range regions {
-					if st != a && st != b {
-						next = append(next, st)
-					}
-				}
-				regions = append(next, merged)
-			}
-			clock.JoinMax(branches...)
+			regions = mergeParityRound(env, clock, odd, regions)
 			active = even
 		}
 		bySide[side] = regions
@@ -522,33 +513,160 @@ func regionSideOf(r *amoebot.Region, pnodes []int32, inP *dense.BitSet) (amoebot
 	return 0, false
 }
 
+// mergeParityRound executes one PASC-parity pairing round over one side's
+// current regions: the serial reference walks the round's odd marks in
+// order, at each mark pairing the current regions containing it and merging
+// them through the cut (mergePairAtCut), rewriting the region list as it
+// goes. When every pair formed involves only round-start regions — the
+// generic case: a region merged at one mark spans that mark, so it can
+// re-pair only at a different mark in a LATER round — the pairs are
+// provably independent, and the round instead discovers them all by a
+// symbolic walk, extends each pair's forests on its own branch clock, and
+// merges every pair as lanes of one shared tree-PASC pass (MergeManyEnv).
+// The resulting region list — [unpaired regions, original order] + [merged
+// regions, mark order] — and every branch's accounting are bit-identical
+// to the serial walk, which remains the execution for dependent rounds and
+// for Lanes() < 2.
+func mergeParityRound(env *Env, clock *sim.Clock, odd []int32, regions []*regionState) []*regionState {
+	serial := func() []*regionState {
+		branches := make([]*sim.Clock, 0, len(odd))
+		for _, m := range odd {
+			var a, b *regionState
+			for _, st := range regions {
+				if st.region.Contains(m) {
+					if a == nil {
+						a = st
+					} else if st != a {
+						b = st
+					}
+				}
+			}
+			if a == nil || b == nil {
+				continue // the mark no longer separates two regions here
+			}
+			branch := clock.Fork()
+			branches = append(branches, branch)
+			merged := mergePairAtCut(env, branch, a, b, m)
+			var next []*regionState
+			for _, st := range regions {
+				if st != a && st != b {
+					next = append(next, st)
+				}
+			}
+			regions = append(next, merged)
+		}
+		clock.JoinMax(branches...)
+		return regions
+	}
+	if env.Lanes() < 2 {
+		return serial()
+	}
+	// Symbolic walk: groups stand in for the serial walk's evolving region
+	// list; a group contains a mark when any merged-in original does.
+	type group struct {
+		st     *regionState // round-start region; nil for a merged group
+		member []*regionState
+	}
+	cur := make([]*group, len(regions))
+	for i, st := range regions {
+		cur[i] = &group{st: st, member: []*regionState{st}}
+	}
+	contains := func(g *group, m int32) bool {
+		for _, st := range g.member {
+			if st.region.Contains(m) {
+				return true
+			}
+		}
+		return false
+	}
+	type pairing struct {
+		a, b *regionState
+		m    int32
+	}
+	var pairs []pairing
+	paired := make(map[*regionState]bool)
+	for _, m := range odd {
+		var a, b *group
+		for _, g := range cur {
+			if contains(g, m) {
+				if a == nil {
+					a = g
+				} else if g != a {
+					b = g
+				}
+			}
+		}
+		if a == nil || b == nil {
+			continue // the mark no longer separates two groups here
+		}
+		if a.st == nil || b.st == nil {
+			return serial() // depends on a merge earlier this round
+		}
+		pairs = append(pairs, pairing{a.st, b.st, m})
+		paired[a.st], paired[b.st] = true, true
+		mg := &group{member: append(append([]*regionState(nil), a.member...), b.member...)}
+		var next []*group
+		for _, g := range cur {
+			if g != a && g != b {
+				next = append(next, g)
+			}
+		}
+		cur = append(next, mg)
+	}
+	if len(pairs) == 0 {
+		return regions
+	}
+	branches := make([]*sim.Clock, len(pairs))
+	fpairs := make([][2]*amoebot.Forest, len(pairs))
+	for i, pr := range pairs {
+		branches[i] = clock.Fork()
+		fpairs[i][0] = extendThroughCut(env, branches[i], pr.a, pr.b.region, pr.m)
+		fpairs[i][1] = extendThroughCut(env, branches[i], pr.b, pr.a.region, pr.m)
+	}
+	mergedF := MergeManyEnv(env, branches, fpairs)
+	out := make([]*regionState, 0, len(regions))
+	for _, st := range regions {
+		if !paired[st] {
+			out = append(out, st)
+		}
+	}
+	for i, pr := range pairs {
+		out = append(out, &regionState{region: pr.a.region.Union(pr.b.region), forest: mergedF[i]})
+	}
+	clock.JoinMax(branches...)
+	return out
+}
+
 // mergePairAtCut merges two regions sharing exactly the cut amoebot m
 // (§5.4.3, phase 1, third step): every shortest path between the regions
 // passes m, so each side's forest extends into the other side by an SPT
 // rooted at m, and the merging algorithm combines the two extensions.
-func mergePairAtCut(env *Env, clock *sim.Clock, s *amoebot.Structure, a, b *regionState, m int32) *regionState {
-	union := a.region.Union(b.region)
-	extend := func(own *regionState, other *amoebot.Region) *amoebot.Forest {
-		if own.forest.Size() == 0 {
-			return own.forest.Clone()
-		}
-		out := own.forest.Clone()
-		if other.Len() > 1 {
-			sub := SPTEnv(env, clock, other, m, other.Nodes())
-			for _, u := range other.Nodes() {
-				if u == m || out.Member(u) {
-					continue // the pair overlaps only on m
-				}
-				if p := sub.Parent(u); p != amoebot.None {
-					out.SetParent(u, p)
-				}
+func mergePairAtCut(env *Env, clock *sim.Clock, a, b *regionState, m int32) *regionState {
+	fA := extendThroughCut(env, clock, a, b.region, m)
+	fB := extendThroughCut(env, clock, b, a.region, m)
+	return &regionState{region: a.region.Union(b.region), forest: MergeEnv(env, clock, fA, fB)}
+}
+
+// extendThroughCut extends own's forest into the other region through the
+// cut amoebot m: an SPT rooted at m covers the other side, grafted onto a
+// clone of own's forest (the pair overlaps only on m).
+func extendThroughCut(env *Env, clock *sim.Clock, own *regionState, other *amoebot.Region, m int32) *amoebot.Forest {
+	if own.forest.Size() == 0 {
+		return own.forest.Clone()
+	}
+	out := own.forest.Clone()
+	if other.Len() > 1 {
+		sub := SPTEnv(env, clock, other, m, other.Nodes())
+		for _, u := range other.Nodes() {
+			if u == m || out.Member(u) {
+				continue // the pair overlaps only on m
+			}
+			if p := sub.Parent(u); p != amoebot.None {
+				out.SetParent(u, p)
 			}
 		}
-		return out
 	}
-	fA := extend(a, b.region)
-	fB := extend(b, a.region)
-	return &regionState{region: union, forest: MergeEnv(env, clock, fA, fB)}
+	return out
 }
 
 // extendAlongPortal completes a forest over the portal run: uncovered

@@ -99,12 +99,21 @@ func forestTree(f *amoebot.Forest, members []int32, ar *dense.Arena) (*ett.Tree,
 // comparator columns) from the arena, so the per-level merge cascade of a
 // forest query recycles one set of backing arrays.
 func forestPASC(f *amoebot.Forest, members []int32, ar *dense.Arena) (*pasc.Run, *dense.Index) {
+	parent, toLocal := forestLaneParent(f, members, ar)
+	defer ar.PutInt32s(parent)
+	return pasc.NewTreeDistanceArena(ar, parent), toLocal
+}
+
+// forestLaneParent builds the local parent column of f over its members:
+// the lane spec a packed wave execution stages (forestPASC feeds the same
+// column to a solo run). The caller releases the column with ar.PutInt32s
+// (after Seal, for packed lanes) and the index with ar.PutIndex.
+func forestLaneParent(f *amoebot.Forest, members []int32, ar *dense.Arena) ([]int32, *dense.Index) {
 	toLocal := ar.Index(f.Structure().N())
 	for li, g := range members {
 		toLocal.Set(g, int32(li))
 	}
 	parent := ar.Int32s(len(members))
-	defer ar.PutInt32s(parent)
 	for li, g := range members {
 		if p := f.Parent(g); p != amoebot.None {
 			lp, ok := toLocal.Get(p)
@@ -116,7 +125,7 @@ func forestPASC(f *amoebot.Forest, members []int32, ar *dense.Arena) (*pasc.Run,
 			parent[li] = -1
 		}
 	}
-	return pasc.NewTreeDistanceArena(ar, parent), toLocal
+	return parent, toLocal
 }
 
 // pruneToDestinations applies the final root-and-prune of §4/§5.4.4: every

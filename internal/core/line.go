@@ -6,6 +6,7 @@ import (
 	"spforest/internal/dense"
 	"spforest/internal/pasc"
 	"spforest/internal/sim"
+	"spforest/internal/wave"
 )
 
 // LineForest computes an S-shortest path forest for a chain of amoebots
@@ -30,7 +31,13 @@ func LineForestArena(ar *dense.Arena, clock *sim.Clock, s *amoebot.Structure, ch
 // LineForestEnv is LineForest under an execution environment: the
 // per-amoebot comparator feeds of each PASC iteration and the final parent
 // sweep fan out over index chunks (each slot owns its comparator and its
-// forest entry, so chunks write disjoint state).
+// forest entry, so chunks write disjoint state). All per-slot scratch —
+// flag columns, direction parent columns, comparator states — draws from
+// the arena, so a stream of line queries runs allocation-free here.
+//
+// With wave lanes enabled (Env.Lanes() ≥ 2, the default) the east and west
+// runs execute as two lanes of one packed wave execution (DESIGN.md §10)
+// instead of two pasc.Runs; bits and clock charge are identical.
 func LineForestEnv(env *Env, clock *sim.Clock, s *amoebot.Structure, chain []int32, sources []int32) *amoebot.Forest {
 	ar := env.Arena()
 	n := len(chain)
@@ -38,7 +45,8 @@ func LineForestEnv(env *Env, clock *sim.Clock, s *amoebot.Structure, chain []int
 	if n == 0 {
 		return f
 	}
-	isSource := make([]bool, n)
+	isSource := ar.Bools(n)
+	defer ar.PutBools(isSource)
 	pos := ar.Index(s.N())
 	defer ar.PutIndex(pos)
 	for i, g := range chain {
@@ -57,8 +65,10 @@ func LineForestEnv(env *Env, clock *sim.Clock, s *amoebot.Structure, chain []int
 
 	// One beep round per direction on the chain circuit cut at sources:
 	// every amoebot learns whether a source exists on its west/east side.
-	hasWest := make([]bool, n)
-	hasEast := make([]bool, n)
+	hasWest := ar.Bools(n)
+	defer ar.PutBools(hasWest)
+	hasEast := ar.Bools(n)
+	defer ar.PutBools(hasEast)
 	{
 		seen := false
 		for i := 0; i < n; i++ {
@@ -80,8 +90,8 @@ func LineForestEnv(env *Env, clock *sim.Clock, s *amoebot.Structure, chain []int
 
 	// Eastward run: every source is a root; slot i's value is the distance
 	// to the nearest source on its west. Westward run symmetric.
-	parentE := make([]int32, n)
-	parentW := make([]int32, n)
+	parentE := ar.Int32s(n)
+	parentW := ar.Int32s(n)
 	for i := 0; i < n; i++ {
 		if isSource[i] {
 			parentE[i], parentW[i] = -1, -1
@@ -93,26 +103,49 @@ func LineForestEnv(env *Env, clock *sim.Clock, s *amoebot.Structure, chain []int
 			parentW[i] = -1
 		}
 	}
-	east := pasc.New(parentE, participants(n))
-	west := pasc.New(parentW, participants(n))
-	cmps := make([]bitstream.Comparator, n)
+	// cmps[i] is slot i's byte-encoded O(1)-state comparator.
+	cmps := ar.Bytes(n)
+	defer ar.PutBytes(cmps)
 	ex := env.Exec()
-	for !pasc.AllDone(east, west) {
-		bits := pasc.StepRound(clock, east, west)
+	feed := func(bitsE, bitsW []uint8) {
 		ex.Range(n, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				switch {
 				case !hasWest[i] && !hasEast[i]:
 					continue
 				case !hasWest[i]:
-					cmps[i].Feed(1, 0) // west side invalid: force the east side
+					cmps[i] = bitstream.CmpFeed(cmps[i], 1, 0) // west side invalid: force the east side
 				case !hasEast[i]:
-					cmps[i].Feed(0, 1) // east side invalid: force the west side
+					cmps[i] = bitstream.CmpFeed(cmps[i], 0, 1) // east side invalid: force the west side
 				default:
-					cmps[i].Feed(bits[0][i], bits[1][i])
+					cmps[i] = bitstream.CmpFeed(cmps[i], bitsE[i], bitsW[i])
 				}
 			}
 		})
+	}
+	if env.Lanes() >= 2 {
+		p := wave.NewPacked(ar, env.Waves())
+		p.AddLane(parentE, nil)
+		p.AddLane(parentW, nil)
+		p.Seal()
+		ar.PutInt32s(parentE)
+		ar.PutInt32s(parentW)
+		for !p.AllDone() {
+			p.StepRound(clock)
+			feed(p.Bits(0), p.Bits(1))
+		}
+		p.Release()
+	} else {
+		east := pasc.NewTreeDistanceArena(ar, parentE)
+		west := pasc.NewTreeDistanceArena(ar, parentW)
+		ar.PutInt32s(parentE)
+		ar.PutInt32s(parentW)
+		for !pasc.AllDone(east, west) {
+			bits := pasc.StepRound(clock, east, west)
+			feed(bits[0], bits[1])
+		}
+		east.Release(ar)
+		west.Release(ar)
 	}
 	ex.Range(n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -124,7 +157,7 @@ func LineForestEnv(env *Env, clock *sim.Clock, s *amoebot.Structure, chain []int
 			switch {
 			case !hasWest[i] && !hasEast[i]:
 				continue // no source on the chain at all (empty S was rejected above)
-			case hasWest[i] && (!hasEast[i] || cmps[i].Result() != bitstream.Greater):
+			case hasWest[i] && (!hasEast[i] || bitstream.CmpOrdering(cmps[i]) != bitstream.Greater):
 				f.SetParent(g, chain[i-1]) // west distance ≤ east distance
 			default:
 				f.SetParent(g, chain[i+1])
@@ -132,12 +165,4 @@ func LineForestEnv(env *Env, clock *sim.Clock, s *amoebot.Structure, chain []int
 		}
 	})
 	return f
-}
-
-func participants(n int) []bool {
-	p := make([]bool, n)
-	for i := range p {
-		p[i] = true
-	}
-	return p
 }

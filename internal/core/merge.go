@@ -4,8 +4,10 @@ import (
 	"spforest/amoebot"
 	"spforest/internal/bitstream"
 	"spforest/internal/dense"
+	"spforest/internal/par"
 	"spforest/internal/pasc"
 	"spforest/internal/sim"
+	"spforest/internal/wave"
 )
 
 // Merge merges an S1-shortest path forest and an S2-shortest path forest
@@ -30,50 +32,209 @@ func MergeArena(ar *dense.Arena, clock *sim.Clock, f1, f2 *amoebot.Forest) *amoe
 // comparator feeds of each joint PASC iteration fan out over index chunks
 // (every doubly-covered amoebot owns its comparator slot, so chunks write
 // disjoint state and the outcome is identical at every worker count).
+//
+// With wave lanes enabled (Env.Lanes() ≥ 2, the default) the two tree-PASC
+// waves run as lanes of one packed execution (DESIGN.md §10) instead of two
+// pasc.Runs: same bits, same clock charge, one fused column sweep per joint
+// iteration.
 func MergeEnv(env *Env, clock *sim.Clock, f1, f2 *amoebot.Forest) *amoebot.Forest {
-	ar := env.Arena()
-	s := f1.Structure()
-	if f2.Structure() != s {
+	if f2.Structure() != f1.Structure() {
 		panic("core: merging forests of different structures")
 	}
-	m1, m2 := f1.Members(), f2.Members()
-	if len(m1) == 0 {
+	if len(f1.Members()) == 0 {
 		return f2.Clone()
 	}
-	if len(m2) == 0 {
+	if len(f2.Members()) == 0 {
 		return f1.Clone()
 	}
-	run1, local1 := forestPASC(f1, m1, ar)
-	defer ar.PutIndex(local1)
-	defer run1.Release(ar)
-	run2, local2 := forestPASC(f2, m2, ar)
-	defer ar.PutIndex(local2)
-	defer run2.Release(ar)
-	// Amoebots covered by both forests hold the O(1)-state comparators;
-	// cmpOf maps such a node to its comparator slot.
-	cmpOf := ar.Index(s.N())
-	defer ar.PutIndex(cmpOf)
-	var both []int32
-	for _, g := range m1 {
-		if f2.Member(g) {
-			cmpOf.Set(g, int32(len(both)))
-			both = append(both, g)
+	ar := env.Arena()
+	mc := newMergeCmps(f1, f2, ar)
+	defer mc.release(ar)
+	if env.Lanes() >= 2 {
+		mergeFeedPacked(env, clock, f1, f2, mc)
+	} else {
+		mergeFeedUnpacked(env, clock, f1, f2, mc)
+	}
+	return mc.assemble(f1, f2)
+}
+
+// MergeManyEnv merges independent forest pairs — no forest appearing in two
+// pairs — as lanes of shared tree-PASC executions: up to Lanes()/2 pairs
+// per packed pass, pair i advancing on clocks[i] and charged exactly what
+// its solo MergeEnv loop would have charged (a pair whose two waves have
+// terminated is skipped by later joint iterations, exactly as its solo loop
+// would have exited). Forests and per-clock accounting are bit-identical to
+// calling MergeEnv per pair; with lane packing disabled (Lanes() < 2) that
+// per-pair loop IS the execution.
+func MergeManyEnv(env *Env, clocks []*sim.Clock, pairs [][2]*amoebot.Forest) []*amoebot.Forest {
+	if len(clocks) != len(pairs) {
+		panic("core: MergeManyEnv clock count mismatch")
+	}
+	out := make([]*amoebot.Forest, len(pairs))
+	if env.Lanes() < 2 {
+		for i, pr := range pairs {
+			out[i] = MergeEnv(env, clocks[i], pr[0], pr[1])
+		}
+		return out
+	}
+	// Trivial pairs (an empty side) resolve to clones without lanes or
+	// clock charge, like their MergeEnv fast path; live pairs pack.
+	var live []int
+	for i, pr := range pairs {
+		switch {
+		case pr[1].Structure() != pr[0].Structure():
+			panic("core: merging forests of different structures")
+		case len(pr[0].Members()) == 0:
+			out[i] = pr[1].Clone()
+		case len(pr[1].Members()) == 0:
+			out[i] = pr[0].Clone()
+		default:
+			live = append(live, i)
 		}
 	}
-	cmps := make([]bitstream.Comparator, len(both))
+	perPass := env.Lanes() / 2
+	for lo := 0; lo < len(live); lo += perPass {
+		hi := lo + perPass
+		if hi > len(live) {
+			hi = len(live)
+		}
+		mergePackedPairs(env, clocks, pairs, live[lo:hi], out)
+	}
+	return out
+}
+
+// mergePackedPairs runs one packed pass over the given non-trivial pair
+// indices, writing each pair's merged forest into out.
+func mergePackedPairs(env *Env, clocks []*sim.Clock, pairs [][2]*amoebot.Forest, idxs []int, out []*amoebot.Forest) {
+	ar := env.Arena()
+	p := wave.NewPacked(ar, env.Waves())
+	locals := make([]*dense.Index, 2*len(idxs))
+	parents := make([][]int32, 2*len(idxs))
+	mcs := make([]*mergeCmps, len(idxs))
+	pairClocks := make([]*sim.Clock, len(idxs))
+	for k, i := range idxs {
+		f1, f2 := pairs[i][0], pairs[i][1]
+		parents[2*k], locals[2*k] = forestLaneParent(f1, f1.Members(), ar)
+		parents[2*k+1], locals[2*k+1] = forestLaneParent(f2, f2.Members(), ar)
+		p.AddLane(parents[2*k], nil)
+		p.AddLane(parents[2*k+1], nil)
+		mcs[k] = newMergeCmps(f1, f2, ar)
+		pairClocks[k] = clocks[i]
+	}
+	p.Seal()
+	for _, col := range parents {
+		ar.PutInt32s(col)
+	}
+	ex := env.Exec()
+	liveBefore := make([]bool, len(idxs))
+	for !p.AllDone() {
+		// A pair already done has exited its solo loop: no step, no feed. A
+		// pair finishing in this very iteration still feeds — the solo loop
+		// also consumes the bits of its final StepRound.
+		for k := range idxs {
+			liveBefore[k] = !p.PairDone(k)
+		}
+		p.StepPairs(pairClocks)
+		for k := range idxs {
+			if liveBefore[k] {
+				mcs[k].feed(ex, locals[2*k], locals[2*k+1], p.Bits(2*k), p.Bits(2*k+1))
+			}
+		}
+	}
+	p.Release()
+	for k, i := range idxs {
+		out[i] = mcs[k].assemble(pairs[i][0], pairs[i][1])
+		mcs[k].release(ar)
+		ar.PutIndex(locals[2*k])
+		ar.PutIndex(locals[2*k+1])
+	}
+}
+
+// mergeFeedPacked advances the two tree-PASC waves as lanes of one packed
+// execution, feeding the comparators each joint iteration.
+func mergeFeedPacked(env *Env, clock *sim.Clock, f1, f2 *amoebot.Forest, mc *mergeCmps) {
+	ar := env.Arena()
+	p := wave.NewPacked(ar, env.Waves())
+	parent1, local1 := forestLaneParent(f1, f1.Members(), ar)
+	defer ar.PutIndex(local1)
+	parent2, local2 := forestLaneParent(f2, f2.Members(), ar)
+	defer ar.PutIndex(local2)
+	p.AddLane(parent1, nil)
+	p.AddLane(parent2, nil)
+	p.Seal()
+	ar.PutInt32s(parent1)
+	ar.PutInt32s(parent2)
+	defer p.Release()
+	ex := env.Exec()
+	for !p.AllDone() {
+		p.StepRound(clock)
+		mc.feed(ex, local1, local2, p.Bits(0), p.Bits(1))
+	}
+}
+
+// mergeFeedUnpacked is the per-wave reference path (Lanes() < 2): two
+// pasc.Runs stepped jointly, exactly the pre-lane execution.
+func mergeFeedUnpacked(env *Env, clock *sim.Clock, f1, f2 *amoebot.Forest, mc *mergeCmps) {
+	ar := env.Arena()
+	run1, local1 := forestPASC(f1, f1.Members(), ar)
+	defer ar.PutIndex(local1)
+	defer run1.Release(ar)
+	run2, local2 := forestPASC(f2, f2.Members(), ar)
+	defer ar.PutIndex(local2)
+	defer run2.Release(ar)
 	ex := env.Exec()
 	for !pasc.AllDone(run1, run2) {
 		bits := pasc.StepRound(clock, run1, run2)
-		ex.Range(len(both), func(lo, hi int) {
-			for ci := lo; ci < hi; ci++ {
-				g := both[ci]
-				cmps[ci].Feed(bits[0][local1.At(g)], bits[1][local2.At(g)])
-			}
-		})
+		mc.feed(ex, local1, local2, bits[0], bits[1])
 	}
-	out := amoebot.NewForest(s)
-	for _, g := range m1 {
-		if ci := cmpOf.At(g); ci >= 0 && cmps[ci].Result() == bitstream.Greater {
+}
+
+// mergeCmps is the comparator side of one merge: the doubly-covered
+// amoebots, the node → comparator slot index, and the byte-encoded
+// comparator column (bitstream.CmpFeed semantics — arena-recycled instead
+// of a fresh []bitstream.Comparator per merge).
+type mergeCmps struct {
+	cmpOf  *dense.Index
+	both   []int32
+	states []uint8
+}
+
+func newMergeCmps(f1, f2 *amoebot.Forest, ar *dense.Arena) *mergeCmps {
+	mc := &mergeCmps{cmpOf: ar.Index(f1.Structure().N())}
+	for _, g := range f1.Members() {
+		if f2.Member(g) {
+			mc.cmpOf.Set(g, int32(len(mc.both)))
+			mc.both = append(mc.both, g)
+		}
+	}
+	mc.states = ar.Bytes(len(mc.both))
+	return mc
+}
+
+func (mc *mergeCmps) release(ar *dense.Arena) {
+	ar.PutIndex(mc.cmpOf)
+	ar.PutBytes(mc.states)
+}
+
+// feed consumes one joint iteration's distance bits: every doubly-covered
+// amoebot advances its comparator with its two streamed bits. Chunks write
+// disjoint comparator slots, so the fan-out is race-free and
+// order-independent.
+func (mc *mergeCmps) feed(ex *par.Exec, local1, local2 *dense.Index, b1, b2 []uint8) {
+	ex.Range(len(mc.both), func(lo, hi int) {
+		for ci := lo; ci < hi; ci++ {
+			g := mc.both[ci]
+			mc.states[ci] = bitstream.CmpFeed(mc.states[ci], b1[local1.At(g)], b2[local2.At(g)])
+		}
+	})
+}
+
+// assemble builds the merged forest from the settled comparators (Lemma 41;
+// ties towards f1).
+func (mc *mergeCmps) assemble(f1, f2 *amoebot.Forest) *amoebot.Forest {
+	out := amoebot.NewForest(f1.Structure())
+	for _, g := range f1.Members() {
+		if ci := mc.cmpOf.At(g); ci >= 0 && bitstream.CmpOrdering(mc.states[ci]) == bitstream.Greater {
 			continue // f2 strictly nearer: handled below
 		}
 		if p := f1.Parent(g); p != amoebot.None {
@@ -82,8 +243,8 @@ func MergeEnv(env *Env, clock *sim.Clock, f1, f2 *amoebot.Forest) *amoebot.Fores
 			out.SetRoot(g)
 		}
 	}
-	for _, g := range m2 {
-		if ci := cmpOf.At(g); ci >= 0 && cmps[ci].Result() != bitstream.Greater {
+	for _, g := range f2.Members() {
+		if ci := mc.cmpOf.At(g); ci >= 0 && bitstream.CmpOrdering(mc.states[ci]) != bitstream.Greater {
 			continue // f1 at most as far: already placed
 		}
 		if p := f2.Parent(g); p != amoebot.None {

@@ -168,6 +168,7 @@ type Arena struct {
 	indexes sync.Pool
 	int32s  sync.Pool
 	bytes   sync.Pool
+	bools   sync.Pool
 }
 
 // NewArena returns an empty arena. The zero value is also ready to use.
@@ -261,6 +262,30 @@ func (a *Arena) PutBytes(s []uint8) {
 	}
 	s = s[:0]
 	a.bytes.Put(&s)
+}
+
+// Bools returns a zeroed []bool of length n, for boolean scratch columns
+// (membership marks, visited flags) handed to APIs that take []bool rather
+// than the byte flag columns of Bytes.
+func (a *Arena) Bools(n int) []bool {
+	if a == nil {
+		return make([]bool, n)
+	}
+	if p, ok := a.bools.Get().(*[]bool); ok && cap(*p) >= n {
+		s := (*p)[:n]
+		clear(s)
+		return s
+	}
+	return make([]bool, n)
+}
+
+// PutBools returns a slice obtained from Bools to the arena.
+func (a *Arena) PutBools(s []bool) {
+	if a == nil || cap(s) == 0 || cap(s) > MaxRetainedIndexEntries {
+		return
+	}
+	s = s[:0]
+	a.bools.Put(&s)
 }
 
 // Shared is the process-wide fallback arena used by code without an engine

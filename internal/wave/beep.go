@@ -1,0 +1,84 @@
+package wave
+
+import (
+	"spforest/internal/circuits"
+	"spforest/internal/sim"
+)
+
+// Waves is a lane-multiplexed beep overlay over one frozen circuits.Net:
+// up to MaxLanes independent beep waves ride the same physical circuits in
+// one delivery round. Each lane conceptually replicates the net's partition
+// sets (the model allows a constant number of pins per edge, and the frozen
+// net's MaxLinksPerEdge is the per-lane footprint), but the host stores all
+// lanes of one circuit as bits of a single uint64 word keyed by the frozen
+// circuit root — one flat []uint64 column instead of one Net's pending set
+// per wave.
+//
+// Determinism contract: Received(lane, ps) is bit-identical to running lane
+// l's beeps alone through net.Beep + net.Deliver + net.Received on the same
+// frozen net. The clock charge for a joint delivery is one round plus every
+// beep sent across all lanes — the lanes share the synchronous round, which
+// is the whole point of packing them.
+type Waves struct {
+	net       *circuits.Net
+	lanes     int
+	words     []uint64 // per circuit-root lane word
+	sent      int64
+	delivered bool
+}
+
+// NewWaves creates a lane overlay with the given lane count over a frozen
+// net (Beep panics on an unfrozen one, like circuits.BeepMany).
+func NewWaves(net *circuits.Net, lanes int) *Waves {
+	if lanes < 1 || lanes > MaxLanes {
+		panic("wave: lane count out of range")
+	}
+	return &Waves{net: net, lanes: lanes, words: make([]uint64, net.Len())}
+}
+
+// Lanes returns the overlay's lane count.
+func (w *Waves) Lanes() int { return w.lanes }
+
+// Beep marks a beep on lane l of the circuit of ps this round.
+func (w *Waves) Beep(l int, ps circuits.PS) {
+	if w.delivered {
+		panic("wave: beep after delivery; call NextRound first")
+	}
+	if l < 0 || l >= w.lanes {
+		panic("wave: lane out of range")
+	}
+	w.words[w.net.CircuitRoot(ps)] |= 1 << uint(l)
+	w.sent++
+}
+
+// Deliver ends the joint beep round: every lane's wave rides its circuits
+// in the same synchronous round, so the clock is charged one round plus all
+// beeps sent, regardless of how many lanes beeped.
+func (w *Waves) Deliver(clock *sim.Clock) {
+	if w.delivered {
+		panic("wave: double delivery")
+	}
+	w.delivered = true
+	clock.Tick(1)
+	clock.AddBeeps(w.sent)
+}
+
+// Received reports whether lane l's wave reached the circuit of ps in the
+// delivered round.
+func (w *Waves) Received(l int, ps circuits.PS) bool {
+	if !w.delivered {
+		panic("wave: Received before Deliver")
+	}
+	if l < 0 || l >= w.lanes {
+		panic("wave: lane out of range")
+	}
+	return w.words[w.net.CircuitRoot(ps)]>>uint(l)&1 == 1
+}
+
+// NextRound clears all lanes' beep state so the same overlay can carry
+// another joint round.
+func (w *Waves) NextRound() {
+	clear(w.words)
+	w.sent = 0
+	w.delivered = false
+}

@@ -1,0 +1,336 @@
+// Package wave is the lane-multiplexed wave engine: it packs up to 64
+// concurrent PASC/beep waves of one query into lanes of a single physical
+// execution, the intra-query counterpart of the cross-query sharing in
+// engine.Batch (DESIGN.md §10).
+//
+// Feldmann et al. (arXiv:2105.05071) observe that reconfigurable circuits
+// are reusable across waves — one circuit, many signals. The simulator's
+// per-wave execution state (the SoA comparator columns of a pasc.Run, the
+// circuit scratch of a beep round) is the host-side analogue of that
+// physical circuit, and this package shares it the same way: all waves of
+// one Packed run live in one set of flat columns, advance in one fused
+// branch-free pass per iteration, and carry their termination state as
+// single bits of a uint64 mask.
+//
+// Lane packing is an execution optimization, not a model change: every
+// lane's bits, its iteration count and the rounds/beeps charged to its
+// clock are bit-identical to running the same wave alone through
+// pasc.StepRound (property-pinned against both pasc.Run and the
+// circuit-materialized CircuitChain reference).
+package wave
+
+import (
+	"sync/atomic"
+
+	"spforest/internal/dense"
+	"spforest/internal/sim"
+)
+
+// MaxLanes is the number of waves one Packed execution can carry: one per
+// bit of the done/zeroed masks.
+const MaxLanes = 64
+
+// Counters aggregates wave-sharing activity for engine.Stats. All fields
+// are updated atomically; a nil *Counters disables counting.
+type Counters struct {
+	// WavesPacked counts the PASC waves executed through a packed run.
+	WavesPacked atomic.Int64
+	// LanePasses counts the per-lane column sweeps executed (one per live
+	// lane per joint iteration); comparing it against WavesPacked ×
+	// iterations shows how much sweeping the done-lane skip saved.
+	LanePasses atomic.Int64
+}
+
+// Packed is one lane-multiplexed tree-PASC execution: up to MaxLanes
+// independent PASC waves (lanes) over one shared slot arena. The lanes'
+// slots are concatenated into shared SoA columns — one parent column, one
+// topological order, one set of byte flag columns — so that every joint
+// iteration is one pass over contiguous memory instead of one pass per
+// pasc.Run, and the per-lane build reuses one set of CSR scratch arrays.
+//
+// Per-lane termination lives in a uint64 done mask; lanes that finish
+// early are skipped by later sweeps (their bits are re-zeroed once, which
+// is exactly what a done pasc.Run's sweep computes).
+//
+// Build with NewPacked + AddLane + Seal; advance with StepRound (all lanes
+// on one clock, mirroring pasc.StepRound) or StepPairs (lane pairs on
+// per-pair clocks, mirroring the merge algorithm's per-pair loop).
+type Packed struct {
+	ar  *dense.Arena
+	ctr *Counters
+
+	// Shared SoA columns over the concatenated slot space. The parent
+	// column uses one shared sentinel: roots of every lane point at virtual
+	// slot nslots, whose arrival entry is pinned to track 0.
+	pidx    []int32
+	order   []int32
+	part    []uint8
+	act     []uint8
+	root    []uint8
+	bits    []uint8
+	arrival []uint8 // length nslots+1
+
+	laneLo   []int32 // lane -> first slot; laneLo[lanes] = nslots
+	active   []int   // per-lane count of still-active participants
+	iters    []int   // per-lane iterations stepped
+	doneMask uint64  // bit L: lane L terminated (iters > 0, no actives)
+	zeroMask uint64  // bit L: lane L's bits were re-zeroed after it finished
+
+	// Lane specs staged by AddLane until Seal (caller-owned slices; Seal
+	// copies what it needs and drops the references).
+	specParent [][]int32
+	specPart   [][]uint8
+	sealed     bool
+}
+
+// NewPacked starts an empty packed execution drawing its columns from the
+// arena (nil degrades to plain allocation) and reporting into ctr (nil
+// disables counting).
+func NewPacked(ar *dense.Arena, ctr *Counters) *Packed {
+	return &Packed{ar: ar, ctr: ctr}
+}
+
+// AddLane stages one PASC wave: a rooted forest over local slots
+// 0..len(parent)-1 (parent[i] == -1 marks a root/source) with the given
+// participant flags (nil means every slot participates; roots never count
+// themselves, as in pasc). The caller keeps ownership of the slices but
+// must not mutate them before Seal. Returns the lane index.
+func (p *Packed) AddLane(parent []int32, participant []uint8) int {
+	if p.sealed {
+		panic("wave: AddLane after Seal")
+	}
+	if len(p.specParent) == MaxLanes {
+		panic("wave: too many lanes")
+	}
+	if participant != nil && len(participant) != len(parent) {
+		panic("wave: participant length mismatch")
+	}
+	p.specParent = append(p.specParent, parent)
+	p.specPart = append(p.specPart, participant)
+	return len(p.specParent) - 1
+}
+
+// Lanes returns the number of lanes added so far.
+func (p *Packed) Lanes() int { return len(p.specParent) }
+
+// Seal builds the shared columns from the staged lanes: one allocation per
+// column for all lanes together, one CSR/topo construction per lane over
+// shared scratch. After Seal the lane specs are released and stepping may
+// begin.
+func (p *Packed) Seal() {
+	if p.sealed {
+		panic("wave: double Seal")
+	}
+	p.sealed = true
+	lanes := len(p.specParent)
+	if lanes == 0 {
+		panic("wave: Seal with no lanes")
+	}
+	n := 0
+	p.laneLo = make([]int32, lanes+1)
+	maxLane := 0
+	for l, parent := range p.specParent {
+		p.laneLo[l] = int32(n)
+		n += len(parent)
+		if len(parent) > maxLane {
+			maxLane = len(parent)
+		}
+	}
+	p.laneLo[lanes] = int32(n)
+	p.pidx = p.ar.Int32s(n)
+	p.order = p.ar.Int32s(n)[:0]
+	p.part = p.ar.Bytes(n)
+	p.act = p.ar.Bytes(n)
+	p.root = p.ar.Bytes(n)
+	p.bits = p.ar.Bytes(n)
+	p.arrival = p.ar.Bytes(n + 1)
+	p.active = make([]int, lanes)
+	p.iters = make([]int, lanes)
+
+	// One set of CSR scratch serves every lane's topo construction (the
+	// per-pair forestPASC path drew these once per run).
+	kidOff := p.ar.Int32s(maxLane + 1)
+	kids := p.ar.Int32s(maxLane)
+	pos := p.ar.Int32s(maxLane)
+	defer p.ar.PutInt32s(kidOff)
+	defer p.ar.PutInt32s(kids)
+	defer p.ar.PutInt32s(pos)
+	var roots []int32
+	for l, parent := range p.specParent {
+		off := int(p.laneLo[l])
+		m := len(parent)
+		partSpec := p.specPart[l]
+		clear(kidOff[:m+1])
+		roots = roots[:0]
+		for i, pp := range parent {
+			g := off + i
+			if pp == -1 {
+				roots = append(roots, int32(i))
+				p.root[g] = 1
+				p.pidx[g] = int32(n) // shared sentinel: arrival[n] ≡ track 0
+			} else {
+				p.pidx[g] = int32(off) + pp
+				kidOff[pp+1]++
+			}
+			if pp != -1 && (partSpec == nil || partSpec[i] != 0) {
+				p.part[g] = 1
+				p.act[g] = 1
+				p.active[l]++
+			}
+		}
+		if len(roots) == 0 {
+			panic("wave: lane has no root slot")
+		}
+		for i := 0; i < m; i++ {
+			kidOff[i+1] += kidOff[i]
+		}
+		copy(pos[:m], kidOff[:m])
+		for i, pp := range parent {
+			if pp != -1 {
+				kids[pos[pp]] = int32(i)
+				pos[pp]++
+			}
+		}
+		// Root-to-leaf DFS in local slots, emitted as global slot ids.
+		stack := append(pos[:0], roots...)
+		emitted := 0
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			p.order = append(p.order, int32(off)+u)
+			emitted++
+			stack = append(stack, kids[kidOff[u]:kidOff[u+1]]...)
+		}
+		if emitted != m {
+			panic("wave: lane slot graph is not a forest")
+		}
+	}
+	if p.ctr != nil {
+		p.ctr.WavesPacked.Add(int64(lanes))
+	}
+	p.specParent, p.specPart = nil, nil
+}
+
+// Release returns the shared columns to the arena. The run must not be
+// used afterwards.
+func (p *Packed) Release() {
+	if !p.sealed {
+		return
+	}
+	p.ar.PutInt32s(p.pidx)
+	p.ar.PutInt32s(p.order)
+	p.ar.PutBytes(p.part)
+	p.ar.PutBytes(p.act)
+	p.ar.PutBytes(p.root)
+	p.ar.PutBytes(p.bits)
+	p.ar.PutBytes(p.arrival)
+	p.pidx, p.order, p.part, p.act, p.root, p.bits, p.arrival = nil, nil, nil, nil, nil, nil, nil
+}
+
+// Done reports whether lane l has terminated (mirrors pasc.Run.Done: at
+// least one iteration stepped and no participant still active).
+func (p *Packed) Done(l int) bool { return p.doneMask>>uint(l)&1 == 1 }
+
+// AllDone reports whether every lane has terminated.
+func (p *Packed) AllDone() bool {
+	return p.doneMask == uint64(1)<<uint(len(p.active))-1
+}
+
+// PairDone reports whether both lanes of pair i (lanes 2i and 2i+1) have
+// terminated.
+func (p *Packed) PairDone(i int) bool {
+	return p.doneMask>>uint(2*i)&3 == 3
+}
+
+// Iterations returns the iterations lane l has stepped.
+func (p *Packed) Iterations(l int) int { return p.iters[l] }
+
+// Bits returns lane l's bit column: entry i is the bit local slot i read in
+// the last iteration the lane was stepped (all zero once the lane is done,
+// exactly as a done pasc.Run keeps emitting zero bits). Valid until the
+// next step call.
+func (p *Packed) Bits(l int) []uint8 {
+	return p.bits[p.laneLo[l]:p.laneLo[l+1]]
+}
+
+// sweep advances lane l by one iteration: the same branch-free loop body
+// as pasc.Run.step, over the lane's contiguous slice of the shared order.
+func (p *Packed) sweep(l int) {
+	deactivated := 0
+	for _, u := range p.order[p.laneLo[l]:p.laneLo[l+1]] {
+		t := p.arrival[p.pidx[u]] // roots read the pinned sentinel track 0
+		a := p.part[u] & p.act[u]
+		rt := p.root[u]
+		p.arrival[u] = t ^ (a | rt)
+		bit := (t ^ a ^ 1) &^ rt
+		p.bits[u] = bit
+		d := a & bit
+		p.act[u] ^= d
+		deactivated += int(d)
+	}
+	p.active[l] -= deactivated
+	p.iters[l]++
+	if p.active[l] == 0 {
+		p.doneMask |= 1 << uint(l)
+	}
+	if p.ctr != nil {
+		p.ctr.LanePasses.Add(1)
+	}
+}
+
+// stepLane advances lane l within a joint iteration: a live lane sweeps,
+// a finished lane only has its bits re-zeroed (once) — the all-zero sweep
+// a done pasc.Run would have executed, skipped.
+func (p *Packed) stepLane(l int) {
+	if !p.Done(l) {
+		p.sweep(l)
+		return
+	}
+	if p.zeroMask>>uint(l)&1 == 0 {
+		clear(p.bits[p.laneLo[l]:p.laneLo[l+1]])
+		p.zeroMask |= 1 << uint(l)
+	}
+}
+
+// StepRound advances every lane by one joint iteration on one clock,
+// charging exactly what pasc.StepRound charges for the same runs: 2 rounds
+// (track beep + shared termination beep, Lemma 4) and, per lane, the
+// still-active participants plus the track beep. Lanes that are already
+// done keep emitting zero bits and keep costing their +1, like done runs
+// passed to pasc.StepRound.
+func (p *Packed) StepRound(clock *sim.Clock) {
+	if !p.sealed {
+		panic("wave: StepRound before Seal")
+	}
+	clock.Tick(2)
+	beeps := int64(0)
+	for l := range p.active {
+		p.stepLane(l)
+		beeps += int64(p.active[l]) + 1
+	}
+	clock.AddBeeps(beeps)
+}
+
+// StepPairs advances every unfinished lane pair by one iteration, pair i
+// (lanes 2i, 2i+1) on clocks[i]. Each live pair is charged exactly what
+// its solo merge loop — for !AllDone(r1, r2) { StepRound(clock, r1, r2) }
+// — would have charged this iteration: 2 rounds plus both lanes' actives
+// plus the two track beeps. Pairs whose two lanes are both done are not
+// stepped and not charged (their solo loop has exited).
+func (p *Packed) StepPairs(clocks []*sim.Clock) {
+	if !p.sealed {
+		panic("wave: StepPairs before Seal")
+	}
+	if 2*len(clocks) != len(p.active) {
+		panic("wave: StepPairs clock count does not match lane pairs")
+	}
+	for i, clock := range clocks {
+		if p.PairDone(i) {
+			continue
+		}
+		clock.Tick(2)
+		p.stepLane(2 * i)
+		p.stepLane(2*i + 1)
+		clock.AddBeeps(int64(p.active[2*i]) + int64(p.active[2*i+1]) + 2)
+	}
+}

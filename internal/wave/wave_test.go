@@ -1,0 +1,251 @@
+package wave
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"spforest/internal/circuits"
+	"spforest/internal/dense"
+	"spforest/internal/pasc"
+	"spforest/internal/sim"
+)
+
+// randForest builds a random rooted forest over n slots: each slot's parent
+// is a random earlier slot (or a root), so the parent array is acyclic by
+// construction.
+func randForest(rng *rand.Rand, n, roots int) []int32 {
+	parent := make([]int32, n)
+	for i := range parent {
+		if i < roots || rng.Intn(8) == 0 {
+			parent[i] = -1
+		} else {
+			parent[i] = int32(rng.Intn(i))
+		}
+	}
+	return parent
+}
+
+func randParticipants(rng *rand.Rand, n int) ([]uint8, []bool) {
+	pu := make([]uint8, n)
+	pb := make([]bool, n)
+	for i := range pu {
+		if rng.Intn(4) != 0 {
+			pu[i], pb[i] = 1, true
+		}
+	}
+	return pu, pb
+}
+
+// TestWavePackedMatchesPASC pins the core determinism rule: a Packed run's
+// per-lane bits, termination and joint clock charge are bit-identical to
+// stepping the same waves as individual pasc.Runs through pasc.StepRound.
+func TestWavePackedMatchesPASC(t *testing.T) {
+	ar := dense.NewArena()
+	for _, lanes := range []int{1, 2, 3, 7, 64} {
+		t.Run(fmt.Sprintf("lanes=%d", lanes), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(42 + lanes)))
+			var ctr Counters
+			p := NewPacked(ar, &ctr)
+			refs := make([]*pasc.Run, lanes)
+			for l := 0; l < lanes; l++ {
+				n := 1 + rng.Intn(200)
+				parent := randForest(rng, n, 1)
+				pu, pb := randParticipants(rng, n)
+				if rng.Intn(3) == 0 {
+					pu = nil
+					for i := range pb {
+						pb[i] = true
+					}
+				}
+				p.AddLane(parent, pu)
+				refs[l] = pasc.New(parent, pb)
+			}
+			p.Seal()
+			if got := ctr.WavesPacked.Load(); got != int64(lanes) {
+				t.Fatalf("WavesPacked = %d, want %d", got, lanes)
+			}
+			var packedClock, refClock sim.Clock
+			for round := 0; !p.AllDone() || !pasc.AllDone(refs...); round++ {
+				if round > 100 {
+					t.Fatal("no convergence")
+				}
+				p.StepRound(&packedClock)
+				refBits := pasc.StepRound(&refClock, refs...)
+				for l := 0; l < lanes; l++ {
+					got, want := p.Bits(l), refBits[l]
+					for i := range want {
+						if got[i] != want[i] {
+							t.Fatalf("round %d lane %d slot %d: bit %d, want %d", round, l, i, got[i], want[i])
+						}
+					}
+					if p.Done(l) != refs[l].Done() {
+						t.Fatalf("round %d lane %d: Done %v, want %v", round, l, p.Done(l), refs[l].Done())
+					}
+				}
+				if packedClock.Rounds() != refClock.Rounds() || packedClock.Beeps() != refClock.Beeps() {
+					t.Fatalf("round %d: packed clock %d/%d, reference %d/%d", round,
+						packedClock.Rounds(), packedClock.Beeps(), refClock.Rounds(), refClock.Beeps())
+				}
+			}
+			if ctr.LanePasses.Load() > ctr.WavesPacked.Load()*(packedClock.Rounds()/2) {
+				t.Fatalf("LanePasses %d exceeds lanes × iterations %d",
+					ctr.LanePasses.Load(), ctr.WavesPacked.Load()*(packedClock.Rounds()/2))
+			}
+			p.Release()
+		})
+	}
+}
+
+// TestWaveStepPairsMatchesSoloMergeLoops pins the merge-level packing rule:
+// lane pairs stepped jointly via StepPairs charge each pair's clock exactly
+// what that pair's solo loop — for !AllDone(a, b) { StepRound(clock, a, b) }
+// — charges, and emit the same bits while the solo loop still runs.
+func TestWaveStepPairsMatchesSoloMergeLoops(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const pairs = 9
+	var ctr Counters
+	p := NewPacked(nil, &ctr)
+	type side struct {
+		run    *pasc.Run
+		parent []int32
+	}
+	refs := make([]side, 2*pairs)
+	for l := range refs {
+		n := 1 + rng.Intn(120)
+		parent := randForest(rng, n, 1+rng.Intn(2))
+		pu, pb := randParticipants(rng, n)
+		p.AddLane(parent, pu)
+		refs[l] = side{run: pasc.New(parent, pb), parent: parent}
+	}
+	p.Seal()
+
+	packedClocks := make([]sim.Clock, pairs)
+	refClocks := make([]sim.Clock, pairs)
+	clockPtrs := make([]*sim.Clock, pairs)
+	for i := range clockPtrs {
+		clockPtrs[i] = &packedClocks[i]
+	}
+	for round := 0; !p.AllDone(); round++ {
+		if round > 100 {
+			t.Fatal("no convergence")
+		}
+		p.StepPairs(clockPtrs)
+		for i := 0; i < pairs; i++ {
+			a, b := refs[2*i].run, refs[2*i+1].run
+			if pasc.AllDone(a, b) {
+				continue // the solo loop has exited; StepPairs must not charge
+			}
+			bits := pasc.StepRound(&refClocks[i], a, b)
+			for s, want := range [][]uint8{bits[0], bits[1]} {
+				got := p.Bits(2*i + s)
+				for j := range want {
+					if got[j] != want[j] {
+						t.Fatalf("round %d pair %d side %d slot %d: bit %d, want %d",
+							round, i, s, j, got[j], want[j])
+					}
+				}
+			}
+		}
+	}
+	for i := 0; i < pairs; i++ {
+		if packedClocks[i].Rounds() != refClocks[i].Rounds() || packedClocks[i].Beeps() != refClocks[i].Beeps() {
+			t.Fatalf("pair %d: packed clock %d/%d, solo-loop clock %d/%d", i,
+				packedClocks[i].Rounds(), packedClocks[i].Beeps(), refClocks[i].Rounds(), refClocks[i].Beeps())
+		}
+	}
+}
+
+// TestWaveBeepOverlayMatchesSoloNets pins the beep-layer rule: every lane of
+// a Waves overlay observes exactly what its beeps alone would produce on the
+// shared frozen net, while the joint delivery charges one round for all
+// lanes together.
+func TestWaveBeepOverlayMatchesSoloNets(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	net := circuits.New()
+	const nps = 300
+	ps := make([]circuits.PS, nps)
+	for i := range ps {
+		ps[i] = net.NewPartitionSet(int32(i))
+	}
+	for i := 1; i < nps; i++ {
+		if rng.Intn(3) != 0 {
+			net.Link(ps[rng.Intn(i)], ps[i])
+		}
+	}
+	net.Freeze(nil)
+
+	const lanes = 64
+	w := NewWaves(net, lanes)
+	beeped := make([][]int, lanes)
+	totalSent := int64(0)
+	for l := 0; l < lanes; l++ {
+		for k := rng.Intn(5); k > 0; k-- {
+			i := rng.Intn(nps)
+			beeped[l] = append(beeped[l], i)
+			w.Beep(l, ps[i])
+			totalSent++
+		}
+	}
+	var joint sim.Clock
+	w.Deliver(&joint)
+	if joint.Rounds() != 1 || joint.Beeps() != totalSent {
+		t.Fatalf("joint delivery charged %d rounds / %d beeps, want 1 / %d",
+			joint.Rounds(), joint.Beeps(), totalSent)
+	}
+	for l := 0; l < lanes; l++ {
+		var solo sim.Clock
+		for _, i := range beeped[l] {
+			net.Beep(ps[i])
+		}
+		net.Deliver(&solo)
+		for i := range ps {
+			if got, want := w.Received(l, ps[i]), net.Received(ps[i]); got != want {
+				t.Fatalf("lane %d ps %d: Received %v, want %v", l, i, got, want)
+			}
+		}
+		net.NextRound()
+	}
+	w.NextRound()
+	w.Beep(0, ps[0])
+	w.Deliver(&joint)
+	if !w.Received(0, ps[0]) || w.Received(1, ps[0]) {
+		t.Fatal("NextRound did not isolate the fresh round's lanes")
+	}
+}
+
+// TestWavePackedDoneLanesKeepZeroBits pins the done-lane skip: once a lane
+// terminates, its Bits stay all-zero through later joint rounds (exactly
+// what a done pasc.Run's sweep computes), so downstream comparators keep
+// seeing the semantically significant zero feed.
+func TestWavePackedDoneLanesKeepZeroBits(t *testing.T) {
+	p := NewPacked(nil, nil)
+	// Lane 0: tiny chain (terminates fast). Lane 1: long chain.
+	p.AddLane([]int32{-1, 0}, nil)
+	long := make([]int32, 300)
+	for i := range long {
+		long[i] = int32(i) - 1
+	}
+	p.AddLane(long, nil)
+	p.Seal()
+	var clock sim.Clock
+	sawDoneRounds := 0
+	for !p.AllDone() {
+		// The transition round itself still carries the final nonzero
+		// deactivation bits (exactly as pasc emits them); the all-zero
+		// contract starts one joint round later.
+		doneBefore := p.Done(0)
+		p.StepRound(&clock)
+		if doneBefore && p.Done(0) && !p.Done(1) {
+			sawDoneRounds++
+			for i, b := range p.Bits(0) {
+				if b != 0 {
+					t.Fatalf("done lane 0 slot %d: bit %d, want 0", i, b)
+				}
+			}
+		}
+	}
+	if sawDoneRounds == 0 {
+		t.Fatal("test never observed lane 0 done while lane 1 live")
+	}
+}
